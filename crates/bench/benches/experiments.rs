@@ -1,0 +1,33 @@
+//! Criterion bench: one target per reconstructed experiment.
+//!
+//! Each benchmark regenerates its table/figure at smoke scale, so `cargo
+//! bench` both exercises every experiment end-to-end and tracks the
+//! harness's runtime over time. The paper-scale numbers come from the
+//! `experiments` binary.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mapg_bench::{experiments, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    // Smoke-scale experiments take 0.1–3 s per iteration; the default
+    // 3 s warm-up + 5 s measurement would stretch the full sweep past
+    // half an hour. Ten samples in a tight window is plenty to track the
+    // harness's runtime.
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for experiment in experiments::all() {
+        group.bench_function(experiment.id, |b| {
+            b.iter(|| black_box((experiment.run)(Scale::Smoke)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: end-to-end simulation throughput per policy.
+//!
+//! Measures how fast the full stack (workload → cores → hierarchy →
+//! controller) simulates 50 k instructions under each comparison policy —
+//! the cost of one cell of the R-T3/R-F2/R-F3 matrices.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mapg::{PolicyKind, SimConfig, Simulation};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for policy in PolicyKind::COMPARISON_SET {
+        group.bench_with_input(
+            BenchmarkId::new("mem_bound_50k", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let config =
+                        SimConfig::default().with_instructions(50_000);
+                    black_box(Simulation::new(config, policy).run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

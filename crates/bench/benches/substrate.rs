@@ -1,0 +1,98 @@
+//! Criterion bench: the substrate components in isolation.
+//!
+//! Tracks the hot paths every experiment amortizes: cache lookups, DRAM
+//! scheduling, MSHR management, synthetic event generation and predictor
+//! updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mapg::{HistoryTablePredictor, MissLatencyPredictor};
+use mapg_cpu::{CoreId, StallCause, StallInfo};
+use mapg_mem::{Cache, CacheConfig, Dram, DramConfig, MshrFile};
+use mapg_trace::{EventSource, SyntheticWorkload, WorkloadProfile};
+use mapg_units::{Cycle, Cycles};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1_access_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut addr: u64 = 0;
+        b.iter(|| {
+            addr = addr.wrapping_add(72) & 0xF_FFFF;
+            black_box(cache.access(addr, false))
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/access_schedule", |b| {
+        let mut dram = Dram::new(DramConfig::ddr3_1333());
+        let mut now = Cycle::ZERO;
+        let mut addr: u64 = 0;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096) & 0xFFF_FFFF;
+            let (done, outcome) = dram.access(now, addr, false);
+            now = now.max(done - Cycles::new(50));
+            black_box(outcome)
+        });
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    c.bench_function("mshr/lookup_commit_retire", |b| {
+        let mut mshrs = MshrFile::new(16);
+        let mut line: u64 = 0;
+        let mut now = Cycle::ZERO;
+        b.iter(|| {
+            line += 1;
+            now += Cycles::new(20);
+            if let mapg_mem::MshrOutcome::Allocated = mshrs.lookup(now, line) {
+                mshrs.commit(line, now + Cycles::new(150));
+            }
+            black_box(mshrs.capacity())
+        });
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("trace/synthetic_event", |b| {
+        let profile = WorkloadProfile::mem_bound("bench");
+        let mut workload = SyntheticWorkload::new(&profile, 7);
+        b.iter(|| black_box(workload.next_event()));
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("predictor/history_table_cycle", |b| {
+        let mut predictor = HistoryTablePredictor::hardware_default();
+        let mut pc = 0u64;
+        let info_template = StallInfo {
+            core: CoreId(0),
+            start: Cycle::new(0),
+            data_ready: Cycle::new(200),
+            pc: 0,
+            outstanding: 1,
+            cause: StallCause::Dependency,
+        };
+        b.iter(|| {
+            pc = (pc + 4) % 256;
+            let info = StallInfo {
+                pc,
+                ..info_template
+            };
+            let predicted = predictor.predict(&info);
+            predictor.observe(&info, Cycles::new(180));
+            black_box(predicted)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_dram,
+    bench_mshr,
+    bench_workload,
+    bench_predictor
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates the reconstructed tables and figures of the MAPG
+//! reproduction.
+//!
+//! ```bash
+//! experiments                      # everything, paper scale
+//! experiments rt1 rf5              # selected experiments
+//! experiments --scale quick        # smaller runs
+//! experiments --csv rf2            # CSV instead of aligned text
+//! experiments --list               # registry
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mapg_bench::{experiments, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut csv = false;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for experiment in experiments::all() {
+                    println!("{:<7} {}", experiment.id, experiment.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--csv" => csv = true,
+            "--scale" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--scale needs a value (smoke|quick|paper)");
+                    return ExitCode::FAILURE;
+                };
+                let Some(parsed) = Scale::parse(name) else {
+                    eprintln!("unknown scale '{name}' (smoke|quick|paper)");
+                    return ExitCode::FAILURE;
+                };
+                scale = parsed;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale smoke|quick|paper] [--csv] [--list] [IDS...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            id => selected.push(id.to_owned()),
+        }
+    }
+
+    let to_run: Vec<_> = if selected.is_empty() {
+        experiments::all()
+    } else {
+        let mut list = Vec::new();
+        for id in &selected {
+            match experiments::find(id) {
+                Some(experiment) => list.push(experiment),
+                None => {
+                    eprintln!("unknown experiment '{id}'; try --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        list
+    };
+
+    println!(
+        "# MAPG reproduction — {} experiment(s) at {scale:?} scale\n",
+        to_run.len()
+    );
+    for experiment in to_run {
+        let started = Instant::now();
+        let tables = (experiment.run)(scale);
+        let elapsed = started.elapsed();
+        for table in &tables {
+            if csv {
+                println!("# {} — {}", table.id(), table.title());
+                print!("{}", table.to_csv());
+            } else {
+                println!("{}", table.to_text());
+            }
+        }
+        eprintln!("[{} done in {elapsed:.2?}]\n", experiment.id);
+    }
+    ExitCode::SUCCESS
+}

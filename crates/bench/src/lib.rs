@@ -1,0 +1,37 @@
+//! Experiment harness for the MAPG reproduction.
+//!
+//! Everything the `experiments` binary, the criterion benches and the
+//! workspace integration tests share:
+//!
+//! - [`Scale`] — smoke / quick / paper instruction budgets;
+//! - [`Table`] — the text/CSV result format;
+//! - [`experiments`] — one module per reconstructed table/figure, plus the
+//!   [`experiments::all`] registry.
+//!
+//! # Regenerating the paper's evaluation
+//!
+//! ```bash
+//! cargo run -p mapg-bench --release --bin experiments            # all, paper scale
+//! cargo run -p mapg-bench --release --bin experiments -- rt3    # one experiment
+//! cargo run -p mapg-bench --release --bin experiments -- --scale quick rf5
+//! ```
+//!
+//! # Programmatic use
+//!
+//! ```
+//! use mapg_bench::{experiments, Scale};
+//!
+//! let rt1 = experiments::find("rt1").expect("registered");
+//! let tables = (rt1.run)(Scale::Smoke);
+//! assert_eq!(tables[0].id(), "R-T1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod scale;
+mod table;
+
+pub use scale::Scale;
+pub use table::{pct, ratio, Table};

@@ -1,0 +1,223 @@
+//! Plain-text result tables: the output format of every experiment.
+
+use core::fmt;
+
+/// A rendered experiment result: an id, a caption, a header row and data
+/// rows. [`Table::to_text`] produces the aligned form printed by the
+/// `experiments` binary; [`Table::to_csv`] the machine-readable one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    id: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with its experiment id, caption and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<S>,
+    ) -> Self {
+        let headers: Vec<String> =
+            headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The experiment id (e.g. `R-T1`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The caption.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length does not match the header count.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert!(
+            row.len() == self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a cell by row index and column header.
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        let render = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = *w));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&render(&self.headers, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the CSV form (header row first; cells containing commas are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Formats a fraction as a signed percentage (`0.183` → `"+18.3%"`).
+pub fn pct(fraction: f64) -> String {
+    format!("{:+.1}%", fraction * 100.0)
+}
+
+/// Formats a plain ratio with three decimals.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("R-T9", "sample", vec!["name", "value"]);
+        t.push_row(vec!["alpha", "1"]);
+        t.push_row(vec!["beta", "22"]);
+        t.push_note("a note");
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let text = sample().to_text();
+        assert!(text.contains("## R-T9 — sample"), "{text}");
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("note: a note"), "{text}");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "alpha,1");
+        assert_eq!(lines[2], "beta,22");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("X", "q", vec!["a"]);
+        t.push_row(vec!["hello, world"]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell(1, "value"), Some("22"));
+        assert_eq!(t.cell(1, "missing"), None);
+        assert_eq!(t.cell(9, "value"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("X", "t", vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.183), "+18.3%");
+        assert_eq!(pct(-0.02), "-2.0%");
+        assert_eq!(ratio(0.98765), "0.988");
+    }
+}

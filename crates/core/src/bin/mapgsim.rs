@@ -1,0 +1,189 @@
+//! `mapgsim` — run one MAPG simulation from the command line.
+//!
+//! ```bash
+//! mapgsim --workload mcf_like --policy mapg --instructions 1000000
+//! mapgsim --workload mem_bound --policy mapg --compare   # vs no-gating
+//! mapgsim --list-workloads
+//! mapgsim --list-policies
+//! ```
+
+use std::process::ExitCode;
+
+use mapg::{PolicyKind, PredictorKind, SimConfig, Simulation};
+use mapg_trace::{WorkloadProfile, WorkloadSuite};
+
+const POLICIES: [(&str, PolicyKind); 11] = [
+    ("no-gating", PolicyKind::NoGating),
+    ("clock-gating", PolicyKind::ClockGating),
+    ("dvfs-stall", PolicyKind::DvfsStall),
+    ("naive-on-miss", PolicyKind::NaiveOnMiss),
+    ("timeout", PolicyKind::Timeout { idle_cycles: 100 }),
+    ("mapg", PolicyKind::Mapg),
+    ("mapg-oracle", PolicyKind::MapgOracle),
+    ("mapg-always-gate", PolicyKind::MapgAlwaysGate),
+    ("mapg-no-early-wake", PolicyKind::MapgNoEarlyWake),
+    (
+        "mapg+ewma",
+        PolicyKind::MapgWith {
+            predictor: PredictorKind::Ewma,
+        },
+    ),
+    (
+        "mapg+last-value",
+        PolicyKind::MapgWith {
+            predictor: PredictorKind::LastValue,
+        },
+    ),
+];
+
+fn find_workload(name: &str) -> Option<WorkloadProfile> {
+    match name {
+        "mem_bound" => return Some(WorkloadProfile::mem_bound(name)),
+        "compute_bound" => return Some(WorkloadProfile::compute_bound(name)),
+        "mixed" => return Some(WorkloadProfile::mixed(name)),
+        _ => {}
+    }
+    WorkloadSuite::spec_like().get(name).cloned()
+}
+
+fn usage() {
+    println!(
+        "usage: mapgsim [OPTIONS]\n\
+         \n\
+         options:\n\
+         \x20 --workload NAME      suite profile or mem_bound|compute_bound|mixed (default mem_bound)\n\
+         \x20 --policy NAME        gating policy (default mapg; see --list-policies)\n\
+         \x20 --instructions N     per-core instruction budget (default 1000000)\n\
+         \x20 --cores N            core count (default 1)\n\
+         \x20 --seed N             RNG seed (default 42)\n\
+         \x20 --tokens N           wake-token budget (default unlimited)\n\
+         \x20 --switch-width PCT   sleep-switch width ratio in percent (default 3.0)\n\
+         \x20 --compare            also run the no-gating baseline and print deltas\n\
+         \x20 --list-workloads     print available workload names\n\
+         \x20 --list-policies      print available policy names"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = String::from("mem_bound");
+    let mut policy_name = String::from("mapg");
+    let mut instructions: u64 = 1_000_000;
+    let mut cores: usize = 1;
+    let mut seed: u64 = 42;
+    let mut tokens: Option<usize> = None;
+    let mut switch_width_pct: f64 = 3.0;
+    let mut compare = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| -> Option<String> {
+            let value = iter.next().cloned();
+            if value.is_none() {
+                eprintln!("{arg} needs a {what}");
+            }
+            value
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--list-workloads" => {
+                for profile in WorkloadSuite::spec_like().iter() {
+                    println!("{}", profile.name());
+                }
+                println!("mem_bound\ncompute_bound\nmixed");
+                return ExitCode::SUCCESS;
+            }
+            "--list-policies" => {
+                for (name, _) in POLICIES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--workload" => match take("name") {
+                Some(v) => workload = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--policy" => match take("name") {
+                Some(v) => policy_name = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--instructions" => match take("count").and_then(|v| v.parse().ok()) {
+                Some(v) => instructions = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--cores" => match take("count").and_then(|v| v.parse().ok()) {
+                Some(v) => cores = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match take("seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--tokens" => match take("count").and_then(|v| v.parse().ok()) {
+                Some(v) => tokens = Some(v),
+                None => return ExitCode::FAILURE,
+            },
+            "--switch-width" => {
+                match take("percent").and_then(|v| v.parse().ok()) {
+                    Some(v) => switch_width_pct = v,
+                    None => return ExitCode::FAILURE,
+                }
+            }
+            "--compare" => compare = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(profile) = find_workload(&workload) else {
+        eprintln!("unknown workload '{workload}'; try --list-workloads");
+        return ExitCode::FAILURE;
+    };
+    let Some((_, policy)) =
+        POLICIES.into_iter().find(|(name, _)| *name == policy_name)
+    else {
+        eprintln!("unknown policy '{policy_name}'; try --list-policies");
+        return ExitCode::FAILURE;
+    };
+
+    let mut config = SimConfig::default()
+        .with_profile(profile)
+        .with_instructions(instructions)
+        .with_cores(cores)
+        .with_seed(seed)
+        .with_switch_width(switch_width_pct / 100.0);
+    if let Some(budget) = tokens {
+        config = config.with_tokens(budget);
+    }
+
+    let report = Simulation::new(config.clone(), policy).run();
+    print!("{report}");
+
+    if compare && policy != PolicyKind::NoGating {
+        let baseline = Simulation::new(config, PolicyKind::NoGating).run();
+        println!("--- vs no-gating ---");
+        println!(
+            "core energy savings : {:+.1}%",
+            report.core_energy_savings_vs(&baseline) * 100.0
+        );
+        println!(
+            "leakage savings     : {:+.1}%",
+            report.leakage_savings_vs(&baseline) * 100.0
+        );
+        println!(
+            "runtime overhead    : {:+.2}%",
+            report.perf_overhead_vs(&baseline) * 100.0
+        );
+        println!(
+            "EDP delta           : {:+.1}%",
+            report.edp_delta_vs(&baseline) * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,662 @@
+//! The gating controller: executes policy decisions, charges energy,
+//! drives the per-core FSMs, and reports resume times to the cores.
+
+use mapg_cpu::{StallHandler, StallInfo};
+use mapg_power::{EnergyAccount, EnergyCategory, PgCircuitDesign, TechnologyParams};
+use mapg_units::{Cycle, Cycles, Hertz, Watts};
+
+use crate::fsm::{GatingFsm, PgState};
+use crate::policy::{GatingPolicy, PolicyContext, StallAction};
+use crate::timeline::Timeline;
+use crate::tokens::TokenManager;
+
+use core::fmt;
+
+/// Gating activity counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatingStats {
+    /// Stalls presented to the policy.
+    pub stalls: u64,
+    /// Stalls that were power-gated.
+    pub gated: u64,
+    /// Cycles spent in the collapsed (sleeping) state.
+    pub gated_cycles: u64,
+    /// Wake-up cycles that landed past data arrival (performance penalty).
+    pub penalty_cycles: u64,
+    /// Gated stalls whose wake finished after the data arrived.
+    pub overrun_wakes: u64,
+    /// Gated stalls whose wake finished before the data arrived (idle
+    /// tail; energy opportunity lost, no performance cost).
+    pub early_wakes: u64,
+    /// Cycles of powered idling between wake completion and data arrival.
+    pub idle_tail_cycles: u64,
+    /// Wake-ups delayed waiting for a token.
+    pub token_delayed: u64,
+    /// Total cycles of token-wait delay.
+    pub token_delay_cycles: u64,
+    /// Re-gates: the core woke early (mis-predicted duration), found its
+    /// data still far away, and went back to sleep until the response
+    /// signal (nap chaining).
+    pub regates: u64,
+}
+
+impl GatingStats {
+    /// Fraction of stalls that were gated.
+    pub fn gated_fraction(&self) -> f64 {
+        if self.stalls == 0 {
+            0.0
+        } else {
+            self.gated as f64 / self.stalls as f64
+        }
+    }
+
+    /// Mean sleep residency of gated stalls, in cycles.
+    pub fn mean_residency(&self) -> f64 {
+        if self.gated == 0 {
+            0.0
+        } else {
+            self.gated_cycles as f64 / self.gated as f64
+        }
+    }
+}
+
+impl fmt::Display for GatingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} stalls gated ({:.1}%), mean residency {:.0} cyc, {} penalty cyc",
+            self.gated,
+            self.stalls,
+            self.gated_fraction() * 100.0,
+            self.mean_residency(),
+            self.penalty_cycles
+        )
+    }
+}
+
+/// Static controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Technology the cores are built in.
+    pub tech: TechnologyParams,
+    /// The power-gating circuit design point.
+    pub circuit: PgCircuitDesign,
+    /// Core clock (converts cycles to seconds for energy integration).
+    pub clock: Hertz,
+    /// Wake-token capacity; `None` disables token limiting.
+    pub tokens: Option<usize>,
+    /// Whether a core that woke early (mis-predicted stall duration) may
+    /// re-enter sleep until the memory response arrives. Real controllers
+    /// do this — the response wire is the reactive wake trigger — at the
+    /// cost of one extra transition and a reactive-wake penalty.
+    pub regate_on_early_wake: bool,
+}
+
+impl ControllerConfig {
+    /// Baseline: 45 nm technology, the MAPG fast-wakeup circuit, 2 GHz,
+    /// no token limiting.
+    pub fn baseline() -> Self {
+        let tech = TechnologyParams::bulk_45nm();
+        ControllerConfig {
+            circuit: PgCircuitDesign::fast_wakeup(&tech),
+            clock: Hertz::from_ghz(2.0),
+            tokens: None,
+            regate_on_early_wake: true,
+            tech,
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig::baseline()
+    }
+}
+
+/// Executes a [`GatingPolicy`] over a run: implements
+/// [`mapg_cpu::StallHandler`], so it plugs directly into a
+/// [`Core`](mapg_cpu::Core) or [`Cluster`](mapg_cpu::Cluster).
+///
+/// The controller charges **stall-time** energy (idle / clock-gated /
+/// DVFS-parked / gated-residual / transition). Active-period and DRAM
+/// energy are integrated by the [`Simulation`](crate::Simulation) after the
+/// run, from the core and DRAM statistics.
+pub struct Controller {
+    policy: Box<dyn GatingPolicy>,
+    config: ControllerConfig,
+    ctx: PolicyContext,
+    fsms: Vec<GatingFsm>,
+    tokens: Option<TokenManager>,
+    timeline: Option<Timeline>,
+    energy: EnergyAccount,
+    stats: GatingStats,
+}
+
+impl fmt::Debug for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Controller")
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Controller {
+    /// Builds a controller around a policy.
+    pub fn new(policy: Box<dyn GatingPolicy>, config: ControllerConfig) -> Self {
+        let ctx = PolicyContext {
+            entry: config.circuit.entry_cycles(config.clock),
+            wakeup: config.circuit.wakeup_cycles(config.clock),
+            break_even: config
+                .circuit
+                .break_even_cycles(&config.tech, config.clock),
+        };
+        Controller {
+            policy,
+            ctx,
+            fsms: Vec::new(),
+            tokens: config.tokens.map(TokenManager::new),
+            timeline: None,
+            energy: EnergyAccount::new(),
+            stats: GatingStats::default(),
+            config,
+        }
+    }
+
+    /// Starts recording every power-state transition (for VCD export via
+    /// [`Timeline::to_vcd`]).
+    pub fn enable_timeline(&mut self) {
+        self.timeline.get_or_insert_with(Timeline::new);
+    }
+
+    /// The recorded timeline, when enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Takes ownership of the recorded timeline, when enabled.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take()
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The circuit-derived constants the policy sees.
+    pub fn context(&self) -> &PolicyContext {
+        &self.ctx
+    }
+
+    /// Gating counters so far.
+    pub fn stats(&self) -> &GatingStats {
+        &self.stats
+    }
+
+    /// Stall-time energy charged so far.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    /// The wrapped policy (for predictor-score extraction).
+    pub fn policy(&self) -> &dyn GatingPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Token statistics, when token limiting is enabled.
+    pub fn token_manager(&self) -> Option<&TokenManager> {
+        self.tokens.as_ref()
+    }
+
+    /// Closes the FSM books at the end of a run (per-core residencies are
+    /// only complete after this).
+    pub fn finish(&mut self, final_times: &[Cycle]) {
+        for (fsm, &t) in self.fsms.iter_mut().zip(final_times) {
+            fsm.finish(t);
+        }
+    }
+
+    /// Per-core FSMs (residency reporting).
+    pub fn fsms(&self) -> &[GatingFsm] {
+        &self.fsms
+    }
+
+    /// Charges `power` sustained over `span` cycles to `category`.
+    fn charge(&mut self, category: EnergyCategory, power: Watts, span: Cycles) {
+        self.energy.add(category, power * span.at(self.config.clock));
+    }
+
+    fn fsm_mut(&mut self, core: usize) -> &mut GatingFsm {
+        while self.fsms.len() <= core {
+            self.fsms.push(GatingFsm::new());
+        }
+        &mut self.fsms[core]
+    }
+
+    /// Idle (stalled but powered and clocked) power.
+    fn idle_power(&self) -> Watts {
+        self.config.tech.idle_dynamic_power() + self.config.tech.leakage_power()
+    }
+}
+
+impl StallHandler for Controller {
+    fn on_stall(&mut self, info: &StallInfo) -> Cycle {
+        self.stats.stalls += 1;
+        let natural = info.natural_duration();
+        let action = self.policy.decide(info, &self.ctx);
+        let resume = match action {
+            StallAction::StayActive => {
+                self.charge(EnergyCategory::IdleStall, self.idle_power(), natural);
+                info.data_ready
+            }
+            StallAction::ClockGate => {
+                self.charge(
+                    EnergyCategory::IdleStall,
+                    self.config.tech.leakage_power(),
+                    natural,
+                );
+                info.data_ready
+            }
+            StallAction::DvfsScale { point } => {
+                self.charge(
+                    EnergyCategory::IdleStall,
+                    point.idle_power(&self.config.tech),
+                    natural,
+                );
+                info.data_ready
+            }
+            StallAction::PowerGate { gate_at, wake_at } => {
+                self.execute_gate(info, gate_at, wake_at)
+            }
+        };
+        self.policy.observe(info, natural);
+        resume
+    }
+}
+
+impl Controller {
+    /// Executes a power-gate decision; returns the resume time.
+    fn execute_gate(
+        &mut self,
+        info: &StallInfo,
+        gate_at: Cycle,
+        wake_at: Cycle,
+    ) -> Cycle {
+        let entry = self.ctx.entry;
+        let wakeup = self.ctx.wakeup;
+        let leak = self.config.tech.leakage_power();
+        let gated_power = self.config.circuit.gated_power(&self.config.tech);
+        let gate_at = gate_at.max(info.start);
+        let entry_done = gate_at + entry;
+        // The wake ramp begins at the scheduled time or when the memory
+        // response arrives, whichever is first: the data-return signal is
+        // observable by the PG controller and always triggers a (reactive)
+        // wake, so an over-predicted schedule degrades to the reactive
+        // wake penalty instead of sleeping past the data. It also cannot
+        // begin before sleep entry completes.
+        let mut wake_start = wake_at.min(info.data_ready).max(entry_done);
+        // Token limiting may delay it further.
+        if let Some(tokens) = &mut self.tokens {
+            let granted = tokens.acquire(wake_start, wakeup);
+            if granted > wake_start {
+                self.stats.token_delayed += 1;
+                self.stats.token_delay_cycles += (granted - wake_start).raw();
+            }
+            wake_start = granted;
+        }
+        let wake_done = wake_start + wakeup;
+
+        // --- primary sleep: energy, stats, FSM ---------------------------
+        // Wait before gating (timeout policies): clock-gated, leakage only.
+        self.charge(
+            EnergyCategory::IdleStall,
+            leak,
+            gate_at.saturating_since(info.start),
+        );
+        // Entry and wake ramps: rail is partially up; charge full leakage
+        // (conservative) — the CV² charge itself is in the transition term.
+        self.charge(EnergyCategory::IdleStall, leak, entry);
+        self.charge(EnergyCategory::IdleStall, leak, wakeup);
+        let sleeping = wake_start.saturating_since(entry_done);
+        self.charge(EnergyCategory::GatedResidual, gated_power, sleeping);
+        self.energy.add(
+            EnergyCategory::Transition,
+            self.config.circuit.transition_energy(),
+        );
+        self.stats.gated += 1;
+        self.stats.gated_cycles += sleeping.raw();
+        self.record_pg_cycle(info.core, gate_at, entry_done, wake_start, wake_done);
+
+        // --- nap chaining -------------------------------------------------
+        // The core woke early (under-predicted stall) and the data is still
+        // more than a break-even away: re-enter sleep and let the response
+        // signal wake it reactively. One re-gate always suffices — the
+        // second nap ends at the response.
+        let mut last_wake_done = wake_done;
+        let regate_threshold = self.ctx.break_even + wakeup;
+        if self.config.regate_on_early_wake
+            && info.data_ready.saturating_since(wake_done) > regate_threshold
+        {
+            let nap_entry_done = wake_done + entry;
+            // The nap's reactive wake draws the same inrush as any other:
+            // it must hold a token too, which may delay it past the
+            // response (more penalty, but the di/dt bound stays honest).
+            let mut nap_wake_start = info.data_ready;
+            if let Some(tokens) = &mut self.tokens {
+                let granted = tokens.acquire(nap_wake_start, wakeup);
+                if granted > nap_wake_start {
+                    self.stats.token_delayed += 1;
+                    self.stats.token_delay_cycles +=
+                        (granted - nap_wake_start).raw();
+                }
+                nap_wake_start = granted;
+            }
+            let nap_wake_done = nap_wake_start + wakeup;
+            let nap_span = nap_wake_start - nap_entry_done;
+
+            self.charge(EnergyCategory::IdleStall, leak, entry);
+            self.charge(EnergyCategory::IdleStall, leak, wakeup);
+            self.charge(EnergyCategory::GatedResidual, gated_power, nap_span);
+            self.energy.add(
+                EnergyCategory::Transition,
+                self.config.circuit.transition_energy(),
+            );
+            self.stats.regates += 1;
+            self.stats.gated_cycles += nap_span.raw();
+            self.record_pg_cycle(
+                info.core,
+                wake_done,
+                nap_entry_done,
+                nap_wake_start,
+                nap_wake_done,
+            );
+            last_wake_done = nap_wake_done;
+        }
+
+        // --- tail / penalty accounting ------------------------------------
+        // Non-retentive designs refill pipeline state after restart; the
+        // refill delays useful execution past both wake and data arrival.
+        let cold_start = self
+            .config
+            .circuit
+            .cold_start_cycles(self.config.clock);
+        let resume = last_wake_done.max(info.data_ready) + cold_start;
+        if last_wake_done < info.data_ready {
+            // Clock-gated idle tail: the PG controller knows the response
+            // is still outstanding, so the re-powered core waits with
+            // clocks held — leakage only.
+            let tail = info.data_ready - last_wake_done;
+            self.charge(EnergyCategory::IdleStall, leak, tail);
+            self.stats.early_wakes += 1;
+            self.stats.idle_tail_cycles += tail.raw();
+        } else if last_wake_done > info.data_ready {
+            self.stats.overrun_wakes += 1;
+        }
+        // Anything past data arrival — late wake and/or cold start — is a
+        // critical-path penalty; the cold-start window burns idle power
+        // (the core executes refill work).
+        self.stats.penalty_cycles +=
+            resume.saturating_since(info.data_ready).raw();
+        self.charge(EnergyCategory::IdleStall, self.idle_power(), cold_start);
+
+        resume
+    }
+
+    /// Drives one complete entry → sleep → wake cycle through the core's
+    /// FSM and the timeline recorder.
+    fn record_pg_cycle(
+        &mut self,
+        core: mapg_cpu::CoreId,
+        gate_at: Cycle,
+        entry_done: Cycle,
+        wake_start: Cycle,
+        wake_done: Cycle,
+    ) {
+        let fsm = self.fsm_mut(core.0);
+        fsm.begin_entry(gate_at);
+        fsm.begin_sleep(entry_done);
+        fsm.begin_wake(wake_start);
+        fsm.complete_wake(wake_done);
+        if let Some(timeline) = &mut self.timeline {
+            timeline.record(gate_at, core, PgState::Entering);
+            timeline.record(entry_done, core, PgState::Sleeping);
+            timeline.record(wake_start, core, PgState::Waking);
+            timeline.record(wake_done, core, PgState::Active);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MapgPolicy, NaiveOnMiss, NoGating, PolicyKind};
+    use mapg_cpu::{CoreId, StallCause};
+
+    fn stall(duration: u64) -> StallInfo {
+        StallInfo {
+            core: CoreId(0),
+            start: Cycle::new(10_000),
+            data_ready: Cycle::new(10_000 + duration),
+            pc: 0x400,
+            outstanding: 1,
+            cause: StallCause::Dependency,
+        }
+    }
+
+    #[test]
+    fn context_is_circuit_derived() {
+        let config = ControllerConfig::baseline();
+        let controller = Controller::new(Box::new(NoGating), config);
+        let ctx = controller.context();
+        assert_eq!(ctx.entry, config.circuit.entry_cycles(config.clock));
+        assert_eq!(ctx.wakeup, config.circuit.wakeup_cycles(config.clock));
+        assert!(ctx.break_even > Cycles::ZERO);
+    }
+
+    #[test]
+    fn passive_policy_charges_idle_energy() {
+        let mut controller =
+            Controller::new(Box::new(NoGating), ControllerConfig::baseline());
+        let info = stall(200);
+        let resume = controller.on_stall(&info);
+        assert_eq!(resume, info.data_ready);
+        assert!(controller
+            .energy()
+            .get(EnergyCategory::IdleStall)
+            .as_joules()
+            > 0.0);
+        assert_eq!(controller.stats().gated, 0);
+        assert_eq!(controller.stats().stalls, 1);
+    }
+
+    #[test]
+    fn naive_gate_pays_wake_penalty() {
+        let config = ControllerConfig::baseline();
+        let mut controller = Controller::new(Box::new(NaiveOnMiss), config);
+        let info = stall(300);
+        let resume = controller.on_stall(&info);
+        let wakeup = config.circuit.wakeup_cycles(config.clock);
+        assert_eq!(resume, info.data_ready + wakeup);
+        assert_eq!(controller.stats().gated, 1);
+        assert_eq!(controller.stats().penalty_cycles, wakeup.raw());
+        assert!(controller
+            .energy()
+            .get(EnergyCategory::GatedResidual)
+            .as_joules()
+            > 0.0);
+        assert!(controller
+            .energy()
+            .get(EnergyCategory::Transition)
+            .as_joules()
+            > 0.0);
+    }
+
+    #[test]
+    fn oracle_gate_has_zero_penalty() {
+        let mut controller = Controller::new(
+            Box::new(MapgPolicy::oracle()),
+            ControllerConfig::baseline(),
+        );
+        let info = stall(400);
+        let resume = controller.on_stall(&info);
+        assert_eq!(resume, info.data_ready, "oracle hides the wake entirely");
+        assert_eq!(controller.stats().penalty_cycles, 0);
+        assert_eq!(controller.stats().gated, 1);
+    }
+
+    #[test]
+    fn oracle_skips_below_break_even() {
+        let mut controller = Controller::new(
+            Box::new(MapgPolicy::oracle()),
+            ControllerConfig::baseline(),
+        );
+        let short = stall(5);
+        let resume = controller.on_stall(&short);
+        assert_eq!(resume, short.data_ready);
+        assert_eq!(controller.stats().gated, 0);
+    }
+
+    #[test]
+    fn gated_energy_beats_idle_energy_on_long_stalls() {
+        let config = ControllerConfig::baseline();
+        let long = stall(2_000);
+
+        let mut idle_ctl = Controller::new(Box::new(NoGating), config);
+        idle_ctl.on_stall(&long);
+        let idle_energy = idle_ctl.energy().total();
+
+        let mut gate_ctl =
+            Controller::new(Box::new(MapgPolicy::oracle()), config);
+        gate_ctl.on_stall(&long);
+        let gate_energy = gate_ctl.energy().total();
+
+        assert!(
+            gate_energy < idle_energy,
+            "gating a 2000-cycle stall must win: {gate_energy:?} !< {idle_energy:?}"
+        );
+    }
+
+    #[test]
+    fn token_limit_delays_second_simultaneous_wake() {
+        let config = ControllerConfig {
+            tokens: Some(1),
+            ..ControllerConfig::baseline()
+        };
+        let mut controller =
+            Controller::new(Box::new(MapgPolicy::oracle()), config);
+        // Two cores stall with identical timing: their wake ramps collide.
+        let a = StallInfo {
+            core: CoreId(0),
+            ..stall(400)
+        };
+        let b = StallInfo {
+            core: CoreId(1),
+            ..stall(400)
+        };
+        let resume_a = controller.on_stall(&a);
+        let resume_b = controller.on_stall(&b);
+        assert_eq!(resume_a, a.data_ready);
+        assert!(
+            resume_b > b.data_ready,
+            "second wake must wait for the token"
+        );
+        assert_eq!(controller.stats().token_delayed, 1);
+        assert!(controller.stats().token_delay_cycles > 0);
+    }
+
+    #[test]
+    fn fsm_residencies_match_stats() {
+        let config = ControllerConfig::baseline();
+        let mut controller =
+            Controller::new(Box::new(MapgPolicy::oracle()), config);
+        let info = stall(500);
+        let resume = controller.on_stall(&info);
+        controller.finish(&[resume]);
+        let fsm = &controller.fsms()[0];
+        assert_eq!(fsm.sleep_count(), 1);
+        assert_eq!(
+            fsm.residency().sleeping.raw(),
+            controller.stats().gated_cycles
+        );
+    }
+
+    #[test]
+    fn underpredicted_long_stall_regates() {
+        use crate::predictor::StaticPredictor;
+        // A static 200-cycle prediction on a 5000-cycle stall: the core
+        // wakes at ~start+200, finds the data 4800 cycles away, and must
+        // nap again until the response.
+        let policy = MapgPolicy::with_predictor(
+            StaticPredictor::new(Cycles::new(200)),
+            "static-test",
+        );
+        let config = ControllerConfig::baseline();
+        let mut controller = Controller::new(Box::new(policy), config);
+        let info = stall(5_000);
+        let resume = controller.on_stall(&info);
+        assert_eq!(controller.stats().regates, 1);
+        // Reactive wake from the nap: resume = data + wakeup.
+        let wakeup = config.circuit.wakeup_cycles(config.clock);
+        assert_eq!(resume, info.data_ready + wakeup);
+        // Both sleep spans count as gated time; only the ramps and the
+        // short awake gap are lost.
+        assert!(
+            controller.stats().gated_cycles > 4_500,
+            "gated {} of a 5000-cycle stall",
+            controller.stats().gated_cycles
+        );
+        assert_eq!(controller.stats().early_wakes, 0, "tail was re-gated");
+    }
+
+    #[test]
+    fn regate_can_be_disabled() {
+        use crate::predictor::StaticPredictor;
+        let policy = MapgPolicy::with_predictor(
+            StaticPredictor::new(Cycles::new(200)),
+            "static-test",
+        );
+        let config = ControllerConfig {
+            regate_on_early_wake: false,
+            ..ControllerConfig::baseline()
+        };
+        let mut controller = Controller::new(Box::new(policy), config);
+        let info = stall(5_000);
+        let resume = controller.on_stall(&info);
+        assert_eq!(controller.stats().regates, 0);
+        assert_eq!(resume, info.data_ready, "early wake, clock-gated tail");
+        assert_eq!(controller.stats().early_wakes, 1);
+        assert!(controller.stats().idle_tail_cycles > 4_000);
+    }
+
+    #[test]
+    fn stats_display() {
+        let stats = GatingStats {
+            stalls: 10,
+            gated: 5,
+            gated_cycles: 1000,
+            ..GatingStats::default()
+        };
+        assert!((stats.gated_fraction() - 0.5).abs() < 1e-12);
+        assert!((stats.mean_residency() - 200.0).abs() < 1e-12);
+        assert!(stats.to_string().contains("5/10"));
+    }
+
+    #[test]
+    fn every_comparison_policy_runs_through_controller() {
+        for kind in PolicyKind::COMPARISON_SET {
+            let mut controller = Controller::new(
+                kind.instantiate(),
+                ControllerConfig::baseline(),
+            );
+            let info = stall(300);
+            let resume = controller.on_stall(&info);
+            assert!(
+                resume >= info.data_ready,
+                "{}: resumed before data",
+                kind.name()
+            );
+            assert_eq!(controller.policy_name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Multi-seed replication: statistical confidence for simulation claims.
+//!
+//! A single seeded run is deterministic but still one draw from the
+//! workload generator's distribution. Replicating a configuration across
+//! seeds and reporting mean ± deviation separates real policy effects from
+//! generator noise — the hygiene behind experiment R-T4.
+
+use core::fmt;
+
+use crate::policy::PolicyKind;
+use crate::report::RunReport;
+use crate::sim::{SimConfig, Simulation};
+
+/// Summary statistics of one scalar metric across replicas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (zero for a single replica).
+    pub stdev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MetricSummary {
+    /// Summarizes a sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "samples must be finite"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stdev = if n < 2 {
+            0.0
+        } else {
+            let var = samples
+                .iter()
+                .map(|s| (s - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1) as f64;
+            var.sqrt()
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        MetricSummary {
+            mean,
+            stdev,
+            min,
+            max,
+            n,
+        }
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval on
+    /// the mean (`1.96 · s/√n`).
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stdev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (`stdev / |mean|`); infinity when the mean
+    /// is zero but the deviation is not.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.stdev == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.stdev / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for MetricSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={}, range {:.4}..{:.4})",
+            self.mean, self.stdev, self.n, self.min, self.max
+        )
+    }
+}
+
+/// The reports of one configuration replicated across seeds.
+///
+/// ```
+/// use mapg::{PolicyKind, Replication, SimConfig};
+///
+/// let config = SimConfig::default().with_instructions(20_000);
+/// let replicas = Replication::run(config, PolicyKind::Mapg, 3);
+/// let ipc = replicas.summarize(|r| r.ipc());
+/// assert_eq!(ipc.n, 3);
+/// assert!(ipc.mean > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replication {
+    reports: Vec<RunReport>,
+}
+
+impl Replication {
+    /// Runs `config` under `policy` once per seed (`base_seed + i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn run(config: SimConfig, policy: PolicyKind, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        let reports = (0..replicas)
+            .map(|i| {
+                let seeded = config.clone().with_seed(1_000 + 977 * i as u64);
+                Simulation::new(seeded, policy).run()
+            })
+            .collect();
+        Replication { reports }
+    }
+
+    /// The individual reports (seed order).
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// Summarizes a scalar metric across replicas.
+    pub fn summarize<F: Fn(&RunReport) -> f64>(&self, metric: F) -> MetricSummary {
+        let samples: Vec<f64> = self.reports.iter().map(metric).collect();
+        MetricSummary::from_samples(&samples)
+    }
+
+    /// Summarizes a *paired* metric against a baseline replication with the
+    /// same seeds (e.g. per-seed energy savings). Pairing removes the
+    /// between-seed workload variance from the comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica counts differ.
+    pub fn summarize_paired<F>(
+        &self,
+        baseline: &Replication,
+        metric: F,
+    ) -> MetricSummary
+    where
+        F: Fn(&RunReport, &RunReport) -> f64,
+    {
+        assert!(
+            self.reports.len() == baseline.reports.len(),
+            "paired summaries need equal replica counts"
+        );
+        let samples: Vec<f64> = self
+            .reports
+            .iter()
+            .zip(&baseline.reports)
+            .map(|(a, b)| metric(a, b))
+            .collect();
+        MetricSummary::from_samples(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = MetricSummary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stdev - 1.2909944487358056).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        assert!(s.ci95_halfwidth() > 0.0);
+        assert!((s.cv() - s.stdev / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = MetricSummary::from_samples(&[7.5]);
+        assert_eq!(s.stdev, 0.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        let _ = MetricSummary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_samples_rejected() {
+        let _ = MetricSummary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn replication_produces_distinct_but_similar_runs() {
+        let config = SimConfig::default().with_instructions(20_000);
+        let replicas = Replication::run(config, PolicyKind::NoGating, 4);
+        assert_eq!(replicas.reports().len(), 4);
+        let cycles = replicas.summarize(|r| r.makespan_cycles as f64);
+        // Different seeds give different runs...
+        assert!(cycles.stdev > 0.0, "seeds should differ");
+        // ...but the same workload distribution: spread within 20 %.
+        assert!(
+            cycles.cv() < 0.2,
+            "coefficient of variation too large: {}",
+            cycles.cv()
+        );
+    }
+
+    #[test]
+    fn paired_savings_are_tighter_than_unpaired() {
+        let config = SimConfig::default().with_instructions(20_000);
+        let baseline = Replication::run(config.clone(), PolicyKind::NoGating, 4);
+        let mapg = Replication::run(config, PolicyKind::Mapg, 4);
+        let paired = mapg
+            .summarize_paired(&baseline, |m, b| m.core_energy_savings_vs(b));
+        assert!(paired.mean > 0.0, "MAPG saves energy on every seed");
+        assert!(paired.min > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal replica counts")]
+    fn mismatched_pairing_rejected() {
+        let config = SimConfig::default().with_instructions(10_000);
+        let a = Replication::run(config.clone(), PolicyKind::NoGating, 2);
+        let b = Replication::run(config, PolicyKind::Mapg, 3);
+        let _ = b.summarize_paired(&a, |x, y| x.perf_overhead_vs(y));
+    }
+
+    #[test]
+    fn display_form() {
+        let s = MetricSummary::from_samples(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"), "{text}");
+    }
+}

@@ -1,0 +1,483 @@
+//! The full-system simulation: workload → cores → hierarchy → controller →
+//! energy ledger → report.
+
+use mapg_cpu::{Cluster, CoreConfig};
+use mapg_mem::HierarchyConfig;
+use mapg_power::{
+    DramEnergyModel, EnergyCategory, PgCircuitDesign, RetentionStyle,
+    TechnologyParams,
+};
+use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+use mapg_units::{Cycle, Cycles};
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::policy::PolicyKind;
+use crate::report::RunReport;
+
+/// Everything a run needs. Construct with [`SimConfig::default`] and
+/// customize with the `with_*` methods:
+///
+/// ```
+/// use mapg::{PolicyKind, SimConfig, Simulation};
+/// use mapg_trace::WorkloadProfile;
+///
+/// let config = SimConfig::default()
+///     .with_profile(WorkloadProfile::mem_bound("quick"))
+///     .with_instructions(50_000);
+/// let report = Simulation::new(config, PolicyKind::Mapg).run();
+/// assert!(report.total_cycles() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-core profiles; core `i` runs `profiles[i % profiles.len()]`.
+    profiles: Vec<WorkloadProfile>,
+    cores: usize,
+    instructions_per_core: u64,
+    seed: u64,
+    core: CoreConfig,
+    memory: HierarchyConfig,
+    tech: TechnologyParams,
+    switch_width_ratio: f64,
+    retention: RetentionStyle,
+    tokens: Option<usize>,
+    record_timeline: bool,
+    regate_on_early_wake: bool,
+    dram_energy: DramEnergyModel,
+}
+
+impl SimConfig {
+    /// The workload profile every core runs (with per-core seeds).
+    pub fn with_profile(mut self, profile: WorkloadProfile) -> Self {
+        self.profiles = vec![profile];
+        self
+    }
+
+    /// A heterogeneous mix: one core per profile (sets the core count).
+    /// Models consolidated multiprogrammed workloads, where memory-bound
+    /// and compute-bound programs share the DRAM channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn with_workload_mix(mut self, profiles: Vec<WorkloadProfile>) -> Self {
+        assert!(!profiles.is_empty(), "a mix needs at least one profile");
+        self.cores = profiles.len();
+        self.profiles = profiles;
+        self
+    }
+
+    /// Number of cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        self.cores = cores;
+        self
+    }
+
+    /// Instructions each core retires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        assert!(instructions > 0, "need at least one instruction");
+        self.instructions_per_core = instructions;
+        self
+    }
+
+    /// Master RNG seed; core *i* uses `seed + i`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Core microarchitecture parameters.
+    pub fn with_core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Memory-hierarchy parameters.
+    pub fn with_memory(mut self, memory: HierarchyConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Technology parameters.
+    pub fn with_tech(mut self, tech: TechnologyParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Sleep-transistor width ratio (selects the PG circuit design point).
+    pub fn with_switch_width(mut self, ratio: f64) -> Self {
+        self.switch_width_ratio = ratio;
+        self
+    }
+
+    /// State-retention style of the PG circuit (default: retentive).
+    pub fn with_retention(mut self, retention: RetentionStyle) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Enables token-limited wake-ups with the given capacity.
+    pub fn with_tokens(mut self, tokens: usize) -> Self {
+        self.tokens = Some(tokens);
+        self
+    }
+
+    /// Disables token limiting (the default).
+    pub fn without_tokens(mut self) -> Self {
+        self.tokens = None;
+        self
+    }
+
+    /// Records every power-state transition into
+    /// [`RunReport::timeline`](crate::RunReport) (VCD-exportable).
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Disables nap chaining (re-gating after an early wake) — the
+    /// mechanism ablation knob. Enabled by default.
+    pub fn without_regate(mut self) -> Self {
+        self.regate_on_early_wake = false;
+        self
+    }
+
+    /// The first configured profile (the only one outside mix mode).
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profiles[0]
+    }
+
+    /// All configured profiles (one entry outside mix mode).
+    pub fn profiles(&self) -> &[WorkloadProfile] {
+        &self.profiles
+    }
+
+    /// A display name for the configured workload(s).
+    pub fn workload_name(&self) -> String {
+        if self.profiles.len() == 1 {
+            self.profiles[0].name().to_owned()
+        } else {
+            let names: Vec<&str> =
+                self.profiles.iter().map(|p| p.name()).collect();
+            format!("mix[{}]", names.join("+"))
+        }
+    }
+
+    /// The configured core count.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The configured technology.
+    pub fn tech(&self) -> &TechnologyParams {
+        &self.tech
+    }
+
+    /// The circuit design point this configuration implies.
+    pub fn circuit(&self) -> PgCircuitDesign {
+        PgCircuitDesign::from_switch_width(self.switch_width_ratio, &self.tech)
+            .with_retention(self.retention)
+    }
+}
+
+impl Default for SimConfig {
+    /// One core, 1 M instructions of the generic memory-bound profile,
+    /// baseline substrate, the MAPG fast-wakeup circuit, no tokens.
+    fn default() -> Self {
+        SimConfig {
+            profiles: vec![WorkloadProfile::mem_bound("default")],
+            cores: 1,
+            instructions_per_core: 1_000_000,
+            seed: 42,
+            core: CoreConfig::baseline(),
+            memory: HierarchyConfig::baseline(),
+            tech: TechnologyParams::bulk_45nm(),
+            switch_width_ratio: 0.03,
+            retention: RetentionStyle::Retentive,
+            tokens: None,
+            record_timeline: false,
+            regate_on_early_wake: true,
+            dram_energy: DramEnergyModel::ddr3(),
+        }
+    }
+}
+
+/// One configured run: a cluster of cores, a shared hierarchy, and a gating
+/// controller executing the chosen policy.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    policy: PolicyKind,
+}
+
+impl Simulation {
+    /// Pairs a configuration with a policy.
+    pub fn new(config: SimConfig, policy: PolicyKind) -> Self {
+        Simulation { config, policy }
+    }
+
+    /// Runs to completion and produces the report.
+    ///
+    /// Deterministic: identical `(config, policy)` produce identical
+    /// reports.
+    pub fn run(self) -> RunReport {
+        let config = self.config;
+        let circuit = config.circuit();
+        let controller_config = ControllerConfig {
+            tech: config.tech,
+            circuit,
+            clock: config.core.clock,
+            tokens: config.tokens,
+            regate_on_early_wake: config.regate_on_early_wake,
+        };
+        let mut controller =
+            Controller::new(self.policy.instantiate(), controller_config);
+        if config.record_timeline {
+            controller.enable_timeline();
+        }
+
+        let sources: Vec<SyntheticWorkload> = (0..config.cores)
+            .map(|i| {
+                let profile = &config.profiles[i % config.profiles.len()];
+                SyntheticWorkload::new(profile, config.seed + i as u64)
+            })
+            .collect();
+        let mut cluster = Cluster::new(config.core, config.memory, sources);
+        cluster.run(config.instructions_per_core, &mut controller);
+
+        let cluster_stats = cluster.stats();
+        let final_times: Vec<Cycle> = cluster_stats
+            .per_core
+            .iter()
+            .map(|c| Cycle::new(c.total_cycles))
+            .collect();
+        controller.finish(&final_times);
+
+        // --- post-run energy integration --------------------------------
+        // Stall-time energy was charged by the controller as stalls
+        // resolved; active-period and DRAM energy are integrated here.
+        let mut energy = controller.energy().clone();
+        let clock = config.core.clock;
+        for core in &cluster_stats.per_core {
+            let active = Cycles::new(core.active_cycles()).at(clock);
+            energy.add(
+                EnergyCategory::ActiveDynamic,
+                config.tech.dynamic_power() * active,
+            );
+            energy.add(
+                EnergyCategory::ActiveLeakage,
+                config.tech.leakage_power() * active,
+            );
+        }
+        let makespan = cluster_stats.makespan_cycles();
+        let runtime = Cycles::new(makespan).at(clock);
+        energy.add(
+            EnergyCategory::DramAccess,
+            config.dram_energy.access_energy(&cluster_stats.memory.dram),
+        );
+        energy.add(
+            EnergyCategory::DramBackground,
+            config.dram_energy.background_power * runtime,
+        );
+
+        let peak_concurrent_wakes = controller
+            .token_manager()
+            .map(|t| t.peak_concurrency())
+            .unwrap_or(0);
+
+        let timeline = controller.take_timeline();
+        RunReport {
+            timeline,
+            policy: controller.policy_name(),
+            workload: config.workload_name(),
+            cores: config.cores,
+            instructions: cluster_stats.total_instructions(),
+            makespan_cycles: makespan,
+            runtime,
+            energy,
+            gating: *controller.stats(),
+            predictor: controller.policy().predictor_score().cloned(),
+            core_stats: cluster_stats.per_core,
+            memory: cluster_stats.memory,
+            peak_concurrent_wakes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimConfig {
+        SimConfig::default().with_instructions(100_000)
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let a = Simulation::new(quick(), PolicyKind::Mapg).run();
+        let b = Simulation::new(quick(), PolicyKind::Mapg).run();
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.gating, b.gating);
+        assert_eq!(a.total_energy(), b.total_energy());
+    }
+
+    #[test]
+    fn mapg_saves_core_energy_on_memory_bound() {
+        let baseline = Simulation::new(quick(), PolicyKind::NoGating).run();
+        let mapg = Simulation::new(quick(), PolicyKind::Mapg).run();
+        let savings = mapg.core_energy_savings_vs(&baseline);
+        assert!(
+            savings > 0.10,
+            "MAPG should save >10% core energy on mem-bound, got {savings}"
+        );
+        let overhead = mapg.perf_overhead_vs(&baseline);
+        assert!(
+            overhead < 0.05,
+            "MAPG perf overhead should be small, got {overhead}"
+        );
+    }
+
+    #[test]
+    fn oracle_dominates_predictive_on_energy_delay() {
+        let oracle = Simulation::new(quick(), PolicyKind::MapgOracle).run();
+        let mapg = Simulation::new(quick(), PolicyKind::Mapg).run();
+        assert!(
+            oracle.edp() <= mapg.edp() * 1.02,
+            "oracle EDP {:.3e} should be <= predictive {:.3e}",
+            oracle.edp(),
+            mapg.edp()
+        );
+    }
+
+    #[test]
+    fn naive_pays_more_performance_than_mapg() {
+        let baseline = Simulation::new(quick(), PolicyKind::NoGating).run();
+        let naive = Simulation::new(quick(), PolicyKind::NaiveOnMiss).run();
+        let mapg = Simulation::new(quick(), PolicyKind::Mapg).run();
+        assert!(
+            naive.perf_overhead_vs(&baseline)
+                > mapg.perf_overhead_vs(&baseline),
+            "reactive wake must cost more runtime than early wake"
+        );
+    }
+
+    #[test]
+    fn compute_bound_offers_little_to_gate() {
+        let config = quick()
+            .with_profile(WorkloadProfile::compute_bound("cpu_bound"));
+        let baseline =
+            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let mapg = Simulation::new(config, PolicyKind::Mapg).run();
+        let savings = mapg.core_energy_savings_vs(&baseline);
+        assert!(
+            savings < 0.10,
+            "compute-bound savings should be small, got {savings}"
+        );
+    }
+
+    #[test]
+    fn multicore_run_produces_per_core_stats() {
+        let config = quick().with_cores(4).with_instructions(30_000);
+        let report = Simulation::new(config, PolicyKind::Mapg).run();
+        assert_eq!(report.core_stats.len(), 4);
+        assert_eq!(report.cores, 4);
+        assert!(report.instructions >= 120_000);
+    }
+
+    #[test]
+    fn tokens_cap_concurrency() {
+        let config = quick()
+            .with_cores(8)
+            .with_instructions(20_000)
+            .with_tokens(2);
+        let report = Simulation::new(config, PolicyKind::Mapg).run();
+        assert!(report.peak_concurrent_wakes <= 2);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let config = quick().with_cores(2).with_seed(7);
+        assert_eq!(config.cores(), 2);
+        assert_eq!(config.profile().name(), "default");
+        assert!(config.circuit().switch_width_ratio() > 0.0);
+        assert!(config.tech().total_power().as_watts() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = SimConfig::default().with_cores(0);
+    }
+
+    #[test]
+    fn energy_ledger_has_all_expected_buckets() {
+        let report = Simulation::new(quick(), PolicyKind::Mapg).run();
+        assert!(report.energy.get(EnergyCategory::ActiveDynamic).as_joules() > 0.0);
+        assert!(report.energy.get(EnergyCategory::ActiveLeakage).as_joules() > 0.0);
+        assert!(report.energy.get(EnergyCategory::GatedResidual).as_joules() > 0.0);
+        assert!(report.energy.get(EnergyCategory::Transition).as_joules() > 0.0);
+        assert!(report.energy.get(EnergyCategory::DramAccess).as_joules() > 0.0);
+        assert!(report.energy.get(EnergyCategory::DramBackground).as_joules() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn empty_mix_rejected() {
+        let _ = SimConfig::default().with_workload_mix(Vec::new());
+    }
+
+    #[test]
+    fn heterogeneous_mix_runs_one_core_per_profile() {
+        let config = quick().with_workload_mix(vec![
+            WorkloadProfile::mem_bound("hog"),
+            WorkloadProfile::compute_bound("sprinter"),
+        ]);
+        assert_eq!(config.cores(), 2);
+        assert_eq!(config.workload_name(), "mix[hog+sprinter]");
+        let report = Simulation::new(config, PolicyKind::Mapg).run();
+        assert_eq!(report.core_stats.len(), 2);
+        // The memory hog stalls; the sprinter barely does.
+        let hog = &report.core_stats[0];
+        let sprinter = &report.core_stats[1];
+        assert!(
+            hog.stall_fraction() > 3.0 * sprinter.stall_fraction(),
+            "hog {} vs sprinter {}",
+            hog.stall_fraction(),
+            sprinter.stall_fraction()
+        );
+        assert_eq!(report.workload, "mix[hog+sprinter]");
+    }
+
+    #[test]
+    fn mix_shares_the_dram_channel() {
+        // The sprinter alone vs the sprinter co-running with a hog: the
+        // hog's traffic cannot make the sprinter stall less.
+        let solo = Simulation::new(
+            quick().with_profile(WorkloadProfile::compute_bound("s")),
+            PolicyKind::NoGating,
+        )
+        .run();
+        let mixed = Simulation::new(
+            quick().with_workload_mix(vec![
+                WorkloadProfile::compute_bound("s"),
+                WorkloadProfile::mem_bound("hog"),
+            ]),
+            PolicyKind::NoGating,
+        )
+        .run();
+        let solo_stall = solo.core_stats[0].stall_fraction();
+        let mixed_stall = mixed.core_stats[0].stall_fraction();
+        assert!(
+            mixed_stall >= solo_stall,
+            "contention cannot reduce stalls: {mixed_stall} < {solo_stall}"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Gating timelines and VCD export.
+//!
+//! A [`Timeline`] records every power-state transition of every core during
+//! a run; [`Timeline::to_vcd`] writes it as a Value Change Dump, so the
+//! gating behaviour can be inspected in any waveform viewer (GTKWave etc.)
+//! next to the rest of a chip's signals — the lingua franca of the EDA
+//! flow this work comes from.
+
+use std::io::{self, BufWriter, Write};
+
+use mapg_cpu::CoreId;
+use mapg_units::Cycle;
+
+use crate::fsm::PgState;
+
+/// One recorded power-state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// When the state was entered.
+    pub at: Cycle,
+    /// Which core.
+    pub core: CoreId,
+    /// The state entered.
+    pub state: PgState,
+}
+
+/// An append-only record of power-state transitions.
+///
+/// ```
+/// use mapg::{PgState, Timeline};
+/// use mapg_cpu::CoreId;
+/// use mapg_units::Cycle;
+///
+/// let mut timeline = Timeline::new();
+/// timeline.record(Cycle::new(100), CoreId(0), PgState::Entering);
+/// timeline.record(Cycle::new(103), CoreId(0), PgState::Sleeping);
+///
+/// let mut vcd = Vec::new();
+/// timeline.to_vcd(&mut vcd).expect("in-memory write");
+/// let text = String::from_utf8(vcd).expect("vcd is ascii");
+/// assert!(text.contains("$enddefinitions"));
+/// assert!(text.contains("#100"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded event *for the same core*
+    /// (per-core timelines must be monotone; different cores may interleave
+    /// arbitrarily).
+    pub fn record(&mut self, at: Cycle, core: CoreId, state: PgState) {
+        if let Some(last) = self
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.core == core)
+        {
+            assert!(
+                at >= last.at,
+                "timeline regression for {core}: {at} after {}",
+                last.at
+            );
+        }
+        self.events.push(TimelineEvent { at, core, state });
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of cores that appear in the timeline.
+    pub fn cores(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.core.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total cycles each core spent in [`PgState::Sleeping`] according to
+    /// the recorded transitions (up to each core's final event).
+    pub fn sleeping_cycles(&self, core: CoreId) -> u64 {
+        let mut total = 0;
+        let mut sleep_start: Option<Cycle> = None;
+        for event in self.events.iter().filter(|e| e.core == core) {
+            match (event.state, sleep_start) {
+                (PgState::Sleeping, None) => sleep_start = Some(event.at),
+                (PgState::Sleeping, Some(_)) => {}
+                (_, Some(start)) => {
+                    total += (event.at - start).raw();
+                    sleep_start = None;
+                }
+                (_, None) => {}
+            }
+        }
+        total
+    }
+
+    /// Writes the timeline as a Value Change Dump. One 2-bit signal per
+    /// core (`00` active, `01` entering, `10` sleeping, `11` waking), one
+    /// VCD time unit per core cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn to_vcd<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut w = BufWriter::new(writer);
+        let cores = self.cores().max(1);
+        writeln!(w, "$comment MAPG gating timeline $end")?;
+        writeln!(w, "$timescale 1ns $end")?;
+        writeln!(w, "$scope module mapg $end")?;
+        for core in 0..cores {
+            writeln!(
+                w,
+                "$var wire 2 {} core{}_pg_state $end",
+                Self::code(core),
+                core
+            )?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        // Initial values: every core starts active.
+        writeln!(w, "#0")?;
+        writeln!(w, "$dumpvars")?;
+        for core in 0..cores {
+            writeln!(w, "b00 {}", Self::code(core))?;
+        }
+        writeln!(w, "$end")?;
+
+        // Events must be emitted in global time order.
+        let mut ordered: Vec<&TimelineEvent> = self.events.iter().collect();
+        ordered.sort_by_key(|e| e.at);
+        let mut current_time: Option<Cycle> = None;
+        for event in ordered {
+            if current_time != Some(event.at) {
+                writeln!(w, "#{}", event.at.raw())?;
+                current_time = Some(event.at);
+            }
+            writeln!(
+                w,
+                "b{} {}",
+                Self::encode(event.state),
+                Self::code(event.core.0)
+            )?;
+        }
+        w.flush()
+    }
+
+    /// VCD identifier code for a core index (printable ASCII from `!`).
+    fn code(core: usize) -> String {
+        // Base-94 over the printable VCD identifier alphabet.
+        let mut n = core;
+        let mut out = String::new();
+        loop {
+            out.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+            n -= 1;
+        }
+        out
+    }
+
+    fn encode(state: PgState) -> &'static str {
+        match state {
+            PgState::Active => "00",
+            PgState::Entering => "01",
+            PgState::Sleeping => "10",
+            PgState::Waking => "11",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_cycle(timeline: &mut Timeline, core: CoreId, base: u64) {
+        timeline.record(Cycle::new(base), core, PgState::Entering);
+        timeline.record(Cycle::new(base + 3), core, PgState::Sleeping);
+        timeline.record(Cycle::new(base + 100), core, PgState::Waking);
+        timeline.record(Cycle::new(base + 110), core, PgState::Active);
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut t = Timeline::new();
+        assert!(t.is_empty());
+        full_cycle(&mut t, CoreId(0), 50);
+        full_cycle(&mut t, CoreId(1), 80);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.cores(), 2);
+        assert_eq!(t.sleeping_cycles(CoreId(0)), 97);
+        assert_eq!(t.sleeping_cycles(CoreId(1)), 97);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeline regression")]
+    fn per_core_monotonicity_enforced() {
+        let mut t = Timeline::new();
+        t.record(Cycle::new(100), CoreId(0), PgState::Entering);
+        t.record(Cycle::new(50), CoreId(0), PgState::Sleeping);
+    }
+
+    #[test]
+    fn cores_may_interleave_out_of_order() {
+        let mut t = Timeline::new();
+        t.record(Cycle::new(100), CoreId(0), PgState::Entering);
+        // Core 1 is behind core 0 in time: allowed.
+        t.record(Cycle::new(40), CoreId(1), PgState::Entering);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let mut t = Timeline::new();
+        full_cycle(&mut t, CoreId(0), 10);
+        let mut out = Vec::new();
+        t.to_vcd(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.contains("$var wire 2 ! core0_pg_state $end"), "{text}");
+        assert!(text.contains("$enddefinitions $end"));
+        assert!(text.contains("#10\nb01 !"), "{text}");
+        assert!(text.contains("#13\nb10 !"), "{text}");
+        assert!(text.contains("#110\nb11 !"), "{text}");
+        assert!(text.contains("#120\nb00 !"), "{text}");
+    }
+
+    #[test]
+    fn vcd_orders_interleaved_cores_by_time() {
+        let mut t = Timeline::new();
+        t.record(Cycle::new(100), CoreId(0), PgState::Entering);
+        t.record(Cycle::new(40), CoreId(1), PgState::Entering);
+        let mut out = Vec::new();
+        t.to_vcd(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        let pos40 = text.find("#40").expect("time 40");
+        let pos100 = text.find("#100").expect("time 100");
+        assert!(pos40 < pos100, "{text}");
+    }
+
+    #[test]
+    fn identifier_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..500 {
+            let code = Timeline::code(core);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate code for core {core}");
+        }
+    }
+
+    #[test]
+    fn empty_timeline_writes_valid_header() {
+        let t = Timeline::new();
+        let mut out = Vec::new();
+        t.to_vcd(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.contains("core0_pg_state"), "at least one signal");
+    }
+}

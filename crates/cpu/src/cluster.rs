@@ -1,0 +1,267 @@
+//! Multi-core clusters sharing one memory hierarchy.
+
+use mapg_mem::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
+use mapg_trace::EventSource;
+use mapg_units::Cycle;
+
+use crate::core_model::{Core, CoreConfig, CoreStats};
+use crate::stall::{CoreId, StallHandler};
+
+/// N cores in front of one shared [`MemoryHierarchy`].
+///
+/// Cores are stepped in **global time order** (always the core with the
+/// smallest local timestamp advances next), so contention at the shared
+/// DRAM — extra queueing when many cores miss together — emerges naturally
+/// from the bank/bus free times rather than being modelled analytically.
+///
+/// ```
+/// use mapg_cpu::{Cluster, CoreConfig, PassiveHandler};
+/// use mapg_mem::HierarchyConfig;
+/// use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::mem_bound("shared");
+/// let sources: Vec<_> = (0..4)
+///     .map(|i| SyntheticWorkload::new(&profile, 100 + i))
+///     .collect();
+/// let mut cluster = Cluster::new(
+///     CoreConfig::baseline(),
+///     HierarchyConfig::baseline(),
+///     sources,
+/// );
+/// cluster.run(50_000, &mut PassiveHandler);
+/// assert_eq!(cluster.stats().per_core.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Cluster<S> {
+    cores: Vec<Core<S>>,
+    memory: MemoryHierarchy,
+    target: u64,
+}
+
+/// Statistics snapshot for a whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-core execution statistics, indexed by [`CoreId`].
+    pub per_core: Vec<CoreStats>,
+    /// The shared hierarchy's counters.
+    pub memory: HierarchyStats,
+}
+
+impl ClusterStats {
+    /// Total instructions retired across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// The slowest core's finishing time — the cluster's makespan.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.per_core
+            .iter()
+            .map(|c| c.total_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate throughput: instructions per (makespan) cycle.
+    pub fn aggregate_ipc(&self) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / makespan as f64
+        }
+    }
+}
+
+impl<S: EventSource> Cluster<S> {
+    /// Builds a cluster with one core per event source, all sharing a fresh
+    /// hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty.
+    pub fn new(
+        core_config: CoreConfig,
+        memory_config: HierarchyConfig,
+        sources: Vec<S>,
+    ) -> Self {
+        assert!(!sources.is_empty(), "a cluster needs at least one core");
+        let cores = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, source)| Core::with_id(CoreId(i), core_config, source))
+            .collect();
+        Cluster {
+            cores,
+            memory: MemoryHierarchy::new(memory_config),
+            target: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the cluster has no cores (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Runs every core for at least `instructions_per_core` instructions,
+    /// interleaved in global time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions_per_core` is zero.
+    pub fn run<H: StallHandler>(
+        &mut self,
+        instructions_per_core: u64,
+        handler: &mut H,
+    ) {
+        assert!(
+            instructions_per_core > 0,
+            "must run at least one instruction per core"
+        );
+        self.target += instructions_per_core;
+        loop {
+            // Pick the unfinished core with the smallest local time.
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.stats().instructions < self.target)
+                .min_by_key(|(_, c)| c.now())
+                .map(|(i, _)| i);
+            let Some(index) = next else { break };
+            self.cores[index].step(&mut self.memory, handler);
+        }
+    }
+
+    /// Per-core and shared-memory statistics.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            per_core: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            memory: self.memory.stats(),
+        }
+    }
+
+    /// The current timestamp of core `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn core_now(&self, id: CoreId) -> Cycle {
+        self.cores[id.0].now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stall::PassiveHandler;
+    use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+
+    fn mem_sources(n: usize) -> Vec<SyntheticWorkload> {
+        let profile = WorkloadProfile::mem_bound("cluster_mem");
+        (0..n)
+            .map(|i| SyntheticWorkload::new(&profile, 1000 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn all_cores_reach_target() {
+        let mut cluster = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            mem_sources(4),
+        );
+        cluster.run(20_000, &mut PassiveHandler);
+        let stats = cluster.stats();
+        assert_eq!(stats.per_core.len(), 4);
+        for core in &stats.per_core {
+            assert!(core.instructions >= 20_000);
+        }
+        assert!(stats.total_instructions() >= 80_000);
+        assert!(stats.aggregate_ipc() > 0.0);
+    }
+
+    #[test]
+    fn shared_dram_contention_slows_cores_down() {
+        // One core alone vs the same core sharing DRAM with three copies.
+        let solo_cycles = {
+            let mut cluster = Cluster::new(
+                CoreConfig::baseline(),
+                HierarchyConfig::baseline(),
+                mem_sources(1),
+            );
+            cluster.run(50_000, &mut PassiveHandler);
+            cluster.stats().per_core[0].total_cycles
+        };
+        let shared_cycles = {
+            let mut cluster = Cluster::new(
+                CoreConfig::baseline(),
+                HierarchyConfig::baseline(),
+                mem_sources(4),
+            );
+            cluster.run(50_000, &mut PassiveHandler);
+            cluster.stats().per_core[0].total_cycles
+        };
+        assert!(
+            shared_cycles > solo_cycles,
+            "4-way sharing ({shared_cycles}) must be slower than solo ({solo_cycles})"
+        );
+    }
+
+    #[test]
+    fn incremental_runs_accumulate() {
+        let mut cluster = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            mem_sources(2),
+        );
+        cluster.run(10_000, &mut PassiveHandler);
+        let first = cluster.stats().total_instructions();
+        cluster.run(10_000, &mut PassiveHandler);
+        let second = cluster.stats().total_instructions();
+        assert!(first >= 20_000);
+        assert!(second >= 40_000, "both cores must reach the raised target");
+        assert!(second > first);
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let run = || {
+            let mut cluster = Cluster::new(
+                CoreConfig::baseline(),
+                HierarchyConfig::baseline(),
+                mem_sources(3),
+            );
+            cluster.run(30_000, &mut PassiveHandler);
+            cluster.stats().makespan_cycles()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::<SyntheticWorkload>::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            vec![],
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let cluster = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            mem_sources(2),
+        );
+        assert_eq!(cluster.len(), 2);
+        assert!(!cluster.is_empty());
+        assert_eq!(cluster.core_now(CoreId(1)), Cycle::ZERO);
+    }
+}

@@ -1,0 +1,551 @@
+//! Banked DRAM with row-buffer state, bus serialization and refresh.
+//!
+//! All timing parameters are expressed in **core cycles** — the hierarchy's
+//! single clock domain. The defaults approximate a DDR3-1333 part behind a
+//! 2 GHz core: a row-buffer hit costs ~75 core cycles end to end, a row
+//! conflict ~190, matching the 40–120 ns window the original evaluation's
+//! stalls fall into. Making DRAM time explicit in core cycles keeps the
+//! entire gating analysis in one unit system ([`mapg_units::Cycles`]).
+
+use mapg_units::{Cycle, Cycles};
+
+use core::fmt;
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// Keep the row open after an access (bets on row-buffer locality;
+    /// the default, matching the evaluation's workloads).
+    #[default]
+    Open,
+    /// Auto-precharge after every access (bets against locality: every
+    /// access pays an activate, no access ever pays a precharge).
+    Closed,
+}
+
+/// DRAM timing and geometry configuration (all times in core cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independently schedulable banks.
+    pub banks: u32,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Activate (row open) latency, tRCD.
+    pub t_rcd: Cycles,
+    /// Column access latency, tCAS.
+    pub t_cas: Cycles,
+    /// Precharge (row close) latency, tRP.
+    pub t_rp: Cycles,
+    /// Data-burst occupancy of the shared channel per access.
+    pub t_burst: Cycles,
+    /// Fixed controller + interconnect overhead added to every access.
+    pub controller_overhead: Cycles,
+    /// Refresh interval, tREFI (0 disables refresh).
+    pub refresh_interval: Cycles,
+    /// Refresh duration, tRFC.
+    pub refresh_duration: Cycles,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+}
+
+impl DramConfig {
+    /// DDR3-1333-class part behind a 2 GHz core.
+    pub fn ddr3_1333() -> Self {
+        DramConfig {
+            banks: 8,
+            row_bytes: 8 << 10,
+            t_rcd: Cycles::new(27),
+            t_cas: Cycles::new(27),
+            t_rp: Cycles::new(27),
+            t_burst: Cycles::new(10),
+            controller_overhead: Cycles::new(38),
+            refresh_interval: Cycles::new(15_600),
+            refresh_duration: Cycles::new(320),
+            page_policy: PagePolicy::Open,
+        }
+    }
+
+    /// Returns a copy using a different page policy.
+    pub fn with_page_policy(mut self, page_policy: PagePolicy) -> Self {
+        self.page_policy = page_policy;
+        self
+    }
+
+    /// Returns a copy with the three core timing parameters (tRCD, tCAS,
+    /// tRP) scaled by `factor` — the "memory wall" sensitivity knob of
+    /// experiment R-F6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn with_latency_scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "latency factor must be positive, got {factor}"
+        );
+        let mut scaled = *self;
+        scaled.t_rcd = self.t_rcd.scale(factor);
+        scaled.t_cas = self.t_cas.scale(factor);
+        scaled.t_rp = self.t_rp.scale(factor);
+        scaled.controller_overhead = self.controller_overhead.scale(factor);
+        scaled
+    }
+
+    fn validate(&self) {
+        assert!(self.banks > 0, "DRAM needs at least one bank");
+        assert!(self.row_bytes >= 64, "row must hold at least one line");
+        if self.refresh_interval.raw() > 0 {
+            assert!(
+                self.refresh_duration < self.refresh_interval,
+                "refresh duration must be shorter than the interval"
+            );
+        }
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr3_1333()
+    }
+}
+
+/// How the row buffer treated an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowBufferOutcome {
+    /// The addressed row was already open: column access only.
+    Hit,
+    /// A different row was open: precharge + activate + column access.
+    Conflict,
+    /// The bank had no open row: activate + column access.
+    Empty,
+}
+
+/// Running DRAM activity counters (feed the DRAM energy model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read accesses served.
+    pub reads: u64,
+    /// Write accesses served.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row activations performed (conflicts + empty-bank opens).
+    pub activates: u64,
+    /// Accesses delayed by a refresh window.
+    pub refresh_stalls: u64,
+    /// Total cycles the data bus was occupied.
+    pub bus_busy_cycles: u64,
+}
+
+impl DramStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl fmt::Display for DramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} acc ({} rd/{} wr), {:.1}% row hit, {} act",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            self.row_hit_rate() * 100.0,
+            self.activates
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    next_free: Cycle,
+}
+
+/// The DRAM device + controller model.
+///
+/// ```
+/// use mapg_mem::{Dram, DramConfig, RowBufferOutcome};
+/// use mapg_units::Cycle;
+///
+/// let mut dram = Dram::new(DramConfig::ddr3_1333());
+/// let (done_a, first) = dram.access(Cycle::new(0), 0x0000, false);
+/// let (done_b, second) = dram.access(done_a, 0x0040, false);
+/// assert_eq!(first, RowBufferOutcome::Empty);
+/// assert_eq!(second, RowBufferOutcome::Hit); // same row, still open
+/// assert!(done_b > done_a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    bus_free: Cycle,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates the device with all banks precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero banks, row smaller
+    /// than a line, refresh duration ≥ interval).
+    pub fn new(config: DramConfig) -> Self {
+        config.validate();
+        Dram {
+            banks: vec![Bank::default(); config.banks as usize],
+            bus_free: Cycle::ZERO,
+            stats: DramStats::default(),
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Serves one line access arriving at the controller at `now`; returns
+    /// the completion timestamp and the row-buffer outcome.
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        is_write: bool,
+    ) -> (Cycle, RowBufferOutcome) {
+        let row = addr / self.config.row_bytes;
+        let bank_count = self.banks.len() as u64;
+        let bank_index = (row % bank_count) as usize;
+        let row_id = row / bank_count;
+
+        // The command can issue once the bank is free...
+        let mut start = now.max(self.banks[bank_index].next_free);
+        // ...and outside any refresh window.
+        start = self.apply_refresh(start);
+
+        let (array_latency, outcome) = match self.banks[bank_index].open_row {
+            Some(open) if open == row_id => {
+                self.stats.row_hits += 1;
+                (self.config.t_cas, RowBufferOutcome::Hit)
+            }
+            Some(_) => {
+                self.stats.activates += 1;
+                (
+                    self.config.t_rp + self.config.t_rcd + self.config.t_cas,
+                    RowBufferOutcome::Conflict,
+                )
+            }
+            None => {
+                self.stats.activates += 1;
+                (
+                    self.config.t_rcd + self.config.t_cas,
+                    RowBufferOutcome::Empty,
+                )
+            }
+        };
+
+        // Data leaves the array, then must win the shared channel.
+        let data_ready = start + array_latency;
+        let burst_start = data_ready.max(self.bus_free);
+        let burst_end = burst_start + self.config.t_burst;
+        self.bus_free = burst_end;
+        self.stats.bus_busy_cycles += self.config.t_burst.raw();
+
+        let completion = burst_end + self.config.controller_overhead;
+        let bank = &mut self.banks[bank_index];
+        bank.next_free = burst_end;
+        match self.config.page_policy {
+            PagePolicy::Open => bank.open_row = Some(row_id),
+            PagePolicy::Closed => {
+                // Auto-precharge: the row closes with the burst; the
+                // precharge overlaps the bus transfer in this first-order
+                // model, so no extra bank-busy time is charged.
+                bank.open_row = None;
+            }
+        }
+
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        (completion, outcome)
+    }
+
+    /// Serves a *low-priority* access (a prefetch) only if the target bank
+    /// and the channel are idle at `now`; returns `None` — without touching
+    /// any state — when the access would have to queue behind other work.
+    ///
+    /// This approximates demand-priority scheduling in the incremental
+    /// timing model: real controllers deprioritize or drop prefetches under
+    /// load, and an analytic bank-free-time model cannot reorder a queue
+    /// after the fact, so contended prefetches are dropped instead.
+    pub fn try_access_idle(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        is_write: bool,
+    ) -> Option<(Cycle, RowBufferOutcome)> {
+        self.try_access_within(now, Cycles::ZERO, addr, is_write)
+    }
+
+    /// Like [`Dram::try_access_idle`] but tolerates the target resources
+    /// becoming free within `slack` cycles — a bounded queue depth for
+    /// low-priority traffic. Larger slack raises prefetch coverage at the
+    /// cost of (bounded) extra queueing for demand accesses that arrive
+    /// just behind the prefetch.
+    pub fn try_access_within(
+        &mut self,
+        now: Cycle,
+        slack: Cycles,
+        addr: u64,
+        is_write: bool,
+    ) -> Option<(Cycle, RowBufferOutcome)> {
+        let row = addr / self.config.row_bytes;
+        let bank_count = self.banks.len() as u64;
+        let bank_index = (row % bank_count) as usize;
+        let deadline = now + slack;
+        if self.banks[bank_index].next_free > deadline
+            || self.bus_free > deadline
+        {
+            return None;
+        }
+        Some(self.access(now, addr, is_write))
+    }
+
+    /// If `start` falls inside a refresh window, pushes it to the window's
+    /// end and counts the stall.
+    fn apply_refresh(&mut self, start: Cycle) -> Cycle {
+        let interval = self.config.refresh_interval.raw();
+        if interval == 0 {
+            return start;
+        }
+        let offset = start.raw() % interval;
+        if offset < self.config.refresh_duration.raw() {
+            self.stats.refresh_stalls += 1;
+            let pushed = start.raw() - offset + self.config.refresh_duration.raw();
+            Cycle::new(pushed)
+        } else {
+            start
+        }
+    }
+
+    /// Precharges all banks and clears statistics.
+    pub fn reset(&mut self) {
+        for bank in &mut self.banks {
+            *bank = Bank::default();
+        }
+        self.bus_free = Cycle::ZERO;
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_refresh() -> DramConfig {
+        DramConfig {
+            refresh_interval: Cycles::ZERO,
+            ..DramConfig::ddr3_1333()
+        }
+    }
+
+    #[test]
+    fn row_hit_is_cheaper_than_conflict() {
+        let cfg = no_refresh();
+        let mut dram = Dram::new(cfg);
+        // Open row 0 of bank 0.
+        let (t0, outcome0) = dram.access(Cycle::new(1000), 0, false);
+        assert_eq!(outcome0, RowBufferOutcome::Empty);
+        let empty_latency = t0 - Cycle::new(1000);
+
+        // Hit the same row after the bank has quiesced.
+        let later = t0 + Cycles::new(1000);
+        let (t1, outcome1) = dram.access(later, 64, false);
+        assert_eq!(outcome1, RowBufferOutcome::Hit);
+        let hit_latency = t1 - later;
+
+        // Conflict: same bank (stride banks×row_bytes), different row.
+        let stride = u64::from(cfg.banks) * cfg.row_bytes;
+        let later2 = t1 + Cycles::new(1000);
+        let (t2, outcome2) = dram.access(later2, stride, false);
+        assert_eq!(outcome2, RowBufferOutcome::Conflict);
+        let conflict_latency = t2 - later2;
+
+        assert!(hit_latency < empty_latency);
+        assert!(empty_latency < conflict_latency);
+        // Exact decomposition:
+        let fixed = cfg.t_burst + cfg.controller_overhead;
+        assert_eq!(hit_latency, cfg.t_cas + fixed);
+        assert_eq!(empty_latency, cfg.t_rcd + cfg.t_cas + fixed);
+        assert_eq!(
+            conflict_latency,
+            cfg.t_rp + cfg.t_rcd + cfg.t_cas + fixed
+        );
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let cfg = no_refresh();
+        let mut dram = Dram::new(cfg);
+        // Two rows in different banks, issued at the same instant: array
+        // access overlaps; only the burst serializes.
+        let t = Cycle::new(1000);
+        let (done0, _) = dram.access(t, 0, false);
+        let (done1, _) = dram.access(t, cfg.row_bytes, false);
+        let serial_estimate = done0 + (done0 - t);
+        assert!(
+            done1 < serial_estimate,
+            "bank parallelism should beat serial: {done1} vs {serial_estimate}"
+        );
+        // But bursts can't overlap:
+        assert!(done1 >= done0 + cfg.t_burst);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let cfg = no_refresh();
+        let mut dram = Dram::new(cfg);
+        let t = Cycle::new(1000);
+        let stride = u64::from(cfg.banks) * cfg.row_bytes; // same bank, new row
+        let (done0, _) = dram.access(t, 0, false);
+        let (done1, _) = dram.access(t, stride, false);
+        // Second access can't start its activate until the first burst ends.
+        assert!(done1 > done0);
+        let second_latency = done1 - t;
+        let unloaded = cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst + cfg.controller_overhead;
+        assert!(second_latency > unloaded, "queueing must be visible");
+    }
+
+    #[test]
+    fn refresh_window_blocks() {
+        let cfg = DramConfig {
+            refresh_interval: Cycles::new(1000),
+            refresh_duration: Cycles::new(100),
+            ..DramConfig::ddr3_1333()
+        };
+        let mut dram = Dram::new(cfg);
+        // Arrive mid-refresh (cycle 2050 is inside [2000, 2100)).
+        let (done, _) = dram.access(Cycle::new(2050), 0, false);
+        let (baseline_done, _) = {
+            let mut fresh = Dram::new(cfg);
+            fresh.access(Cycle::new(2100), 0, false)
+        };
+        assert_eq!(done, baseline_done, "access is pushed to window end");
+        assert_eq!(dram.stats().refresh_stalls, 1);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut dram = Dram::new(no_refresh());
+        dram.access(Cycle::new(0), 0, false);
+        dram.access(Cycle::new(500), 64, true);
+        let stats = *dram.stats();
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.accesses(), 2);
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.activates, 1);
+        assert!((stats.row_hit_rate() - 0.5).abs() < 1e-12);
+        assert!(stats.to_string().contains("2 acc"));
+    }
+
+    #[test]
+    fn latency_scaling() {
+        let base = DramConfig::ddr3_1333();
+        let doubled = base.with_latency_scaled(2.0);
+        assert_eq!(doubled.t_cas, base.t_cas * 2);
+        assert_eq!(doubled.t_rcd, base.t_rcd * 2);
+        assert_eq!(doubled.t_rp, base.t_rp * 2);
+        assert_eq!(doubled.t_burst, base.t_burst, "burst width unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency factor")]
+    fn rejects_nonpositive_scale() {
+        let _ = DramConfig::ddr3_1333().with_latency_scaled(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh duration")]
+    fn rejects_refresh_longer_than_interval() {
+        let cfg = DramConfig {
+            refresh_interval: Cycles::new(10),
+            refresh_duration: Cycles::new(20),
+            ..DramConfig::ddr3_1333()
+        };
+        let _ = Dram::new(cfg);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut dram = Dram::new(no_refresh());
+        dram.access(Cycle::new(0), 0, false);
+        dram.reset();
+        assert_eq!(dram.stats().accesses(), 0);
+        let (_, outcome) = dram.access(Cycle::new(0), 64, false);
+        assert_eq!(outcome, RowBufferOutcome::Empty);
+    }
+
+    #[test]
+    fn closed_page_trades_hits_for_conflicts() {
+        let open_cfg = no_refresh();
+        let closed_cfg = no_refresh().with_page_policy(PagePolicy::Closed);
+
+        // Same-row re-access: open page hits, closed page re-activates.
+        let same_row = |cfg: DramConfig| {
+            let mut dram = Dram::new(cfg);
+            let (t0, _) = dram.access(Cycle::new(0), 0, false);
+            let later = t0 + Cycles::new(1_000);
+            let (t1, outcome) = dram.access(later, 64, false);
+            (t1 - later, outcome)
+        };
+        let (open_latency, open_outcome) = same_row(open_cfg);
+        let (closed_latency, closed_outcome) = same_row(closed_cfg);
+        assert_eq!(open_outcome, RowBufferOutcome::Hit);
+        assert_eq!(closed_outcome, RowBufferOutcome::Empty);
+        assert!(open_latency < closed_latency);
+
+        // Different-row re-access in the same bank: closed page skips the
+        // precharge and is faster.
+        let conflict = |cfg: DramConfig| {
+            let stride = u64::from(cfg.banks) * cfg.row_bytes;
+            let mut dram = Dram::new(cfg);
+            let (t0, _) = dram.access(Cycle::new(0), 0, false);
+            let later = t0 + Cycles::new(1_000);
+            let (t1, outcome) = dram.access(later, stride, false);
+            (t1 - later, outcome)
+        };
+        let (open_conflict, open_out) = conflict(open_cfg);
+        let (closed_conflict, closed_out) = conflict(closed_cfg);
+        assert_eq!(open_out, RowBufferOutcome::Conflict);
+        assert_eq!(closed_out, RowBufferOutcome::Empty);
+        assert!(closed_conflict < open_conflict);
+    }
+
+    #[test]
+    fn completion_is_monotone_in_arrival() {
+        let mut a = Dram::new(no_refresh());
+        let mut b = Dram::new(no_refresh());
+        let (done_early, _) = a.access(Cycle::new(100), 0, false);
+        let (done_late, _) = b.access(Cycle::new(200), 0, false);
+        assert!(done_late > done_early);
+    }
+}

@@ -1,0 +1,226 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs bound how many distinct line misses can be outstanding at once —
+//! the hardware limit on memory-level parallelism — and merge *secondary*
+//! misses (another reference to a line that is already being fetched) into
+//! the existing entry instead of issuing duplicate DRAM traffic.
+
+use mapg_units::Cycle;
+
+/// Outcome of presenting a missing line to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue the fetch.
+    Allocated,
+    /// The line is already in flight; this reference completes when the
+    /// existing fetch does.
+    Merged {
+        /// Completion time of the in-flight fetch.
+        completion: Cycle,
+    },
+    /// All entries are busy; the reference must stall until `free_at`, the
+    /// earliest completion among current entries, then retry.
+    Full {
+        /// Earliest time an entry frees up.
+        free_at: Cycle,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: u64,
+    completion: Cycle,
+}
+
+/// A file of miss-status holding registers.
+///
+/// ```
+/// use mapg_mem::{MshrFile, MshrOutcome};
+/// use mapg_units::Cycle;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.lookup(Cycle::new(0), 7), MshrOutcome::Allocated);
+/// mshrs.commit(7, Cycle::new(100));
+/// // Same line again: merged into the in-flight fetch.
+/// assert!(matches!(mshrs.lookup(Cycle::new(1), 7), MshrOutcome::Merged { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a core with no MSHRs cannot miss at
+    /// all, which is never the intent).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of entries currently in flight at time `now` (entries whose
+    /// completion has passed are retired lazily by this call).
+    pub fn in_flight(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.entries.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Presents a missing `line` at time `now`.
+    ///
+    /// If `Allocated` is returned the caller must follow up with
+    /// [`MshrFile::commit`] once it knows the fetch's completion time.
+    pub fn lookup(&mut self, now: Cycle, line: u64) -> MshrOutcome {
+        self.retire(now);
+        if let Some(entry) = self.entries.iter().find(|e| e.line == line) {
+            return MshrOutcome::Merged {
+                completion: entry.completion,
+            };
+        }
+        if self.entries.len() >= self.capacity {
+            let free_at = self
+                .entries
+                .iter()
+                .map(|e| e.completion)
+                .min()
+                .expect("full file is non-empty");
+            return MshrOutcome::Full { free_at };
+        }
+        MshrOutcome::Allocated
+    }
+
+    /// Records the completion time of a fetch previously `Allocated` for
+    /// `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is already full or the line is already tracked —
+    /// both indicate the caller skipped `lookup`.
+    pub fn commit(&mut self, line: u64, completion: Cycle) {
+        assert!(
+            self.entries.len() < self.capacity,
+            "commit on a full MSHR file"
+        );
+        assert!(
+            self.entries.iter().all(|e| e.line != line),
+            "line {line:#x} already has an MSHR entry"
+        );
+        self.entries.push(Entry { line, completion });
+    }
+
+    /// Earliest completion among in-flight entries, if any.
+    pub fn earliest_completion(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.completion).min()
+    }
+
+    /// Latest completion among in-flight entries, if any.
+    pub fn latest_completion(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.completion).max()
+    }
+
+    /// Drops entries whose fetch completed at or before `now`.
+    fn retire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.completion > now);
+    }
+
+    /// Clears all entries.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_retire_cycle() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.lookup(Cycle::new(0), 1), MshrOutcome::Allocated);
+        m.commit(1, Cycle::new(50));
+        assert_eq!(m.in_flight(Cycle::new(0)), 1);
+
+        match m.lookup(Cycle::new(10), 1) {
+            MshrOutcome::Merged { completion } => {
+                assert_eq!(completion, Cycle::new(50));
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+
+        // After completion, the entry is retired and the line re-allocates.
+        assert_eq!(m.lookup(Cycle::new(51), 1), MshrOutcome::Allocated);
+        assert_eq!(m.in_flight(Cycle::new(51)), 0);
+    }
+
+    #[test]
+    fn full_file_reports_earliest_free() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.lookup(Cycle::new(0), 1), MshrOutcome::Allocated);
+        m.commit(1, Cycle::new(100));
+        assert_eq!(m.lookup(Cycle::new(0), 2), MshrOutcome::Allocated);
+        m.commit(2, Cycle::new(80));
+        match m.lookup(Cycle::new(0), 3) {
+            MshrOutcome::Full { free_at } => {
+                assert_eq!(free_at, Cycle::new(80));
+            }
+            other => panic!("expected full, got {other:?}"),
+        }
+        // Once the earliest entry retires there is room again.
+        assert_eq!(m.lookup(Cycle::new(81), 3), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn completion_extremes() {
+        let mut m = MshrFile::new(4);
+        assert!(m.earliest_completion().is_none());
+        m.lookup(Cycle::new(0), 1);
+        m.commit(1, Cycle::new(30));
+        m.lookup(Cycle::new(0), 2);
+        m.commit(2, Cycle::new(90));
+        assert_eq!(m.earliest_completion(), Some(Cycle::new(30)));
+        assert_eq!(m.latest_completion(), Some(Cycle::new(90)));
+    }
+
+    #[test]
+    #[should_panic(expected = "full MSHR")]
+    fn commit_past_capacity_panics() {
+        let mut m = MshrFile::new(1);
+        m.commit(1, Cycle::new(10));
+        m.commit(2, Cycle::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an MSHR entry")]
+    fn duplicate_commit_panics() {
+        let mut m = MshrFile::new(2);
+        m.commit(1, Cycle::new(10));
+        m.commit(1, Cycle::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn reset_empties_the_file() {
+        let mut m = MshrFile::new(2);
+        m.lookup(Cycle::new(0), 1);
+        m.commit(1, Cycle::new(10));
+        m.reset();
+        assert_eq!(m.in_flight(Cycle::new(0)), 0);
+        assert_eq!(m.capacity(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Latency distribution bookkeeping.
+
+use mapg_units::Cycles;
+
+use core::fmt;
+
+/// A power-of-two-bucketed histogram of cycle latencies.
+///
+/// Miss-latency *distributions* (not just means) drive gating decisions —
+/// the break-even comparison happens per stall — so the hierarchy records
+/// every DRAM-serviced latency here. Power-of-two buckets give ~1 bit of
+/// relative precision, plenty for the "how much of the mass is above the
+/// break-even time" questions the experiments ask.
+///
+/// ```
+/// use mapg_mem::LatencyHistogram;
+/// use mapg_units::Cycles;
+///
+/// let mut h = LatencyHistogram::new();
+/// for latency in [100u64, 120, 200, 400] {
+///     h.record(Cycles::new(latency));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), Cycles::new(205));
+/// assert!(h.percentile(0.95) >= Cycles::new(256));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples in `[2^(i-1), 2^i)`; `buckets[0]` counts
+    /// zero-latency samples.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 33;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Cycles) {
+        let raw = latency.raw();
+        let index = if raw == 0 {
+            0
+        } else {
+            (64 - raw.leading_zeros()) as usize
+        };
+        let index = index.min(Self::BUCKETS - 1);
+        self.buckets[index] += 1;
+        self.count += 1;
+        self.sum += raw;
+        self.min = self.min.min(raw);
+        self.max = self.max.max(raw);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean latency (zero when empty).
+    pub fn mean(&self) -> Cycles {
+        Cycles::new(self.sum.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Cycles {
+        if self.count == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new(self.min)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Cycles {
+        Cycles::new(self.max)
+    }
+
+    /// Approximate `q`-quantile (bucket upper bound containing the
+    /// quantile). Returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Cycles {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if index == 0 { 0 } else { 1u64 << index };
+                return Cycles::new(upper.min(self.max));
+            }
+        }
+        Cycles::new(self.max)
+    }
+
+    /// Fraction of samples strictly greater than `threshold`, computed
+    /// exactly at bucket granularity (conservative: a bucket straddling the
+    /// threshold counts as above only if its lower bound is above).
+    pub fn fraction_above(&self, threshold: Cycles) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut above = 0;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            let lower = if index == 0 { 0 } else { 1u64 << (index - 1) };
+            if lower > threshold.raw() {
+                above += n;
+            }
+        }
+        above as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p95={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.95),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Cycles::ZERO);
+        assert_eq!(h.min(), Cycles::ZERO);
+        assert_eq!(h.max(), Cycles::ZERO);
+        assert_eq!(h.percentile(0.5), Cycles::ZERO);
+        assert_eq!(h.fraction_above(Cycles::new(10)), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.mean(), Cycles::new(20));
+        assert_eq!(h.min(), Cycles::new(10));
+        assert_eq!(h.max(), Cycles::new(30));
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(Cycles::new(v));
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        let p100 = h.percentile(1.0);
+        assert!(p50 <= p95);
+        assert!(p95 <= p100);
+        assert_eq!(p100, Cycles::new(1000));
+    }
+
+    #[test]
+    fn fraction_above_counts_upper_buckets() {
+        let mut h = LatencyHistogram::new();
+        // 4 samples in [64,128), 4 in [1024, 2048).
+        for _ in 0..4 {
+            h.record(Cycles::new(100));
+            h.record(Cycles::new(1500));
+        }
+        let fraction = h.fraction_above(Cycles::new(512));
+        assert!((fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_goes_to_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(Cycles::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(1.0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Cycles::new(10));
+        b.record(Cycles::new(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Cycles::new(10));
+        assert_eq!(a.max(), Cycles::new(1000));
+        assert_eq!(a.mean(), Cycles::new(505));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        let _ = LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut h = LatencyHistogram::new();
+        h.record(Cycles::new(100));
+        let text = h.to_string();
+        assert!(text.contains("n=1"), "{text}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests over the latency histogram and the assembled hierarchy.
+
+use proptest::prelude::*;
+
+use mapg_mem::{HierarchyConfig, LatencyHistogram, MemoryHierarchy, ServiceLevel};
+use mapg_trace::{AccessKind, MemAccess};
+use mapg_units::{Cycle, Cycles};
+
+proptest! {
+    #[test]
+    fn histogram_bounds_exact_statistics(
+        samples in prop::collection::vec(0u64..1_000_000, 1..2_000)
+    ) {
+        let mut histogram = LatencyHistogram::new();
+        for &s in &samples {
+            histogram.record(Cycles::new(s));
+        }
+        let exact_mean =
+            samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(histogram.mean(), Cycles::new(exact_mean));
+        prop_assert_eq!(
+            histogram.min(),
+            Cycles::new(*samples.iter().min().expect("non-empty"))
+        );
+        prop_assert_eq!(
+            histogram.max(),
+            Cycles::new(*samples.iter().max().expect("non-empty"))
+        );
+        prop_assert_eq!(histogram.count(), samples.len() as u64);
+
+        // The bucketed quantile can only exceed the exact one by at most
+        // one power-of-two bucket, and must never undercut it by more
+        // than a bucket either.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let index =
+                ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[index];
+            let bucketed = histogram.percentile(q).raw();
+            prop_assert!(
+                bucketed >= exact / 2,
+                "q={q}: bucketed {bucketed} far below exact {exact}"
+            );
+            prop_assert!(
+                bucketed <= exact.saturating_mul(2).max(1),
+                "q={q}: bucketed {bucketed} far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_above_is_monotone_in_threshold(
+        samples in prop::collection::vec(0u64..100_000, 1..500),
+        t1 in 0u64..100_000,
+        t2 in 0u64..100_000,
+    ) {
+        let mut histogram = LatencyHistogram::new();
+        for &s in &samples {
+            histogram.record(Cycles::new(s));
+        }
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(
+            histogram.fraction_above(Cycles::new(lo))
+                >= histogram.fraction_above(Cycles::new(hi))
+        );
+    }
+
+    #[test]
+    fn hierarchy_completions_always_after_issue(
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..500),
+        writes in prop::collection::vec(any::<bool>(), 500),
+    ) {
+        let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let mut now = Cycle::ZERO;
+        for (i, &addr) in addrs.iter().enumerate() {
+            let access = MemAccess {
+                addr,
+                pc: 0x400,
+                kind: if writes[i % writes.len()] {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+                dependent: false,
+            };
+            let response = memory.access(now, &access);
+            prop_assert!(response.completion > now, "zero-latency access");
+            match response.level {
+                ServiceLevel::Dram => prop_assert!(response.row.is_some()),
+                _ => prop_assert!(response.row.is_none()),
+            }
+            // Advance time somewhat arbitrarily but monotonically.
+            now += Cycles::new(1 + (addr % 7));
+        }
+    }
+
+    #[test]
+    fn hierarchy_stats_conserve_accesses(
+        addrs in prop::collection::vec(0u64..(1 << 22), 1..500),
+    ) {
+        let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let mut now = Cycle::ZERO;
+        for &addr in &addrs {
+            let access = MemAccess {
+                addr,
+                pc: 0x1,
+                kind: AccessKind::Load,
+                dependent: false,
+            };
+            let response = memory.access(now, &access);
+            now = response.completion;
+        }
+        let stats = memory.stats();
+        prop_assert_eq!(stats.l1.accesses, addrs.len() as u64);
+        // Every L1 miss consults L2 (demand path; writeback installs may
+        // add more L2 traffic, never less).
+        prop_assert!(stats.l2.accesses >= stats.l1.misses());
+        // Every recorded miss latency corresponds to a DRAM access.
+        prop_assert!(stats.miss_latency.count() <= stats.dram.accesses());
+    }
+}

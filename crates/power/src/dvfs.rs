@@ -1,0 +1,270 @@
+//! DVFS operating points for the scale-down-during-stall baseline.
+//!
+//! Before MAPG, the standard way to trim energy during low-utilization
+//! periods was voltage/frequency scaling. DVFS cannot remove leakage (the
+//! rail stays up) and its transition latency (PLL relock + rail slew,
+//! microseconds) dwarfs a memory stall — which is exactly the comparison
+//! the DVFS-baseline experiments draw. Scaling laws used here:
+//!
+//! - dynamic power `∝ V²·f` (CV²f with activity fixed);
+//! - leakage power `∝ V³` (subthreshold + gate leakage voltage dependence,
+//!   the usual compact-model fit in this range).
+
+use mapg_units::{Hertz, Joules, Seconds, Volts, Watts};
+
+use crate::tech::TechnologyParams;
+
+/// One voltage/frequency operating point.
+///
+/// ```
+/// use mapg_power::{OperatingPoint, TechnologyParams};
+///
+/// let tech = TechnologyParams::bulk_45nm();
+/// let low = OperatingPoint::low();
+/// assert!(low.dynamic_power(&tech) < tech.dynamic_power());
+/// assert!(low.leakage_power(&tech) < tech.leakage_power());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    name: &'static str,
+    voltage: Volts,
+    frequency: Hertz,
+}
+
+impl OperatingPoint {
+    /// The nominal point: 1.0 V / 2.0 GHz.
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            name: "nominal",
+            voltage: Volts::new(1.0),
+            frequency: Hertz::from_ghz(2.0),
+        }
+    }
+
+    /// A mid point: 0.85 V / 1.2 GHz.
+    pub fn low() -> Self {
+        OperatingPoint {
+            name: "low",
+            voltage: Volts::new(0.85),
+            frequency: Hertz::from_ghz(1.2),
+        }
+    }
+
+    /// The floor point: 0.7 V / 0.6 GHz.
+    pub fn min() -> Self {
+        OperatingPoint {
+            name: "min",
+            voltage: Volts::new(0.7),
+            frequency: Hertz::from_ghz(0.6),
+        }
+    }
+
+    /// Creates a custom point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if voltage or frequency is not positive.
+    pub fn new(name: &'static str, voltage: Volts, frequency: Hertz) -> Self {
+        assert!(voltage.as_volts() > 0.0, "voltage must be positive");
+        assert!(frequency.as_hz() > 0.0, "frequency must be positive");
+        OperatingPoint {
+            name,
+            voltage,
+            frequency,
+        }
+    }
+
+    /// The point's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Supply voltage at this point.
+    pub fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Clock frequency at this point.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Dynamic power at this point when fully active: `P_dyn·(V/V0)²·(f/f0)`.
+    pub fn dynamic_power(&self, tech: &TechnologyParams) -> Watts {
+        let v = self.voltage / tech.vdd();
+        let f = self.frequency / tech.nominal_clock();
+        tech.dynamic_power() * (v * v * f)
+    }
+
+    /// Leakage power at this point: `P_leak·(V/V0)³`.
+    pub fn leakage_power(&self, tech: &TechnologyParams) -> Watts {
+        let v = self.voltage / tech.vdd();
+        tech.leakage_power() * (v * v * v)
+    }
+
+    /// Idle (stalled-but-clocked) power at this point: scaled idle dynamic
+    /// plus scaled leakage — what a core parked at this point burns while
+    /// waiting on memory.
+    pub fn idle_power(&self, tech: &TechnologyParams) -> Watts {
+        let v = self.voltage / tech.vdd();
+        let f = self.frequency / tech.nominal_clock();
+        tech.idle_dynamic_power() * (v * v * f) + self.leakage_power(tech)
+    }
+}
+
+impl OperatingPoint {
+    /// Analytic estimate of an *interval-based, memory-aware DVFS
+    /// governor* parked at this point during memory-bound execution.
+    ///
+    /// Given a measured run's wall-clock split into `active` (core
+    /// executing, at nominal V/f) and `stalled` (waiting on DRAM) time,
+    /// the governor's outcome follows from two facts:
+    ///
+    /// - active work is a fixed *cycle count*, so it stretches by the
+    ///   frequency ratio: `active' = active · f₀/f`; its dynamic energy is
+    ///   `CV²`-per-cycle, i.e. scales only with `V²`;
+    /// - memory time is wall-clock (DRAM doesn't care about the core's
+    ///   clock), so `stalled' = stalled`; the stalled core is clock-gated
+    ///   and burns `V³`-scaled leakage.
+    ///
+    /// This is the idealized best case for the governor (perfect phase
+    /// detection, free transitions) — the fair-but-optimistic baseline
+    /// experiment R-F14 compares MAPG against. Returns
+    /// `(runtime, core_energy)`.
+    pub fn estimate_interval_governor(
+        &self,
+        tech: &TechnologyParams,
+        active: Seconds,
+        stalled: Seconds,
+    ) -> (Seconds, Joules) {
+        let f_ratio = self.frequency / tech.nominal_clock();
+        let v_ratio = self.voltage / tech.vdd();
+        let stretched_active = active / f_ratio;
+        let runtime = stretched_active + stalled;
+        // Dynamic: same cycle count, V²-scaled energy per cycle.
+        let dynamic_energy =
+            tech.dynamic_power() * (v_ratio * v_ratio) * active;
+        // Leakage: V³-scaled power over the whole (stretched) runtime.
+        let leakage_energy = tech.leakage_power()
+            * (v_ratio * v_ratio * v_ratio)
+            * runtime;
+        (runtime, dynamic_energy + leakage_energy)
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        OperatingPoint::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::bulk_45nm()
+    }
+
+    #[test]
+    fn nominal_point_reproduces_tech_power() {
+        let t = tech();
+        let p = OperatingPoint::nominal();
+        assert!((p.dynamic_power(&t) / t.dynamic_power() - 1.0).abs() < 1e-9);
+        assert!((p.leakage_power(&t) / t.leakage_power() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_laws() {
+        let t = tech();
+        let p = OperatingPoint::low();
+        let v = 0.85f64;
+        let f = 1.2 / 2.0;
+        let expected_dyn = 0.7 * v * v * f;
+        let expected_leak = 0.3 * v * v * v;
+        assert!((p.dynamic_power(&t).as_watts() - expected_dyn).abs() < 1e-9);
+        assert!((p.leakage_power(&t).as_watts() - expected_leak).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let t = tech();
+        let points =
+            [OperatingPoint::nominal(), OperatingPoint::low(), OperatingPoint::min()];
+        for pair in points.windows(2) {
+            assert!(pair[1].dynamic_power(&t) < pair[0].dynamic_power(&t));
+            assert!(pair[1].leakage_power(&t) < pair[0].leakage_power(&t));
+            assert!(pair[1].idle_power(&t) < pair[0].idle_power(&t));
+        }
+    }
+
+    #[test]
+    fn dvfs_leakage_never_reaches_gated_levels() {
+        // Even the floor point leaks ~34% of nominal; a gated core leaks
+        // ~2%. This gap is the paper's core argument against DVFS for
+        // memory stalls.
+        let t = tech();
+        let floor_leak = OperatingPoint::min().leakage_power(&t);
+        assert!(floor_leak.as_watts() > 0.1 * t.leakage_power().as_watts());
+    }
+
+    #[test]
+    fn interval_governor_estimate_behaves() {
+        let t = tech();
+        let active = Seconds::new(1e-3);
+        let stalled = Seconds::new(4e-3); // heavily memory-bound
+
+        // At the nominal point the estimate must reproduce the plain run
+        // (clock-gated stalls).
+        let (runtime, energy) = OperatingPoint::nominal()
+            .estimate_interval_governor(&t, active, stalled);
+        assert!((runtime.as_secs() - 5e-3).abs() < 1e-12);
+        let expected = t.dynamic_power() * active
+            + t.leakage_power() * Seconds::new(5e-3);
+        assert!((energy / expected - 1.0).abs() < 1e-9);
+
+        // At the floor point: runtime stretches only by the (small)
+        // active share; energy drops.
+        let (slow_runtime, slow_energy) = OperatingPoint::min()
+            .estimate_interval_governor(&t, active, stalled);
+        assert!(slow_runtime > runtime);
+        assert!(
+            slow_runtime.as_secs() < 5e-3 * 1.5,
+            "memory-bound code barely slows down: {slow_runtime}"
+        );
+        assert!(slow_energy < energy);
+    }
+
+    #[test]
+    fn interval_governor_hurts_compute_bound_runtime() {
+        let t = tech();
+        let active = Seconds::new(4e-3);
+        let stalled = Seconds::new(1e-3);
+        let (runtime, _) = OperatingPoint::min()
+            .estimate_interval_governor(&t, active, stalled);
+        // 4 ms of cycles at 0.3x frequency = 13.3 ms + 1 ms memory.
+        assert!(runtime.as_secs() > 10e-3);
+    }
+
+    #[test]
+    fn idle_power_includes_both_terms() {
+        let t = tech();
+        let p = OperatingPoint::nominal();
+        let expected = t.idle_dynamic_power() + t.leakage_power();
+        assert!((p.idle_power(&t) / expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn rejects_zero_voltage() {
+        let _ = OperatingPoint::new("bad", Volts::ZERO, Hertz::from_ghz(1.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = OperatingPoint::min();
+        assert_eq!(p.name(), "min");
+        assert_eq!(p.voltage(), Volts::new(0.7));
+        assert_eq!(p.frequency(), Hertz::from_ghz(0.6));
+    }
+}

@@ -1,0 +1,53 @@
+//! Power and energy models for the MAPG reproduction.
+//!
+//! The original paper characterizes its sleep-transistor network with
+//! circuit-level (SPICE) simulation and feeds five scalars into the policy
+//! layer: sleep-entry latency, wake-up latency, transition energy, residual
+//! leakage while gated, and the resulting **break-even time**. This crate
+//! reproduces that interface with first-order analytic models whose
+//! constants sit in the published 45 nm range, spanning the same design
+//! space the paper's circuit table does (see DESIGN.md §2 for the
+//! substitution argument).
+//!
+//! Components:
+//!
+//! - [`TechnologyParams`] — per-core power at nominal V/f, split into
+//!   dynamic and leakage, plus the idle-clocking fraction;
+//! - [`PgCircuitDesign`] — maps a sleep-transistor width ratio to
+//!   latencies, energies, residual leakage, area and rush current, and
+//!   computes the break-even time against a technology;
+//! - [`OperatingPoint`] — DVFS states for the scale-down-during-stall
+//!   baseline;
+//! - [`DramEnergyModel`] — converts [`mapg_mem::DramStats`] activity into
+//!   joules;
+//! - [`EnergyAccount`] — the per-run energy ledger, split by category.
+//!
+//! # Example: break-even analysis
+//!
+//! ```
+//! use mapg_power::{PgCircuitDesign, TechnologyParams};
+//! use mapg_units::Hertz;
+//!
+//! let tech = TechnologyParams::bulk_45nm();
+//! let circuit = PgCircuitDesign::fast_wakeup(&tech);
+//! let bet = circuit.break_even_cycles(&tech, Hertz::from_ghz(2.0));
+//! // MAPG's design point: break-even well under a DRAM round trip.
+//! assert!(bet.raw() < 150, "break-even {bet} too long to gate memory stalls");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dram_energy;
+mod dvfs;
+mod energy;
+mod pg_circuit;
+mod tech;
+mod thermal;
+
+pub use dram_energy::DramEnergyModel;
+pub use dvfs::OperatingPoint;
+pub use energy::{EnergyAccount, EnergyCategory};
+pub use pg_circuit::{PgCircuitDesign, RetentionStyle};
+pub use tech::TechnologyParams;
+pub use thermal::{ThermalOperatingPoint, ThermalParams, ThermalRunawayError};

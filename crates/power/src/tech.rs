@@ -1,0 +1,179 @@
+//! Technology parameters: the per-core power budget and its split.
+
+use mapg_units::{Hertz, Ratio, Volts, Watts};
+
+/// Per-core power characteristics at the nominal operating point.
+///
+/// The defaults describe a 45 nm-class embedded out-of-order core at
+/// 1.0 V / 2 GHz with a ~1 W budget, 30 % of it leakage — the regime the
+/// original evaluation targets (leakage large enough to be worth gating,
+/// not yet FinFET-suppressed). [`TechnologyParams::with_leakage_fraction`]
+/// re-splits the same total budget to emulate technology scaling
+/// (experiment R-F9).
+///
+/// ```
+/// use mapg_power::TechnologyParams;
+///
+/// let tech = TechnologyParams::bulk_45nm();
+/// assert!((tech.leakage_fraction().value() - 0.3).abs() < 1e-9);
+///
+/// let leaky = tech.with_leakage_fraction(0.5);
+/// assert_eq!(leaky.total_power(), tech.total_power());
+/// assert!(leaky.leakage_power() > tech.leakage_power());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyParams {
+    vdd: Volts,
+    nominal_clock: Hertz,
+    dynamic_power: Watts,
+    leakage_power: Watts,
+    idle_dynamic_fraction: Ratio,
+}
+
+impl TechnologyParams {
+    /// 45 nm bulk CMOS defaults: 1.0 V, 2 GHz, 0.7 W dynamic + 0.3 W
+    /// leakage, 25 % of dynamic power persisting while stalled but clocked
+    /// (clock tree + control).
+    pub fn bulk_45nm() -> Self {
+        TechnologyParams {
+            vdd: Volts::new(1.0),
+            nominal_clock: Hertz::from_ghz(2.0),
+            dynamic_power: Watts::new(0.7),
+            leakage_power: Watts::new(0.3),
+            idle_dynamic_fraction: Ratio::new(0.25),
+        }
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Nominal clock frequency.
+    pub fn nominal_clock(&self) -> Hertz {
+        self.nominal_clock
+    }
+
+    /// Dynamic power when actively executing at nominal V/f.
+    pub fn dynamic_power(&self) -> Watts {
+        self.dynamic_power
+    }
+
+    /// Leakage power at nominal voltage (state-independent).
+    pub fn leakage_power(&self) -> Watts {
+        self.leakage_power
+    }
+
+    /// Total (dynamic + leakage) power when active.
+    pub fn total_power(&self) -> Watts {
+        self.dynamic_power + self.leakage_power
+    }
+
+    /// Leakage's share of total power.
+    pub fn leakage_fraction(&self) -> Ratio {
+        Ratio::saturating(self.leakage_power / self.total_power())
+    }
+
+    /// Dynamic power that persists while the core is stalled but still
+    /// clocked (clock tree, always-on control). Clock gating removes this;
+    /// leakage remains.
+    pub fn idle_dynamic_power(&self) -> Watts {
+        self.dynamic_power * self.idle_dynamic_fraction.value()
+    }
+
+    /// Returns a copy with the same total budget re-split so leakage is
+    /// `fraction` of the total. This is the technology-scaling knob:
+    /// at 32/22 nm planar, leakage fractions of 40–60 % were projected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1)`.
+    pub fn with_leakage_fraction(&self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "leakage fraction must be in (0, 1), got {fraction}"
+        );
+        let total = self.total_power();
+        TechnologyParams {
+            leakage_power: total * fraction,
+            dynamic_power: total * (1.0 - fraction),
+            ..*self
+        }
+    }
+
+    /// Returns a copy with a different total budget, preserving the split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is not positive.
+    pub fn with_total_power(&self, total: Watts) -> Self {
+        assert!(total.as_watts() > 0.0, "total power must be positive");
+        let leak = self.leakage_fraction().value();
+        TechnologyParams {
+            leakage_power: total * leak,
+            dynamic_power: total * (1.0 - leak),
+            ..*self
+        }
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        TechnologyParams::bulk_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_splits() {
+        let t = TechnologyParams::bulk_45nm();
+        assert_eq!(t.total_power(), Watts::new(1.0));
+        assert_eq!(t.dynamic_power(), Watts::new(0.7));
+        assert_eq!(t.leakage_power(), Watts::new(0.3));
+        assert!((t.idle_dynamic_power().as_watts() - 0.175).abs() < 1e-12);
+        assert_eq!(t.vdd(), Volts::new(1.0));
+        assert_eq!(t.nominal_clock(), Hertz::from_ghz(2.0));
+    }
+
+    #[test]
+    fn leakage_resplit_preserves_total() {
+        let t = TechnologyParams::bulk_45nm();
+        for fraction in [0.1, 0.3, 0.5, 0.6] {
+            let scaled = t.with_leakage_fraction(fraction);
+            assert!(
+                (scaled.total_power() / t.total_power() - 1.0).abs() < 1e-12
+            );
+            assert!(
+                (scaled.leakage_fraction().value() - fraction).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leakage fraction")]
+    fn rejects_degenerate_fraction() {
+        let _ = TechnologyParams::bulk_45nm().with_leakage_fraction(1.0);
+    }
+
+    #[test]
+    fn total_rescale_preserves_split() {
+        let t = TechnologyParams::bulk_45nm();
+        let double = t.with_total_power(Watts::new(2.0));
+        assert_eq!(double.total_power(), Watts::new(2.0));
+        assert!(
+            (double.leakage_fraction().value()
+                - t.leakage_fraction().value())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "total power")]
+    fn rejects_zero_total() {
+        let _ = TechnologyParams::bulk_45nm().with_total_power(Watts::ZERO);
+    }
+}

@@ -1,0 +1,219 @@
+//! Leakage–temperature feedback.
+//!
+//! Leakage current grows roughly linearly-to-exponentially with die
+//! temperature, and die temperature grows with dissipated power: a positive
+//! feedback loop. A policy that removes leakage (gating) therefore earns a
+//! *second-order* bonus — the cooler die leaks less even while active. This
+//! module provides the steady-state solver used by experiment R-F13.
+//!
+//! Model: a lumped thermal resistance `R` (°C/W) from junction to ambient
+//! and a linear leakage-temperature coefficient `k` (fraction per °C)
+//! around a reference temperature `T_ref`:
+//!
+//! ```text
+//! T  = T_amb + R · (P_dyn + P_leak(T))
+//! P_leak(T) = P_leak_ref · (1 + k · (T − T_ref))
+//! ```
+//!
+//! which is linear in `T` and solved in closed form. A denominator
+//! `1 − R·P_leak_ref·k ≤ 0` means thermal runaway (the feedback gain
+//! exceeds unity); the solver reports it as an error rather than returning
+//! a nonsensical temperature.
+
+use core::fmt;
+
+use mapg_units::Watts;
+
+/// Lumped thermal parameters of one core + package path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Ambient (heatsink inlet) temperature, °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance, °C/W.
+    pub resistance_c_per_w: f64,
+    /// Fractional leakage increase per °C above the reference.
+    pub leakage_per_c: f64,
+    /// Temperature at which the technology's leakage numbers were
+    /// characterized, °C.
+    pub reference_c: f64,
+}
+
+impl ThermalParams {
+    /// Embedded-class defaults: 45 °C ambient, 12 °C/W to ambient,
+    /// +1.2 %/°C leakage, characterized at 85 °C.
+    pub fn embedded() -> Self {
+        ThermalParams {
+            ambient_c: 45.0,
+            resistance_c_per_w: 12.0,
+            leakage_per_c: 0.012,
+            reference_c: 85.0,
+        }
+    }
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams::embedded()
+    }
+}
+
+/// The solved steady state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalOperatingPoint {
+    /// Steady-state junction temperature, °C.
+    pub temperature_c: f64,
+    /// Multiplier on the reference leakage at that temperature.
+    pub leakage_scale: f64,
+    /// Total dissipated power including the thermally scaled leakage.
+    pub total_power: Watts,
+}
+
+/// Error: the leakage-temperature feedback gain is ≥ 1 and no steady state
+/// exists below meltdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThermalRunawayError;
+
+impl fmt::Display for ThermalRunawayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thermal runaway: leakage-temperature feedback gain >= 1")
+    }
+}
+
+impl std::error::Error for ThermalRunawayError {}
+
+impl ThermalParams {
+    /// Solves the steady state for a core dissipating `dynamic` watts of
+    /// temperature-independent power and `leakage_ref` watts of leakage at
+    /// the reference temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalRunawayError`] when `R·P_leak_ref·k ≥ 1`.
+    ///
+    /// ```
+    /// use mapg_power::ThermalParams;
+    /// use mapg_units::Watts;
+    ///
+    /// let thermal = ThermalParams::embedded();
+    /// let point = thermal
+    ///     .steady_state(Watts::new(0.7), Watts::new(0.3))
+    ///     .expect("well within stability");
+    /// assert!(point.temperature_c > 45.0);
+    /// ```
+    pub fn steady_state(
+        &self,
+        dynamic: Watts,
+        leakage_ref: Watts,
+    ) -> Result<ThermalOperatingPoint, ThermalRunawayError> {
+        let r = self.resistance_c_per_w;
+        let k = self.leakage_per_c;
+        let pl = leakage_ref.as_watts();
+        let pd = dynamic.as_watts();
+        let gain = r * pl * k;
+        if gain >= 1.0 {
+            return Err(ThermalRunawayError);
+        }
+        // T = Ta + R·(Pd + Pl·(1 + k·(T − Tr)))
+        //   ⇒ T·(1 − R·Pl·k) = Ta + R·(Pd + Pl·(1 − k·Tr))
+        let temperature_c = (self.ambient_c
+            + r * (pd + pl * (1.0 - k * self.reference_c)))
+            / (1.0 - gain);
+        let leakage_scale =
+            1.0 + k * (temperature_c - self.reference_c);
+        // Leakage cannot go negative however cold the die runs.
+        let leakage_scale = leakage_scale.max(0.0);
+        let total_power =
+            Watts::new(pd + pl * leakage_scale);
+        Ok(ThermalOperatingPoint {
+            temperature_c,
+            leakage_scale,
+            total_power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_self_consistent() {
+        let thermal = ThermalParams::embedded();
+        let point = thermal
+            .steady_state(Watts::new(0.7), Watts::new(0.3))
+            .expect("stable");
+        // Plug the solution back into the fixed-point equation.
+        let recomputed = thermal.ambient_c
+            + thermal.resistance_c_per_w * point.total_power.as_watts();
+        assert!(
+            (recomputed - point.temperature_c).abs() < 1e-9,
+            "{recomputed} != {}",
+            point.temperature_c
+        );
+    }
+
+    #[test]
+    fn cooler_dies_leak_less() {
+        let thermal = ThermalParams::embedded();
+        let hot = thermal
+            .steady_state(Watts::new(0.7), Watts::new(0.3))
+            .expect("stable");
+        // Gated core: same reference leakage characteristics, far less
+        // average dissipation.
+        let cool = thermal
+            .steady_state(Watts::new(0.3), Watts::new(0.1))
+            .expect("stable");
+        assert!(cool.temperature_c < hot.temperature_c);
+        assert!(cool.leakage_scale < hot.leakage_scale);
+    }
+
+    #[test]
+    fn zero_power_sits_at_ambient() {
+        let thermal = ThermalParams::embedded();
+        let point = thermal
+            .steady_state(Watts::ZERO, Watts::ZERO)
+            .expect("trivially stable");
+        assert!((point.temperature_c - thermal.ambient_c).abs() < 1e-9);
+        assert_eq!(point.total_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn runaway_is_detected() {
+        let thermal = ThermalParams {
+            resistance_c_per_w: 100.0,
+            leakage_per_c: 0.05,
+            ..ThermalParams::embedded()
+        };
+        // R·Pl·k = 100 × 0.3 × 0.05 = 1.5 ≥ 1.
+        let result = thermal.steady_state(Watts::new(0.7), Watts::new(0.3));
+        assert_eq!(result, Err(ThermalRunawayError));
+        assert!(ThermalRunawayError.to_string().contains("runaway"));
+    }
+
+    #[test]
+    fn leakage_scale_floors_at_zero() {
+        // An extremely cold-running configuration: tiny power, ambient far
+        // below reference.
+        let thermal = ThermalParams {
+            ambient_c: -100.0,
+            leakage_per_c: 0.02,
+            ..ThermalParams::embedded()
+        };
+        let point = thermal
+            .steady_state(Watts::new(0.01), Watts::new(0.01))
+            .expect("stable");
+        assert!(point.leakage_scale >= 0.0);
+    }
+
+    #[test]
+    fn temperature_rises_with_power() {
+        let thermal = ThermalParams::embedded();
+        let low = thermal
+            .steady_state(Watts::new(0.2), Watts::new(0.1))
+            .expect("stable");
+        let high = thermal
+            .steady_state(Watts::new(1.4), Watts::new(0.1))
+            .expect("stable");
+        assert!(high.temperature_c > low.temperature_c + 5.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Address-stream generation.
+//!
+//! The stream is a mixture of region-local sequential runs and random jumps,
+//! across a small set of "hot regions". The three knobs map directly to
+//! hierarchy behaviour:
+//!
+//! - **spatial locality** (probability of continuing the current run)
+//!   controls cache hit rates and DRAM row-buffer hit rates;
+//! - **hot region count** controls DRAM bank-level parallelism;
+//! - **working-set size** controls whether the stream fits in the caches at
+//!   all.
+
+use rand::Rng;
+
+use core::fmt;
+
+/// Cache-line size assumed throughout the workspace (bytes).
+pub const LINE_BYTES: u64 = 64;
+
+/// Byte stride of a sequential run (one word). Eight sequential references
+/// share a cache line, so spatial locality translates into L1 hits — the
+/// mechanism that separates streaming workloads (lbm-like, high locality,
+/// decent hit rates) from pointer chasers (mcf-like, jumps on every
+/// reference).
+pub const SEQ_STRIDE_BYTES: u64 = 8;
+
+/// A classification of how an address was produced, reported for trace
+/// statistics and tested against the configured mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressPattern {
+    /// Continued the current sequential run (next line in the region).
+    Sequential,
+    /// Jumped to a random line within the current hot region.
+    RegionJump,
+    /// Switched to a different hot region.
+    RegionSwitch,
+}
+
+impl fmt::Display for AddressPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AddressPattern::Sequential => "seq",
+            AddressPattern::RegionJump => "jump",
+            AddressPattern::RegionSwitch => "switch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Deterministic generator of a byte-address stream with controlled
+/// locality.
+///
+/// ```
+/// use mapg_trace::AddressStream;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let mut stream = AddressStream::new(8 << 20, 0.8, 4);
+/// let (addr, _pattern) = stream.next_addr(&mut rng);
+/// assert!(addr < 8 << 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressStream {
+    working_set_bytes: u64,
+    spatial_locality: f64,
+    region_bytes: u64,
+    /// Current line cursor per region (byte address).
+    cursors: Vec<u64>,
+    current_region: usize,
+    /// Probability of switching regions when a run breaks.
+    region_switch_bias: f64,
+}
+
+impl AddressStream {
+    /// Creates a stream over `working_set_bytes` bytes split into `regions`
+    /// equal hot regions with the given sequential-continuation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set is smaller than one line per region, if
+    /// `regions` is zero, or if `spatial_locality` is outside `[0, 1)`.
+    pub fn new(working_set_bytes: u64, spatial_locality: f64, regions: u32) -> Self {
+        assert!(regions > 0, "need at least one region");
+        assert!(
+            (0.0..1.0).contains(&spatial_locality),
+            "locality must be in [0,1), got {spatial_locality}"
+        );
+        let region_bytes = working_set_bytes / u64::from(regions);
+        assert!(
+            region_bytes >= LINE_BYTES,
+            "working set too small: {working_set_bytes} B across {regions} regions"
+        );
+        let cursors = (0..u64::from(regions))
+            .map(|r| r * region_bytes)
+            .collect();
+        AddressStream {
+            working_set_bytes,
+            spatial_locality,
+            region_bytes,
+            cursors,
+            current_region: 0,
+            region_switch_bias: 0.3,
+        }
+    }
+
+    /// The configured working-set size in bytes.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.working_set_bytes
+    }
+
+    /// Number of hot regions.
+    pub fn regions(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Produces the next address and the pattern class that produced it.
+    pub fn next_addr<R: Rng>(&mut self, rng: &mut R) -> (u64, AddressPattern) {
+        if rng.gen::<f64>() < self.spatial_locality {
+            (self.advance_run(), AddressPattern::Sequential)
+        } else if self.cursors.len() > 1
+            && rng.gen::<f64>() < self.region_switch_bias
+        {
+            self.current_region = rng.gen_range(0..self.cursors.len());
+            (self.jump_within_region(rng), AddressPattern::RegionSwitch)
+        } else {
+            (self.jump_within_region(rng), AddressPattern::RegionJump)
+        }
+    }
+
+    /// Advances the current region's sequential cursor by one word,
+    /// wrapping at the region boundary.
+    fn advance_run(&mut self) -> u64 {
+        let base = self.region_base(self.current_region);
+        let cursor = &mut self.cursors[self.current_region];
+        let offset = (*cursor - base + SEQ_STRIDE_BYTES) % self.region_bytes;
+        *cursor = base + offset;
+        *cursor
+    }
+
+    /// Jumps the current region's cursor to a random line inside it.
+    fn jump_within_region<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let base = self.region_base(self.current_region);
+        let lines = self.region_bytes / LINE_BYTES;
+        let line = rng.gen_range(0..lines);
+        let addr = base + line * LINE_BYTES;
+        self.cursors[self.current_region] = addr;
+        addr
+    }
+
+    fn region_base(&self, region: usize) -> u64 {
+        region as u64 * self.region_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream() -> AddressStream {
+        AddressStream::new(1 << 20, 0.7, 4)
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let mut s = stream();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let (addr, _) = s.next_addr(&mut rng);
+            assert!(addr < 1 << 20, "address {addr:#x} escaped working set");
+            assert_eq!(addr % SEQ_STRIDE_BYTES, 0, "addresses are word-aligned");
+        }
+    }
+
+    #[test]
+    fn locality_mixture_approximates_parameter() {
+        let mut s = AddressStream::new(1 << 20, 0.8, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let sequential = (0..n)
+            .filter(|_| {
+                matches!(s.next_addr(&mut rng).1, AddressPattern::Sequential)
+            })
+            .count();
+        let fraction = sequential as f64 / n as f64;
+        assert!(
+            (fraction - 0.8).abs() < 0.02,
+            "sequential fraction {fraction} far from 0.8"
+        );
+    }
+
+    #[test]
+    fn sequential_runs_advance_by_word() {
+        let mut s = AddressStream::new(1 << 16, 0.999, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (first, _) = s.next_addr(&mut rng);
+        let (second, pattern) = s.next_addr(&mut rng);
+        if pattern == AddressPattern::Sequential {
+            let expected = (first + SEQ_STRIDE_BYTES) % (1 << 16);
+            assert_eq!(second, expected);
+        }
+        // Eight consecutive sequential references fit in one line.
+        const _: () = assert!(SEQ_STRIDE_BYTES * 8 == LINE_BYTES);
+    }
+
+    #[test]
+    fn zero_locality_never_sequential() {
+        let mut s = AddressStream::new(1 << 18, 0.0, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let (_, pattern) = s.next_addr(&mut rng);
+            assert_ne!(pattern, AddressPattern::Sequential);
+        }
+    }
+
+    #[test]
+    fn single_region_never_switches() {
+        let mut s = AddressStream::new(1 << 18, 0.2, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let (_, pattern) = s.next_addr(&mut rng);
+            assert_ne!(pattern, AddressPattern::RegionSwitch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "working set too small")]
+    fn rejects_tiny_working_set() {
+        let _ = AddressStream::new(128, 0.5, 4);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = stream();
+        assert_eq!(s.working_set_bytes(), 1 << 20);
+        assert_eq!(s.regions(), 4);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = stream();
+        let mut b = stream();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for _ in 0..1000 {
+            assert_eq!(a.next_addr(&mut rng_a), b.next_addr(&mut rng_b));
+        }
+    }
+}

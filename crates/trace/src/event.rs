@@ -1,0 +1,172 @@
+//! The event vocabulary exchanged between workload generators and the core
+//! model.
+
+use core::fmt;
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; the core may stall waiting for its data.
+    Load,
+    /// A store; posted to the hierarchy, never stalls the core directly
+    /// (write buffers are assumed adequate, as in the original evaluation's
+    /// out-of-order cores).
+    Store,
+}
+
+impl AccessKind {
+    /// Whether the access is a load.
+    #[inline]
+    pub const fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => f.write_str("LD"),
+            AccessKind::Store => f.write_str("ST"),
+        }
+    }
+}
+
+/// One memory reference emitted by a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Byte address of the reference.
+    pub addr: u64,
+    /// Program counter of the referencing instruction; keys history-based
+    /// miss-latency predictors.
+    pub pc: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// `true` when the access depends on the previous in-flight miss
+    /// (pointer chasing). Dependent accesses cannot issue until the previous
+    /// miss returns, which serializes latency and destroys memory-level
+    /// parallelism — exactly the behaviour that makes workloads like `mcf`
+    /// stall-dominated.
+    pub dependent: bool,
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:#012x} pc={:#x}{}",
+            self.kind,
+            self.addr,
+            self.pc,
+            if self.dependent { " dep" } else { "" }
+        )
+    }
+}
+
+/// One event in a workload's instruction stream.
+///
+/// A workload is a sequence of compute quanta interleaved with memory
+/// references. The compute quanta carry both the cycle cost (at the core's
+/// issue rate) and the instruction count so the consumer can report IPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// Execute `instructions` instructions taking `cycles` core cycles
+    /// (cache-resident work; never stalls on memory).
+    Compute {
+        /// Core cycles the quantum occupies.
+        cycles: u64,
+        /// Instructions retired by the quantum.
+        instructions: u64,
+    },
+    /// Issue one memory reference (always also retires one instruction).
+    MemAccess(MemAccess),
+    /// The program has nothing to run for `cycles` cycles (blocked on I/O,
+    /// descheduled, waiting for work). Retires no instructions. This is
+    /// the interval classic OS-idle power gating targets.
+    Idle {
+        /// Idle duration in core cycles.
+        cycles: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Instructions retired by this event.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        match self {
+            TraceEvent::Compute { instructions, .. } => *instructions,
+            TraceEvent::MemAccess(_) => 1,
+            TraceEvent::Idle { .. } => 0,
+        }
+    }
+
+    /// Returns the contained access if this is a memory event.
+    #[inline]
+    pub fn as_mem_access(&self) -> Option<&MemAccess> {
+        match self {
+            TraceEvent::MemAccess(access) => Some(access),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Compute {
+                cycles,
+                instructions,
+            } => write!(f, "COMP {cycles} cyc / {instructions} inst"),
+            TraceEvent::MemAccess(access) => write!(f, "{access}"),
+            TraceEvent::Idle { cycles } => write!(f, "IDLE {cycles} cyc"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_accounting() {
+        let compute = TraceEvent::Compute {
+            cycles: 10,
+            instructions: 20,
+        };
+        assert_eq!(compute.instructions(), 20);
+        assert!(compute.as_mem_access().is_none());
+
+        let access = TraceEvent::MemAccess(MemAccess {
+            addr: 0x1000,
+            pc: 0x400,
+            kind: AccessKind::Load,
+            dependent: false,
+        });
+        assert_eq!(access.instructions(), 1);
+        assert!(access.as_mem_access().is_some());
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Load.is_load());
+        assert!(!AccessKind::Store.is_load());
+    }
+
+    #[test]
+    fn display_formats() {
+        let access = MemAccess {
+            addr: 0x2000,
+            pc: 0x80,
+            kind: AccessKind::Store,
+            dependent: true,
+        };
+        let text = access.to_string();
+        assert!(text.contains("ST"), "{text}");
+        assert!(text.contains("dep"), "{text}");
+
+        let quantum = TraceEvent::Compute {
+            cycles: 5,
+            instructions: 9,
+        };
+        assert_eq!(quantum.to_string(), "COMP 5 cyc / 9 inst");
+    }
+}

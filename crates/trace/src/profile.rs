@@ -1,0 +1,416 @@
+//! Workload profiles: the parameter sets that induce a benchmark's memory
+//! behaviour.
+
+use core::fmt;
+
+use crate::phase::PhaseSchedule;
+
+/// Periodic long-idle injection: models interactive/I/O-bound programs
+/// that block for OS-scale periods between bursts of work — the intervals
+/// classic idle-driven power gating targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleInjection {
+    /// Mean instructions executed between idle periods.
+    pub mean_interval_instructions: u64,
+    /// Length of each idle period in core cycles.
+    pub duration_cycles: u64,
+}
+
+impl IdleInjection {
+    /// Creates an injection spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is zero.
+    pub fn new(mean_interval_instructions: u64, duration_cycles: u64) -> Self {
+        assert!(
+            mean_interval_instructions > 0,
+            "idle interval must be non-zero"
+        );
+        assert!(duration_cycles > 0, "idle duration must be non-zero");
+        IdleInjection {
+            mean_interval_instructions,
+            duration_cycles,
+        }
+    }
+}
+
+/// The tuning knobs that determine a synthetic workload's memory behaviour.
+///
+/// Each field maps to an architecturally observable property of the SPEC
+/// benchmark class the profile imitates:
+///
+/// | field | induces |
+/// |---|---|
+/// | `mem_refs_per_kilo_inst` | L1 access rate, and with `working_set_bytes`, the LLC MPKI |
+/// | `working_set_bytes` | whether references fit in cache (compute-bound) or not (memory-bound) |
+/// | `spatial_locality` | sequential-run length → L1/L2 hit rate and DRAM row-buffer hit rate |
+/// | `hot_regions` | number of concurrently active address regions → DRAM bank-level parallelism |
+/// | `pointer_chase_fraction` | dependent misses → destroys MLP, serializes stalls (mcf-style) |
+/// | `write_fraction` | store traffic (posted, does not stall the core) |
+/// | `compute_ipc` | issue rate of cache-resident quanta |
+///
+/// Construct with the presets ([`WorkloadProfile::mem_bound`],
+/// [`WorkloadProfile::compute_bound`], [`WorkloadProfile::mixed`]) or the
+/// [`ProfileBuilder`] for full control:
+///
+/// ```
+/// use mapg_trace::WorkloadProfile;
+///
+/// let custom = WorkloadProfile::builder("streaming")
+///     .mem_refs_per_kilo_inst(120.0)
+///     .working_set_bytes(64 << 20)
+///     .spatial_locality(0.95)
+///     .build();
+/// assert_eq!(custom.name(), "streaming");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    name: String,
+    mem_refs_per_kilo_inst: f64,
+    working_set_bytes: u64,
+    spatial_locality: f64,
+    hot_regions: u32,
+    pointer_chase_fraction: f64,
+    write_fraction: f64,
+    compute_ipc: f64,
+    phases: PhaseSchedule,
+    idle_injection: Option<IdleInjection>,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile with neutral (mixed-workload) defaults.
+    pub fn builder(name: impl Into<String>) -> ProfileBuilder {
+        ProfileBuilder::new(name)
+    }
+
+    /// A memory-bound profile in the style of `mcf`/`lbm`: large working
+    /// set, high reference rate, significant pointer chasing.
+    pub fn mem_bound(name: impl Into<String>) -> Self {
+        ProfileBuilder::new(name)
+            .mem_refs_per_kilo_inst(90.0)
+            .working_set_bytes(256 << 20)
+            .spatial_locality(0.45)
+            .hot_regions(8)
+            .pointer_chase_fraction(0.45)
+            .compute_ipc(1.2)
+            .phases(PhaseSchedule::mostly_memory())
+            .build()
+    }
+
+    /// A compute-bound profile in the style of `namd`/`h264ref`: cache
+    /// resident working set, sparse memory traffic.
+    pub fn compute_bound(name: impl Into<String>) -> Self {
+        ProfileBuilder::new(name)
+            .mem_refs_per_kilo_inst(50.0)
+            .working_set_bytes(192 << 10)
+            .spatial_locality(0.9)
+            .hot_regions(2)
+            .pointer_chase_fraction(0.02)
+            .compute_ipc(2.4)
+            .phases(PhaseSchedule::mostly_compute())
+            .build()
+    }
+
+    /// A phase-alternating profile in the style of `gcc`/`astar`.
+    pub fn mixed(name: impl Into<String>) -> Self {
+        ProfileBuilder::new(name)
+            .mem_refs_per_kilo_inst(70.0)
+            .working_set_bytes(16 << 20)
+            .spatial_locality(0.7)
+            .hot_regions(4)
+            .pointer_chase_fraction(0.2)
+            .compute_ipc(1.8)
+            .phases(PhaseSchedule::alternating())
+            .build()
+    }
+
+    /// The profile's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Memory references per 1000 instructions (before phase modulation).
+    pub fn mem_refs_per_kilo_inst(&self) -> f64 {
+        self.mem_refs_per_kilo_inst
+    }
+
+    /// Working-set size in bytes.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.working_set_bytes
+    }
+
+    /// Probability that a reference continues the current sequential run.
+    pub fn spatial_locality(&self) -> f64 {
+        self.spatial_locality
+    }
+
+    /// Number of concurrently hot address regions.
+    pub fn hot_regions(&self) -> u32 {
+        self.hot_regions
+    }
+
+    /// Fraction of references that depend on the previous outstanding miss.
+    pub fn pointer_chase_fraction(&self) -> f64 {
+        self.pointer_chase_fraction
+    }
+
+    /// Fraction of references that are stores.
+    pub fn write_fraction(&self) -> f64 {
+        self.write_fraction
+    }
+
+    /// Issue rate (instructions per cycle) of cache-resident compute quanta.
+    pub fn compute_ipc(&self) -> f64 {
+        self.compute_ipc
+    }
+
+    /// The phase schedule describing the workload's temporal structure.
+    pub fn phases(&self) -> &PhaseSchedule {
+        &self.phases
+    }
+
+    /// The long-idle injection spec, when configured.
+    pub fn idle_injection(&self) -> Option<IdleInjection> {
+        self.idle_injection
+    }
+
+    /// Returns a copy with a different name (useful when sweeping one
+    /// parameter across variants of a base profile).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        let mut copy = self.clone();
+        copy.name = name.into();
+        copy
+    }
+
+    /// Returns a copy with the reference rate scaled by `factor`, used by
+    /// sensitivity sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn with_mem_intensity_scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "intensity factor must be positive, got {factor}"
+        );
+        let mut copy = self.clone();
+        copy.mem_refs_per_kilo_inst =
+            (copy.mem_refs_per_kilo_inst * factor).min(1000.0);
+        copy
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (refs/ki={:.0}, ws={} MiB, chase={:.0}%)",
+            self.name,
+            self.mem_refs_per_kilo_inst,
+            self.working_set_bytes >> 20,
+            self.pointer_chase_fraction * 100.0
+        )
+    }
+}
+
+/// Builder for [`WorkloadProfile`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#builders-enable-construction-of-complex-values-c-builder
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl ProfileBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.into(),
+                mem_refs_per_kilo_inst: 70.0,
+                working_set_bytes: 16 << 20,
+                spatial_locality: 0.7,
+                hot_regions: 4,
+                pointer_chase_fraction: 0.1,
+                write_fraction: 0.3,
+                compute_ipc: 2.0,
+                phases: PhaseSchedule::alternating(),
+                idle_injection: None,
+            },
+        }
+    }
+
+    /// Sets memory references per kilo-instruction (clamped to `(0, 1000]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not in `(0, 1000]` (a reference rate above one
+    /// per instruction is not representable in the event stream).
+    pub fn mem_refs_per_kilo_inst(mut self, rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1000.0,
+            "mem_refs_per_kilo_inst must be in (0, 1000], got {rate}"
+        );
+        self.profile.mem_refs_per_kilo_inst = rate;
+        self
+    }
+
+    /// Sets the working-set size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if smaller than one cache line (64 B).
+    pub fn working_set_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes >= 64, "working set must hold at least one line");
+        self.profile.working_set_bytes = bytes;
+        self
+    }
+
+    /// Sets the sequential-continuation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in `[0, 1)` (a locality of exactly 1.0 would never
+    /// start a new run and degenerate to a single stream).
+    pub fn spatial_locality(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "locality must be in [0,1), got {p}");
+        self.profile.spatial_locality = p;
+        self
+    }
+
+    /// Sets the number of hot regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn hot_regions(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one hot region is required");
+        self.profile.hot_regions = n;
+        self
+    }
+
+    /// Sets the dependent-access fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in `[0, 1]`.
+    pub fn pointer_chase_fraction(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fraction must be in [0,1], got {p}");
+        self.profile.pointer_chase_fraction = p;
+        self
+    }
+
+    /// Sets the store fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in `[0, 1]`.
+    pub fn write_fraction(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fraction must be in [0,1], got {p}");
+        self.profile.write_fraction = p;
+        self
+    }
+
+    /// Sets the compute-quantum issue rate in instructions per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in `(0, 8]`.
+    pub fn compute_ipc(mut self, ipc: f64) -> Self {
+        assert!(ipc > 0.0 && ipc <= 8.0, "IPC must be in (0, 8], got {ipc}");
+        self.profile.compute_ipc = ipc;
+        self
+    }
+
+    /// Sets the phase schedule.
+    pub fn phases(mut self, schedule: PhaseSchedule) -> Self {
+        self.profile.phases = schedule;
+        self
+    }
+
+    /// Enables periodic long-idle injection (interactive/I/O behaviour).
+    pub fn idle_injection(mut self, injection: IdleInjection) -> Self {
+        self.profile.idle_injection = Some(injection);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> WorkloadProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        let mem = WorkloadProfile::mem_bound("m");
+        let cpu = WorkloadProfile::compute_bound("c");
+        assert!(mem.mem_refs_per_kilo_inst() > cpu.mem_refs_per_kilo_inst());
+        assert!(mem.working_set_bytes() > cpu.working_set_bytes());
+        assert!(mem.pointer_chase_fraction() > cpu.pointer_chase_fraction());
+        assert!(cpu.compute_ipc() > mem.compute_ipc());
+    }
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let p = WorkloadProfile::builder("x")
+            .mem_refs_per_kilo_inst(10.0)
+            .working_set_bytes(1 << 20)
+            .spatial_locality(0.5)
+            .hot_regions(3)
+            .pointer_chase_fraction(0.4)
+            .write_fraction(0.1)
+            .compute_ipc(1.0)
+            .build();
+        assert_eq!(p.mem_refs_per_kilo_inst(), 10.0);
+        assert_eq!(p.working_set_bytes(), 1 << 20);
+        assert_eq!(p.hot_regions(), 3);
+        assert_eq!(p.write_fraction(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_refs_per_kilo_inst")]
+    fn rejects_impossible_reference_rate() {
+        let _ = WorkloadProfile::builder("x").mem_refs_per_kilo_inst(1500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality")]
+    fn rejects_degenerate_locality() {
+        let _ = WorkloadProfile::builder("x").spatial_locality(1.0);
+    }
+
+    #[test]
+    fn renamed_keeps_parameters() {
+        let base = WorkloadProfile::mem_bound("a");
+        let copy = base.renamed("b");
+        assert_eq!(copy.name(), "b");
+        assert_eq!(
+            copy.mem_refs_per_kilo_inst(),
+            base.mem_refs_per_kilo_inst()
+        );
+    }
+
+    #[test]
+    fn intensity_scaling_clamps() {
+        let base = WorkloadProfile::mem_bound("a");
+        let hot = base.with_mem_intensity_scaled(10.0);
+        assert!(hot.mem_refs_per_kilo_inst() <= 1000.0);
+        let cool = base.with_mem_intensity_scaled(0.5);
+        assert!(
+            (cool.mem_refs_per_kilo_inst()
+                - base.mem_refs_per_kilo_inst() * 0.5)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let p = WorkloadProfile::mixed("gcc_like");
+        assert!(p.to_string().contains("gcc_like"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline statistics over a trace prefix, used for workload
+//! characterization tables (experiment R-T2) and for validating that the
+//! generator produces what its profile promises.
+
+use std::collections::HashSet;
+
+use crate::address::LINE_BYTES;
+use crate::event::{AccessKind, TraceEvent};
+use crate::generator::EventSource;
+
+/// Summary statistics of a trace prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Instructions retired in the measured prefix.
+    pub instructions: u64,
+    /// Core cycles the compute quanta occupy (no memory time).
+    pub compute_cycles: u64,
+    /// Total memory references.
+    pub mem_refs: u64,
+    /// Load references.
+    pub loads: u64,
+    /// Store references.
+    pub stores: u64,
+    /// References flagged as dependent on the previous miss.
+    pub dependent_refs: u64,
+    /// Distinct cache lines touched.
+    pub unique_lines: u64,
+    /// Injected idle periods encountered.
+    pub idle_periods: u64,
+    /// Total injected idle cycles.
+    pub idle_cycles: u64,
+}
+
+impl TraceStats {
+    /// Consumes events from `source` until at least `instructions`
+    /// instructions have retired and summarizes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn collect<S: EventSource>(source: &mut S, instructions: u64) -> Self {
+        assert!(instructions > 0, "must measure at least one instruction");
+        let mut stats = TraceStats {
+            instructions: 0,
+            compute_cycles: 0,
+            mem_refs: 0,
+            loads: 0,
+            stores: 0,
+            dependent_refs: 0,
+            unique_lines: 0,
+            idle_periods: 0,
+            idle_cycles: 0,
+        };
+        let mut lines = HashSet::new();
+        while stats.instructions < instructions {
+            match source.next_event() {
+                TraceEvent::Compute {
+                    cycles,
+                    instructions: insts,
+                } => {
+                    stats.compute_cycles += cycles;
+                    stats.instructions += insts;
+                }
+                TraceEvent::MemAccess(access) => {
+                    stats.instructions += 1;
+                    stats.mem_refs += 1;
+                    match access.kind {
+                        AccessKind::Load => stats.loads += 1,
+                        AccessKind::Store => stats.stores += 1,
+                    }
+                    if access.dependent {
+                        stats.dependent_refs += 1;
+                    }
+                    lines.insert(access.addr / LINE_BYTES);
+                }
+                TraceEvent::Idle { cycles } => {
+                    stats.idle_periods += 1;
+                    stats.idle_cycles += cycles;
+                }
+            }
+        }
+        stats.unique_lines = lines.len() as u64;
+        stats
+    }
+
+    /// Memory references per kilo-instruction.
+    pub fn refs_per_kilo_inst(&self) -> f64 {
+        self.mem_refs as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Fraction of references that are dependent (pointer-chasing).
+    pub fn dependent_fraction(&self) -> f64 {
+        if self.mem_refs == 0 {
+            0.0
+        } else {
+            self.dependent_refs as f64 / self.mem_refs as f64
+        }
+    }
+
+    /// Footprint touched by the prefix, in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_lines * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticWorkload;
+    use crate::profile::WorkloadProfile;
+
+    #[test]
+    fn conservation_of_references() {
+        let mut w =
+            SyntheticWorkload::new(&WorkloadProfile::mixed("cons"), 17);
+        let stats = TraceStats::collect(&mut w, 500_000);
+        assert_eq!(stats.mem_refs, stats.loads + stats.stores);
+        assert!(stats.instructions >= 500_000);
+        assert!(stats.dependent_refs <= stats.mem_refs);
+        assert!(stats.unique_lines <= stats.mem_refs);
+    }
+
+    #[test]
+    fn footprint_bounded_by_working_set() {
+        let profile = WorkloadProfile::builder("fp")
+            .working_set_bytes(1 << 20)
+            .mem_refs_per_kilo_inst(400.0)
+            .build();
+        let mut w = SyntheticWorkload::new(&profile, 4);
+        let stats = TraceStats::collect(&mut w, 1_000_000);
+        assert!(stats.footprint_bytes() <= 1 << 20);
+        // A dense reference stream should touch a decent chunk of it.
+        assert!(stats.footprint_bytes() > 1 << 16);
+    }
+
+    #[test]
+    fn dependent_fraction_tracks_profile() {
+        let profile = WorkloadProfile::builder("dep")
+            .pointer_chase_fraction(0.5)
+            .mem_refs_per_kilo_inst(300.0)
+            .build();
+        let mut w = SyntheticWorkload::new(&profile, 21);
+        let stats = TraceStats::collect(&mut w, 1_000_000);
+        assert!(
+            (stats.dependent_fraction() - 0.5).abs() < 0.03,
+            "dependent fraction {}",
+            stats.dependent_fraction()
+        );
+    }
+
+    #[test]
+    fn zero_refs_dependent_fraction_is_zero() {
+        let stats = TraceStats {
+            instructions: 10,
+            compute_cycles: 5,
+            mem_refs: 0,
+            loads: 0,
+            stores: 0,
+            dependent_refs: 0,
+            unique_lines: 0,
+            idle_periods: 0,
+            idle_cycles: 0,
+        };
+        assert_eq!(stats.dependent_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn rejects_zero_length_measurement() {
+        let mut w = SyntheticWorkload::new(&WorkloadProfile::mixed("z"), 1);
+        let _ = TraceStats::collect(&mut w, 0);
+    }
+}

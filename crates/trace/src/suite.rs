@@ -1,0 +1,294 @@
+//! The reproduction's workload suite.
+//!
+//! Twelve profiles spanning the memory-intensity spectrum of SPEC CPU2006,
+//! the suite MAPG's evaluation draws from. Each profile's parameters were
+//! chosen so that, when run through the workspace's default hierarchy
+//! (32 KiB L1 / 2 MiB L2 / DDR3-class DRAM), the induced LLC MPKI and
+//! memory-stall fraction land in the published range for its namesake
+//! class. The `_like` suffix is a reminder that these are *behavioural
+//! stand-ins*, not the benchmarks themselves (see DESIGN.md §2).
+
+use crate::phase::{Phase, PhaseSchedule};
+use crate::profile::WorkloadProfile;
+
+/// The full reproduction suite.
+///
+/// ```
+/// use mapg_trace::WorkloadSuite;
+///
+/// let suite = WorkloadSuite::spec_like();
+/// assert_eq!(suite.profiles().len(), 12);
+/// assert!(suite.profiles().iter().any(|p| p.name() == "mcf_like"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadSuite {
+    profiles: Vec<WorkloadProfile>,
+}
+
+impl WorkloadSuite {
+    /// The twelve-profile SPEC-CPU2006-like suite.
+    pub fn spec_like() -> Self {
+        let profiles = vec![
+            // --- memory-bound tier -------------------------------------
+            // mcf: graph/network simplex; pointer chasing dominates, poor
+            // locality, huge working set. The canonical stall machine.
+            WorkloadProfile::builder("mcf_like")
+                .mem_refs_per_kilo_inst(75.0)
+                .working_set_bytes(512 << 20)
+                .spatial_locality(0.3)
+                .hot_regions(6)
+                .pointer_chase_fraction(0.65)
+                .write_fraction(0.25)
+                .compute_ipc(1.0)
+                .phases(PhaseSchedule::mostly_memory())
+                .build(),
+            // lbm: lattice-Boltzmann streaming; high bandwidth, very
+            // regular strides, little dependence.
+            WorkloadProfile::builder("lbm_like")
+                .mem_refs_per_kilo_inst(200.0)
+                .working_set_bytes(384 << 20)
+                .spatial_locality(0.98)
+                .hot_regions(12)
+                .pointer_chase_fraction(0.05)
+                .write_fraction(0.45)
+                .compute_ipc(1.4)
+                .phases(PhaseSchedule::mostly_memory())
+                .build(),
+            // libquantum: quantum simulation over one huge vector;
+            // streaming with near-zero reuse.
+            WorkloadProfile::builder("libquantum_like")
+                .mem_refs_per_kilo_inst(180.0)
+                .working_set_bytes(256 << 20)
+                .spatial_locality(0.985)
+                .hot_regions(2)
+                .pointer_chase_fraction(0.02)
+                .write_fraction(0.35)
+                .compute_ipc(1.6)
+                .phases(PhaseSchedule::stationary(Phase::MemoryIntensive))
+                .build(),
+            // milc: lattice QCD; strided sweeps over large arrays.
+            WorkloadProfile::builder("milc_like")
+                .mem_refs_per_kilo_inst(140.0)
+                .working_set_bytes(192 << 20)
+                .spatial_locality(0.93)
+                .hot_regions(8)
+                .pointer_chase_fraction(0.1)
+                .write_fraction(0.3)
+                .compute_ipc(1.3)
+                .phases(PhaseSchedule::mostly_memory())
+                .build(),
+            // soplex: sparse LP solver; indirection through index vectors.
+            WorkloadProfile::builder("soplex_like")
+                .mem_refs_per_kilo_inst(65.0)
+                .working_set_bytes(128 << 20)
+                .spatial_locality(0.55)
+                .hot_regions(6)
+                .pointer_chase_fraction(0.35)
+                .write_fraction(0.2)
+                .compute_ipc(1.3)
+                .phases(PhaseSchedule::mostly_memory())
+                .build(),
+            // omnetpp: discrete-event simulator; heap-allocated event
+            // objects, pointer-rich, medium footprint.
+            WorkloadProfile::builder("omnetpp_like")
+                .mem_refs_per_kilo_inst(55.0)
+                .working_set_bytes(96 << 20)
+                .spatial_locality(0.4)
+                .hot_regions(5)
+                .pointer_chase_fraction(0.45)
+                .write_fraction(0.3)
+                .compute_ipc(1.2)
+                .phases(PhaseSchedule::mostly_memory())
+                .build(),
+            // --- mixed tier ---------------------------------------------
+            // gcc: strongly phased (parse / optimize / allocate).
+            WorkloadProfile::builder("gcc_like")
+                .mem_refs_per_kilo_inst(65.0)
+                .working_set_bytes(48 << 20)
+                .spatial_locality(0.65)
+                .hot_regions(4)
+                .pointer_chase_fraction(0.25)
+                .write_fraction(0.3)
+                .compute_ipc(1.8)
+                .phases(PhaseSchedule::alternating())
+                .build(),
+            // astar: path-finding; pointer-ish but modest footprint.
+            WorkloadProfile::builder("astar_like")
+                .mem_refs_per_kilo_inst(45.0)
+                .working_set_bytes(32 << 20)
+                .spatial_locality(0.55)
+                .hot_regions(3)
+                .pointer_chase_fraction(0.3)
+                .write_fraction(0.25)
+                .compute_ipc(1.6)
+                .phases(PhaseSchedule::alternating())
+                .build(),
+            // bzip2: block compression; bursty table accesses, good reuse.
+            WorkloadProfile::builder("bzip2_like")
+                .mem_refs_per_kilo_inst(100.0)
+                .working_set_bytes(8 << 20)
+                .spatial_locality(0.8)
+                .hot_regions(2)
+                .pointer_chase_fraction(0.1)
+                .write_fraction(0.35)
+                .compute_ipc(2.0)
+                .phases(PhaseSchedule::alternating())
+                .build(),
+            // --- compute-bound tier -------------------------------------
+            // perlbench: interpreter loop, hot bytecode tables.
+            WorkloadProfile::builder("perlbench_like")
+                .mem_refs_per_kilo_inst(90.0)
+                .working_set_bytes(1 << 20)
+                .spatial_locality(0.85)
+                .hot_regions(2)
+                .pointer_chase_fraction(0.05)
+                .write_fraction(0.3)
+                .compute_ipc(2.2)
+                .phases(PhaseSchedule::mostly_compute())
+                .build(),
+            // h264ref: video encoder; macroblock-local computation.
+            WorkloadProfile::builder("h264ref_like")
+                .mem_refs_per_kilo_inst(70.0)
+                .working_set_bytes(512 << 10)
+                .spatial_locality(0.9)
+                .hot_regions(2)
+                .pointer_chase_fraction(0.02)
+                .write_fraction(0.25)
+                .compute_ipc(2.6)
+                .phases(PhaseSchedule::mostly_compute())
+                .build(),
+            // namd: molecular dynamics; tight cache-resident kernels.
+            WorkloadProfile::builder("namd_like")
+                .mem_refs_per_kilo_inst(50.0)
+                .working_set_bytes(256 << 10)
+                .spatial_locality(0.92)
+                .hot_regions(1)
+                .pointer_chase_fraction(0.01)
+                .write_fraction(0.2)
+                .compute_ipc(2.8)
+                .phases(PhaseSchedule::stationary(Phase::ComputeIntensive))
+                .build(),
+        ];
+        WorkloadSuite { profiles }
+    }
+
+    /// A two-profile suite (one memory-bound, one compute-bound) for quick
+    /// sensitivity experiments where the full suite would be noise.
+    pub fn extremes() -> Self {
+        WorkloadSuite {
+            profiles: vec![
+                WorkloadProfile::mem_bound("mem_bound"),
+                WorkloadProfile::compute_bound("compute_bound"),
+            ],
+        }
+    }
+
+    /// The profiles in the suite.
+    pub fn profiles(&self) -> &[WorkloadProfile] {
+        &self.profiles
+    }
+
+    /// Looks a profile up by name.
+    pub fn get(&self, name: &str) -> Option<&WorkloadProfile> {
+        self.profiles.iter().find(|p| p.name() == name)
+    }
+
+    /// Iterates over the profiles.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkloadProfile> {
+        self.profiles.iter()
+    }
+
+    /// Number of profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+impl FromIterator<WorkloadProfile> for WorkloadSuite {
+    fn from_iter<I: IntoIterator<Item = WorkloadProfile>>(iter: I) -> Self {
+        WorkloadSuite {
+            profiles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WorkloadSuite {
+    type Item = &'a WorkloadProfile;
+    type IntoIter = std::slice::Iter<'a, WorkloadProfile>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.profiles.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_distinctly_named_profiles() {
+        let suite = WorkloadSuite::spec_like();
+        assert_eq!(suite.len(), 12);
+        let mut names: Vec<_> =
+            suite.iter().map(|p| p.name().to_owned()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12, "duplicate profile names");
+    }
+
+    #[test]
+    fn tiers_are_ordered_by_intensity() {
+        let suite = WorkloadSuite::spec_like();
+        let rate = |name: &str| {
+            suite.get(name).expect(name).mem_refs_per_kilo_inst()
+        };
+        assert!(rate("mcf_like") > rate("gcc_like"));
+        assert!(rate("gcc_like") > rate("namd_like"));
+    }
+
+    #[test]
+    fn mcf_is_the_pointer_chaser() {
+        let suite = WorkloadSuite::spec_like();
+        let max_chase = suite
+            .iter()
+            .max_by(|a, b| {
+                a.pointer_chase_fraction()
+                    .partial_cmp(&b.pointer_chase_fraction())
+                    .expect("fractions are finite")
+            })
+            .expect("suite not empty");
+        assert_eq!(max_chase.name(), "mcf_like");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let suite = WorkloadSuite::spec_like();
+        assert!(suite.get("lbm_like").is_some());
+        assert!(suite.get("missing").is_none());
+    }
+
+    #[test]
+    fn extremes_has_both_poles() {
+        let suite = WorkloadSuite::extremes();
+        assert_eq!(suite.len(), 2);
+        assert!(!suite.is_empty());
+        assert!(suite.get("mem_bound").is_some());
+        assert!(suite.get("compute_bound").is_some());
+    }
+
+    #[test]
+    fn collect_into_suite() {
+        let suite: WorkloadSuite = WorkloadSuite::spec_like()
+            .iter()
+            .filter(|p| p.name().starts_with('m'))
+            .cloned()
+            .collect();
+        assert!(suite.iter().all(|p| p.name().starts_with('m')));
+        assert!(!suite.is_empty());
+    }
+}

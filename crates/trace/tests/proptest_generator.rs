@@ -1,0 +1,128 @@
+//! Property tests over the synthetic workload generator: for any valid
+//! profile, the emitted stream must respect the profile's promises.
+
+use proptest::prelude::*;
+
+use mapg_trace::{
+    AccessKind, EventSource, Phase, PhaseSchedule, SyntheticWorkload,
+    TraceEvent, TraceStats, WorkloadProfile,
+};
+
+fn profiles() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        5.0f64..500.0,
+        14u32..26,
+        0.0f64..0.99,
+        1u32..16,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.5f64..4.0,
+    )
+        .prop_map(|(rate, ws_log2, loc, regions, chase, wr, ipc)| {
+            WorkloadProfile::builder("prop")
+                .mem_refs_per_kilo_inst(rate)
+                .working_set_bytes(1u64 << ws_log2)
+                .spatial_locality(loc)
+                .hot_regions(regions)
+                .pointer_chase_fraction(chase)
+                .write_fraction(wr)
+                .compute_ipc(ipc)
+                .phases(PhaseSchedule::stationary(Phase::Balanced))
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn addresses_stay_inside_the_working_set(
+        profile in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let ws = profile.working_set_bytes();
+        let mut workload = SyntheticWorkload::new(&profile, seed);
+        let mut seen = 0;
+        while seen < 500 {
+            if let TraceEvent::MemAccess(access) = workload.next_event() {
+                prop_assert!(access.addr < ws, "{:#x} >= {ws:#x}", access.addr);
+                seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn measured_rates_track_the_profile(
+        profile in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let mut workload = SyntheticWorkload::new(&profile, seed);
+        let stats = TraceStats::collect(&mut workload, 300_000);
+        // Reference rate within 15% relative (stationary balanced phase).
+        let expected = profile.mem_refs_per_kilo_inst();
+        let measured = stats.refs_per_kilo_inst();
+        prop_assert!(
+            (measured - expected).abs() / expected < 0.15,
+            "rate {measured} vs expected {expected}"
+        );
+        // Dependent fraction within 10 points absolute.
+        prop_assert!(
+            (stats.dependent_fraction() - profile.pointer_chase_fraction())
+                .abs()
+                < 0.10
+        );
+        // Store fraction similar.
+        let store_fraction = if stats.mem_refs == 0 {
+            0.0
+        } else {
+            stats.stores as f64 / stats.mem_refs as f64
+        };
+        prop_assert!(
+            (store_fraction - profile.write_fraction()).abs() < 0.10
+        );
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed(
+        profile in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let mut a = SyntheticWorkload::new(&profile, seed);
+        let mut b = SyntheticWorkload::new(&profile, seed);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn compute_quanta_are_consistent(
+        profile in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let mut workload = SyntheticWorkload::new(&profile, seed);
+        for _ in 0..2_000 {
+            match workload.next_event() {
+                TraceEvent::Compute { cycles, instructions } => {
+                    prop_assert!(cycles >= 1);
+                    prop_assert!(instructions >= 1);
+                    // A quantum can never exceed 1 cycle per instruction
+                    // at IPC >= 1, nor fall below 1/IPC rounded up.
+                    let expected = (instructions as f64
+                        / profile.compute_ipc())
+                        .ceil() as u64;
+                    prop_assert_eq!(cycles, expected.max(1));
+                }
+                TraceEvent::MemAccess(access) => {
+                    prop_assert!(matches!(
+                        access.kind,
+                        AccessKind::Load | AccessKind::Store
+                    ));
+                }
+                TraceEvent::Idle { .. } => prop_assert!(
+                    false,
+                    "profiles without idle injection must not emit Idle"
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Electrical quantities used by the power-gating circuit model.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+use crate::energy::Watts;
+
+/// A voltage in volts.
+///
+/// ```
+/// use mapg_units::{Amperes, Volts};
+/// let p = Volts::new(0.9) * Amperes::new(2.0);
+/// assert_eq!(p.as_watts(), 1.8);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Volts(f64);
+
+impl Volts {
+    /// Zero volts.
+    pub const ZERO: Volts = Volts(0.0);
+
+    /// Creates a voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "Volts cannot be NaN");
+        Volts(value)
+    }
+
+    /// Returns the raw value in volts.
+    #[inline]
+    pub const fn as_volts(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+impl Add for Volts {
+    type Output = Volts;
+    #[inline]
+    fn add(self, rhs: Volts) -> Volts {
+        Volts(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Volts {
+    type Output = Volts;
+    #[inline]
+    fn sub(self, rhs: Volts) -> Volts {
+        Volts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Volts {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: f64) -> Volts {
+        Volts(self.0 * rhs)
+    }
+}
+
+impl Div<Volts> for Volts {
+    type Output = f64;
+    /// Dimensionless voltage ratio (e.g. V/V_nominal scaling factors).
+    #[inline]
+    fn div(self, rhs: Volts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// A current in amperes.
+///
+/// Used for the rush-current (di/dt) budget of the sleep-transistor network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Amperes(f64);
+
+impl Amperes {
+    /// Zero amperes.
+    pub const ZERO: Amperes = Amperes(0.0);
+
+    /// Creates a current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "Amperes cannot be NaN");
+        Amperes(value)
+    }
+
+    /// Returns the raw value in amperes.
+    #[inline]
+    pub const fn as_amps(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Amperes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() < 1.0 {
+            write!(f, "{:.1} mA", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3} A", self.0)
+        }
+    }
+}
+
+impl Add for Amperes {
+    type Output = Amperes;
+    #[inline]
+    fn add(self, rhs: Amperes) -> Amperes {
+        Amperes(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Amperes {
+    type Output = Amperes;
+    #[inline]
+    fn mul(self, rhs: f64) -> Amperes {
+        Amperes(self.0 * rhs)
+    }
+}
+
+impl Mul<Amperes> for Volts {
+    type Output = Watts;
+    /// Voltage times current yields power.
+    #[inline]
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts::new(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amperes {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amperes;
+    /// Power at a voltage implies current.
+    #[inline]
+    fn div(self, rhs: Volts) -> Amperes {
+        Amperes::new(self.as_watts() / rhs.as_volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_triangle() {
+        let v = Volts::new(1.1);
+        let i = Amperes::new(0.5);
+        let p = v * i;
+        assert!((p.as_watts() - 0.55).abs() < 1e-12);
+        assert!(((p / v).as_amps() - 0.5).abs() < 1e-12);
+        assert_eq!(i * v, p);
+    }
+
+    #[test]
+    fn voltage_arithmetic() {
+        let v = Volts::new(1.0);
+        assert_eq!(v + v, Volts::new(2.0));
+        assert_eq!(v - Volts::new(0.25), Volts::new(0.75));
+        assert_eq!(v * 0.5, Volts::new(0.5));
+        assert!((Volts::new(0.9) / Volts::new(1.2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_display_scales() {
+        assert_eq!(Amperes::new(0.012).to_string(), "12.0 mA");
+        assert_eq!(Amperes::new(2.5).to_string(), "2.500 A");
+        assert_eq!(Volts::new(0.85).to_string(), "0.850 V");
+    }
+
+    #[test]
+    fn current_arithmetic() {
+        assert_eq!(
+            Amperes::new(1.0) + Amperes::new(0.5),
+            Amperes::new(1.5)
+        );
+        assert_eq!(Amperes::new(2.0) * 3.0, Amperes::new(6.0));
+    }
+}

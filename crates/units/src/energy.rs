@@ -1,0 +1,344 @@
+//! Time, frequency, power and energy quantities.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Engineering-notation formatting shared by the f64-backed quantities.
+fn fmt_eng(value: f64, unit: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let (scaled, prefix) = match value.abs() {
+        0.0 => (value, ""),
+        v if v >= 1e9 => (value / 1e9, "G"),
+        v if v >= 1e6 => (value / 1e6, "M"),
+        v if v >= 1e3 => (value / 1e3, "k"),
+        v if v >= 1.0 => (value, ""),
+        v if v >= 1e-3 => (value * 1e3, "m"),
+        v if v >= 1e-6 => (value * 1e6, "u"),
+        v if v >= 1e-9 => (value * 1e9, "n"),
+        v if v >= 1e-12 => (value * 1e12, "p"),
+        _ => (value * 1e15, "f"),
+    };
+    write!(f, "{scaled:.3} {prefix}{unit}")
+}
+
+macro_rules! f64_quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal, $as_fn:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates the quantity from a raw value in base SI units.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN (quantities must stay totally
+            /// comparable so simulation reports can be sorted and summed).
+            #[inline]
+            pub fn new(value: f64) -> Self {
+                assert!(!value.is_nan(), concat!(stringify!($name), " cannot be NaN"));
+                $name(value)
+            }
+
+            /// Returns the raw value in base SI units.
+            #[inline]
+            pub const fn $as_fn(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt_eng(self.0, $unit, f)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            /// Dimensionless ratio of two quantities.
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+f64_quantity!(
+    /// A duration in seconds.
+    ///
+    /// ```
+    /// use mapg_units::Seconds;
+    /// let t = Seconds::from_nanos(250.0);
+    /// assert!((t.as_secs() - 2.5e-7).abs() < 1e-18);
+    /// ```
+    Seconds,
+    "s",
+    as_secs
+);
+
+f64_quantity!(
+    /// An amount of energy in joules.
+    ///
+    /// ```
+    /// use mapg_units::{Joules, Seconds, Watts};
+    /// let e = Watts::new(2.0) * Seconds::new(3.0);
+    /// assert_eq!(e, Joules::new(6.0));
+    /// ```
+    Joules,
+    "J",
+    as_joules
+);
+
+f64_quantity!(
+    /// A power draw in watts.
+    ///
+    /// ```
+    /// use mapg_units::{Joules, Seconds, Watts};
+    /// let p = Joules::new(6.0) / Seconds::new(3.0);
+    /// assert_eq!(p, Watts::new(2.0));
+    /// ```
+    Watts,
+    "W",
+    as_watts
+);
+
+f64_quantity!(
+    /// A frequency in hertz.
+    ///
+    /// ```
+    /// use mapg_units::Hertz;
+    /// assert_eq!(Hertz::from_ghz(2.0).as_hz(), 2e9);
+    /// ```
+    Hertz,
+    "Hz",
+    as_hz
+);
+
+impl Seconds {
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds::new(ns * 1e-9)
+    }
+
+    /// This duration expressed in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.as_secs() * 1e9
+    }
+}
+
+impl Hertz {
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Hertz::new(ghz * 1e9)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz::new(mhz * 1e6)
+    }
+
+    /// The period of one clock cycle at this frequency.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.as_hz())
+    }
+}
+
+impl Joules {
+    /// Creates an energy from picojoules (the natural scale of per-event
+    /// energies in a core).
+    #[inline]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Joules::new(pj * 1e-12)
+    }
+
+    /// This energy expressed in millijoules.
+    #[inline]
+    pub fn as_millijoules(self) -> f64 {
+        self.as_joules() * 1e3
+    }
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Watts::new(mw * 1e-3)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Power sustained over a duration yields energy.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.as_watts() * rhs.as_secs())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Energy over a duration yields average power.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.as_joules() / rhs.as_secs())
+    }
+}
+
+impl Mul<Seconds> for Joules {
+    type Output = f64;
+    /// Energy-delay product, in joule-seconds. Returned as a bare `f64`
+    /// because J·s has no further algebra in this workspace.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.as_joules() * rhs.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_time_energy_triangle() {
+        let p = Watts::new(0.5);
+        let t = Seconds::new(4.0);
+        let e = p * t;
+        assert_eq!(e, Joules::new(2.0));
+        assert_eq!(e / t, p);
+        assert_eq!(t * p, e);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Hertz::from_ghz(2.5);
+        assert!((f.period().as_secs() - 0.4e-9).abs() < 1e-21);
+        assert_eq!(Hertz::from_mhz(2500.0), f);
+    }
+
+    #[test]
+    fn engineering_display() {
+        assert_eq!(Watts::new(0.035).to_string(), "35.000 mW");
+        assert_eq!(Joules::from_picojoules(12.0).to_string(), "12.000 pJ");
+        assert_eq!(Hertz::from_ghz(2.0).to_string(), "2.000 GHz");
+        assert_eq!(Seconds::new(0.0).to_string(), "0.000 s");
+    }
+
+    #[test]
+    fn scalar_algebra() {
+        let w = Watts::new(2.0);
+        assert_eq!(w * 2.0, Watts::new(4.0));
+        assert_eq!(2.0 * w, Watts::new(4.0));
+        assert_eq!(w / 2.0, Watts::new(1.0));
+        assert!((w / Watts::new(0.5) - 4.0).abs() < 1e-12);
+        assert_eq!(w + w - w, w);
+    }
+
+    #[test]
+    fn sums_and_extremes() {
+        let total: Joules = [1.0, 2.0, 3.0].into_iter().map(Joules::new).sum();
+        assert_eq!(total, Joules::new(6.0));
+        assert_eq!(Watts::new(1.0).max(Watts::new(2.0)), Watts::new(2.0));
+        assert_eq!(Watts::new(1.0).min(Watts::new(2.0)), Watts::new(1.0));
+    }
+
+    #[test]
+    fn edp_is_scalar() {
+        let edp = Joules::new(2.0) * Seconds::new(3.0);
+        assert!((edp - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Watts::new(f64::NAN);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert!((Seconds::from_nanos(5.0).as_nanos() - 5.0).abs() < 1e-12);
+        assert!((Joules::new(0.004).as_millijoules() - 4.0).abs() < 1e-12);
+        assert_eq!(Watts::from_milliwatts(250.0), Watts::new(0.25));
+    }
+}

@@ -1,0 +1,133 @@
+//! A validated dimensionless fraction in `[0, 1]`.
+
+use core::fmt;
+use core::ops::Mul;
+
+/// A dimensionless fraction guaranteed to lie in `[0.0, 1.0]`.
+///
+/// Residual-leakage fractions, miss rates, duty cycles and the like are all
+/// fractions; validating the range once at construction time removes a whole
+/// class of "entered 35 instead of 0.35" configuration bugs.
+///
+/// ```
+/// use mapg_units::Ratio;
+///
+/// let residual = Ratio::new(0.04); // 4 % leakage remains while gated
+/// assert_eq!(residual.value(), 0.04);
+/// assert_eq!(residual.complement().value(), 0.96);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero fraction.
+    pub const ZERO: Ratio = Ratio(0.0);
+    /// The unit fraction.
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Creates a ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[0.0, 1.0]` or not finite.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && (0.0..=1.0).contains(&value),
+            "ratio must be in [0, 1], got {value}"
+        );
+        Ratio(value)
+    }
+
+    /// Creates a ratio, clamping out-of-range values instead of panicking.
+    /// Useful when the value comes from measured statistics that may carry
+    /// floating-point dust slightly outside the range.
+    #[inline]
+    pub fn saturating(value: f64) -> Self {
+        Ratio(value.clamp(0.0, 1.0))
+    }
+
+    /// The raw fraction.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `1 - self`.
+    #[inline]
+    pub fn complement(self) -> Ratio {
+        Ratio(1.0 - self.0)
+    }
+
+    /// This fraction as a percentage (`0.35` → `35.0`).
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+impl Mul<Ratio> for Ratio {
+    type Output = Ratio;
+    /// Product of two fractions is a fraction.
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_complement() {
+        let r = Ratio::new(0.25);
+        assert_eq!(r.value(), 0.25);
+        assert_eq!(r.complement(), Ratio::new(0.75));
+        assert_eq!(r.as_percent(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn rejects_out_of_range() {
+        let _ = Ratio::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn rejects_negative() {
+        let _ = Ratio::new(-0.1);
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Ratio::saturating(1.0000001), Ratio::ONE);
+        assert_eq!(Ratio::saturating(-0.5), Ratio::ZERO);
+        assert_eq!(Ratio::saturating(0.5), Ratio::new(0.5));
+    }
+
+    #[test]
+    fn products() {
+        assert_eq!(Ratio::new(0.5) * Ratio::new(0.5), Ratio::new(0.25));
+        assert!((Ratio::new(0.5) * 10.0 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_percent() {
+        assert_eq!(Ratio::new(0.345).to_string(), "34.5%");
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: algebraic laws of the quantity types.
+
+use proptest::prelude::*;
+
+use mapg_units::{Cycle, Cycles, Hertz, Joules, Ratio, Seconds, Watts};
+
+proptest! {
+    #[test]
+    fn cycle_timestamp_algebra(base in 0u64..1 << 40, d1 in 0u64..1 << 20, d2 in 0u64..1 << 20) {
+        let t = Cycle::new(base);
+        let a = Cycles::new(d1);
+        let b = Cycles::new(d2);
+        // (t + a) + b == (t + b) + a (commutative shifts)
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        // (t + a) - t == a
+        prop_assert_eq!((t + a) - t, a);
+        // saturating_since is zero in the other direction
+        prop_assert_eq!(t.saturating_since(t + a + Cycles::new(1)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn duration_scale_bounds(raw in 0u64..1 << 30, factor in 0.0f64..8.0) {
+        let scaled = Cycles::new(raw).scale(factor);
+        let exact = raw as f64 * factor;
+        prop_assert!((scaled.raw() as f64 - exact).abs() <= 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn power_time_energy_consistency(p in 0.0f64..100.0, t in 1e-12f64..10.0) {
+        let power = Watts::new(p);
+        let time = Seconds::new(t);
+        let energy = power * time;
+        // E / t == p within floating error.
+        prop_assert!(((energy / time).as_watts() - p).abs() < 1e-9 * p.max(1.0));
+        prop_assert!(energy.as_joules() >= 0.0);
+    }
+
+    #[test]
+    fn cycles_at_frequency_round_trip(cycles in 1u64..1 << 30, ghz in 0.1f64..5.0) {
+        let clock = Hertz::from_ghz(ghz);
+        let time = Cycles::new(cycles).at(clock);
+        let back = time.as_secs() * clock.as_hz();
+        prop_assert!((back - cycles as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_complement_involution(value in 0.0f64..=1.0) {
+        let r = Ratio::saturating(value);
+        let twice = r.complement().complement();
+        prop_assert!((twice.value() - r.value()).abs() < 1e-12);
+        prop_assert!(r.value() + r.complement().value() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn energy_sums_are_order_independent(values in prop::collection::vec(0.0f64..1e3, 1..50)) {
+        let forward: Joules = values.iter().map(|&v| Joules::new(v)).sum();
+        let mut reversed = values.clone();
+        reversed.reverse();
+        let backward: Joules = reversed.iter().map(|&v| Joules::new(v)).sum();
+        prop_assert!((forward.as_joules() - backward.as_joules()).abs() < 1e-9);
+    }
+}

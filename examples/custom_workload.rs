@@ -1,0 +1,71 @@
+//! Building and characterizing a custom workload.
+//!
+//! Shows the full workload-authoring path a downstream user would take:
+//! define a profile with the builder, sanity-check what the generator
+//! actually emits with [`TraceStats`], then measure how much a gating
+//! policy can extract from it.
+//!
+//! ```bash
+//! cargo run --release --example custom_workload
+//! ```
+
+use mapg::{PolicyKind, SimConfig, Simulation};
+use mapg_trace::{
+    Phase, PhaseSchedule, SyntheticWorkload, TraceStats, WorkloadProfile,
+};
+
+fn main() {
+    // A hypothetical in-memory database scan: large working set, highly
+    // sequential, bursts of hash probing (the pointer-chase fraction).
+    let profile = WorkloadProfile::builder("db_scan")
+        .mem_refs_per_kilo_inst(160.0)
+        .working_set_bytes(128 << 20)
+        .spatial_locality(0.9)
+        .hot_regions(4)
+        .pointer_chase_fraction(0.15)
+        .write_fraction(0.1)
+        .compute_ipc(1.8)
+        .phases(PhaseSchedule::stationary(Phase::MemoryIntensive))
+        .build();
+    println!("profile: {profile}");
+
+    // What does the generator actually emit?
+    let mut workload = SyntheticWorkload::new(&profile, 99);
+    let stats = TraceStats::collect(&mut workload, 1_000_000);
+    println!("\n=== trace statistics over 1M instructions ===");
+    println!("memory refs / ki  : {:.1}", stats.refs_per_kilo_inst());
+    println!("loads / stores    : {} / {}", stats.loads, stats.stores);
+    println!(
+        "dependent fraction: {:.1}%",
+        stats.dependent_fraction() * 100.0
+    );
+    println!(
+        "footprint touched : {} MiB",
+        stats.footprint_bytes() >> 20
+    );
+
+    // And what can gating extract from it?
+    let config = SimConfig::default()
+        .with_profile(profile)
+        .with_instructions(1_000_000);
+    let baseline =
+        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    let mapg = Simulation::new(config, PolicyKind::Mapg).run();
+    println!("\n=== gating outcome ===");
+    println!("stall fraction    : {:.1}%", baseline.stall_fraction() * 100.0);
+    println!(
+        "LLC MPKI          : {:.1}",
+        baseline.memory.llc_mpki(baseline.instructions)
+    );
+    println!(
+        "core energy saved : {:+.1}%",
+        mapg.core_energy_savings_vs(&baseline) * 100.0
+    );
+    println!(
+        "runtime overhead  : {:+.2}%",
+        mapg.perf_overhead_vs(&baseline) * 100.0
+    );
+    if let Some(score) = &mapg.predictor {
+        println!("predictor         : {score}");
+    }
+}

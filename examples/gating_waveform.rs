@@ -1,0 +1,47 @@
+//! Export a gating waveform: run MAPG over a 4-core cluster with timeline
+//! recording on and dump a VCD you can open in GTKWave next to any other
+//! chip signal.
+//!
+//! ```bash
+//! cargo run --release --example gating_waveform
+//! gtkwave mapg_gating.vcd   # one 2-bit pg_state wire per core
+//! ```
+
+use std::error::Error;
+use std::fs::File;
+
+use mapg::{PolicyKind, SimConfig, Simulation};
+use mapg_cpu::CoreId;
+use mapg_trace::WorkloadProfile;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = SimConfig::default()
+        .with_profile(WorkloadProfile::mem_bound("waveform"))
+        .with_cores(4)
+        .with_instructions(20_000)
+        .with_timeline();
+    let report = Simulation::new(config, PolicyKind::Mapg).run();
+
+    let timeline = report
+        .timeline
+        .as_ref()
+        .expect("timeline recording was enabled");
+    println!(
+        "recorded {} power-state transitions across {} cores over {} cycles",
+        timeline.len(),
+        timeline.cores(),
+        report.makespan_cycles
+    );
+    for core in 0..timeline.cores() {
+        let sleeping = timeline.sleeping_cycles(CoreId(core));
+        println!(
+            "  core{core}: {sleeping} cycles collapsed ({:.1}% of makespan)",
+            sleeping as f64 * 100.0 / report.makespan_cycles as f64
+        );
+    }
+
+    let path = "mapg_gating.vcd";
+    timeline.to_vcd(File::create(path)?)?;
+    println!("\nwrote {path} — open with any VCD waveform viewer");
+    Ok(())
+}

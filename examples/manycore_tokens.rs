@@ -1,0 +1,53 @@
+//! Many-core gating with token-limited wake-ups.
+//!
+//! Sixteen memory-bound cores share one DRAM. Unthrottled, their wake
+//! ramps can coincide and the combined inrush current threatens the power
+//! delivery network; a token budget caps concurrent wake-ups at the price
+//! of token-wait latency. This example sweeps the budget and prints the
+//! trade — the TAP companion mechanism (experiment R-F8).
+//!
+//! ```bash
+//! cargo run --release --example manycore_tokens
+//! ```
+
+use mapg::{PolicyKind, SimConfig, Simulation};
+use mapg_power::{PgCircuitDesign, TechnologyParams};
+use mapg_trace::WorkloadProfile;
+
+fn main() {
+    const CORES: usize = 16;
+    let tech = TechnologyParams::bulk_45nm();
+    let per_core_rush = PgCircuitDesign::fast_wakeup(&tech).rush_current();
+
+    let base = SimConfig::default()
+        .with_profile(WorkloadProfile::mem_bound("manycore"))
+        .with_cores(CORES)
+        .with_instructions(100_000);
+    let baseline =
+        Simulation::new(base.clone(), PolicyKind::NoGating).run();
+    println!(
+        "{CORES} cores sharing one DRAM channel; per-core inrush {per_core_rush}"
+    );
+    println!(
+        "\n{:>8} {:>11} {:>11} {:>12} {:>10} {:>10}",
+        "tokens", "peak_wakes", "peak_rush", "token_wait", "savings", "overhead"
+    );
+    for budget in [CORES, 8, 4, 2, 1] {
+        let config = base.clone().with_tokens(budget);
+        let report = Simulation::new(config, PolicyKind::Mapg).run();
+        let peak = report.peak_concurrent_wakes;
+        println!(
+            "{:>8} {:>11} {:>11} {:>12} {:>9.1}% {:>9.2}%",
+            budget,
+            peak,
+            (per_core_rush * peak as f64).to_string(),
+            report.gating.token_delay_cycles,
+            report.core_energy_savings_vs(&baseline) * 100.0,
+            report.perf_overhead_vs(&baseline) * 100.0,
+        );
+    }
+    println!(
+        "\nshrinking the budget bounds the worst-case di/dt; the savings \
+         barely move until the budget drops below the natural wake overlap"
+    );
+}

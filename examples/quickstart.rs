@@ -1,0 +1,48 @@
+//! Quickstart: gate one memory-bound workload and compare against the
+//! no-power-management baseline.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mapg_repro::prelude::*;
+
+fn main() {
+    // A memory-bound workload (mcf-class behaviour), 1 M instructions on
+    // one 2 GHz core over the default 32K/2M/DDR3 hierarchy.
+    let config = SimConfig::default()
+        .with_profile(WorkloadProfile::mem_bound("quickstart"))
+        .with_instructions(1_000_000)
+        .with_seed(7);
+
+    println!("=== baseline: no power management ===");
+    let baseline =
+        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    print!("{baseline}");
+
+    println!("\n=== MAPG: predictive memory-access power gating ===");
+    let mapg = Simulation::new(config, PolicyKind::Mapg).run();
+    print!("{mapg}");
+
+    println!("\n=== verdict ===");
+    println!(
+        "core energy savings : {:+.1}%",
+        mapg.core_energy_savings_vs(&baseline) * 100.0
+    );
+    println!(
+        "leakage savings     : {:+.1}%",
+        mapg.leakage_savings_vs(&baseline) * 100.0
+    );
+    println!(
+        "runtime overhead    : {:+.2}%",
+        mapg.perf_overhead_vs(&baseline) * 100.0
+    );
+    println!(
+        "EDP improvement     : {:+.1}%",
+        -mapg.edp_delta_vs(&baseline) * 100.0
+    );
+    println!(
+        "stall time gated    : {:.1}%",
+        mapg.gated_stall_coverage() * 100.0
+    );
+}

@@ -1,0 +1,137 @@
+//! Property-based tests over the full simulation stack: for *any* valid
+//! workload/configuration point, the core invariants of the report must
+//! hold.
+
+use proptest::prelude::*;
+
+use mapg::{PolicyKind, SimConfig, Simulation};
+use mapg_trace::{Phase, PhaseSchedule, WorkloadProfile};
+
+/// Strategy over valid workload profiles.
+fn profiles() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        10.0f64..400.0,          // mem refs per kilo-instruction
+        18u32..28,               // log2 working set (256 KiB .. 128 MiB)
+        0.0f64..0.99,            // spatial locality
+        1u32..12,                // hot regions
+        0.0f64..0.8,             // pointer-chase fraction
+        0.0f64..0.6,             // write fraction
+        0.5f64..4.0,             // compute IPC
+        0usize..3,               // phase schedule selector
+    )
+        .prop_map(
+            |(rate, ws_log2, loc, regions, chase, wr, ipc, phase_sel)| {
+                let phases = match phase_sel {
+                    0 => PhaseSchedule::mostly_memory(),
+                    1 => PhaseSchedule::alternating(),
+                    _ => PhaseSchedule::stationary(Phase::Balanced),
+                };
+                WorkloadProfile::builder("prop")
+                    .mem_refs_per_kilo_inst(rate)
+                    .working_set_bytes(1u64 << ws_log2)
+                    .spatial_locality(loc)
+                    .hot_regions(regions)
+                    .pointer_chase_fraction(chase)
+                    .write_fraction(wr)
+                    .compute_ipc(ipc)
+                    .phases(phases)
+                    .build()
+            },
+        )
+}
+
+fn policies() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::NoGating),
+        Just(PolicyKind::ClockGating),
+        Just(PolicyKind::DvfsStall),
+        Just(PolicyKind::NaiveOnMiss),
+        Just(PolicyKind::Timeout { idle_cycles: 80 }),
+        Just(PolicyKind::Mapg),
+        Just(PolicyKind::MapgOracle),
+        Just(PolicyKind::MapgAlwaysGate),
+        Just(PolicyKind::MapgNoEarlyWake),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full simulation; keep the budget sane
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn report_invariants_hold_for_any_workload_and_policy(
+        profile in profiles(),
+        policy in policies(),
+        seed in 0u64..1_000,
+    ) {
+        let config = SimConfig::default()
+            .with_profile(profile)
+            .with_instructions(20_000)
+            .with_seed(seed);
+        let report = Simulation::new(config, policy).run();
+
+        // Work conservation.
+        prop_assert!(report.instructions >= 20_000);
+        prop_assert!(report.makespan_cycles > 0);
+
+        // Stall accounting.
+        let core = &report.core_stats[0];
+        prop_assert!(core.stall_cycles <= core.total_cycles);
+        prop_assert_eq!(
+            core.active_cycles() + core.stall_cycles,
+            core.total_cycles
+        );
+        prop_assert!(report.gating.gated <= report.gating.stalls);
+        prop_assert_eq!(core.stall_durations.count(), core.stall_count);
+
+        // Energy sanity: strictly positive, and the ledger partitions.
+        prop_assert!(report.total_energy().as_joules() > 0.0);
+        prop_assert!(report.core_energy() <= report.total_energy());
+        prop_assert!(report.leakage_energy() <= report.core_energy());
+
+        // Gated time can never exceed stalled time.
+        prop_assert!(
+            report.gating.gated_cycles <= core.stall_cycles,
+            "gated {} > stalled {}",
+            report.gating.gated_cycles,
+            core.stall_cycles
+        );
+    }
+
+    #[test]
+    fn determinism_for_any_configuration(
+        profile in profiles(),
+        policy in policies(),
+        seed in 0u64..1_000,
+    ) {
+        let config = SimConfig::default()
+            .with_profile(profile)
+            .with_instructions(10_000)
+            .with_seed(seed);
+        let a = Simulation::new(config.clone(), policy).run();
+        let b = Simulation::new(config, policy).run();
+        prop_assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        prop_assert_eq!(a.total_energy(), b.total_energy());
+        prop_assert_eq!(a.gating, b.gating);
+    }
+
+    #[test]
+    fn gating_never_reorders_the_instruction_stream(
+        profile in profiles(),
+        seed in 0u64..1_000,
+    ) {
+        // Gating may slow a run down but must retire exactly the same
+        // instruction count as the ungated run for the same target.
+        let config = SimConfig::default()
+            .with_profile(profile)
+            .with_instructions(10_000)
+            .with_seed(seed);
+        let ungated =
+            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let gated = Simulation::new(config, PolicyKind::Mapg).run();
+        prop_assert_eq!(ungated.instructions, gated.instructions);
+        prop_assert!(gated.makespan_cycles >= ungated.makespan_cycles);
+    }
+}
