@@ -22,8 +22,7 @@ fn bench_policies(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 b.iter(|| {
-                    let config =
-                        SimConfig::default().with_instructions(50_000);
+                    let config = SimConfig::default().with_instructions(50_000);
                     black_box(Simulation::new(config, policy).run())
                 });
             },

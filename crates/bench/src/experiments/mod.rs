@@ -17,6 +17,7 @@ pub mod rf12;
 pub mod rf13;
 pub mod rf14;
 pub mod rf15;
+pub mod rf16;
 pub mod rf2;
 pub mod rf3;
 pub mod rf4;
@@ -139,6 +140,11 @@ pub fn all() -> Vec<Experiment> {
             title: "extension: interactive workloads (stalls + OS idle)",
             run: rf15::run,
         },
+        Experiment {
+            id: "R-F16",
+            title: "extension: fault injection and safe-mode degradation",
+            run: rf16::run,
+        },
     ]
 }
 
@@ -172,11 +178,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let experiments = all();
-        assert_eq!(experiments.len(), 19);
+        assert_eq!(experiments.len(), 20);
         let mut ids: Vec<_> = experiments.iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 19, "duplicate experiment ids");
+        assert_eq!(ids.len(), 20, "duplicate experiment ids");
     }
 
     #[test]
@@ -191,11 +197,7 @@ mod tests {
     fn every_experiment_runs_at_smoke_scale() {
         for experiment in all() {
             let tables = (experiment.run)(Scale::Smoke);
-            assert!(
-                !tables.is_empty(),
-                "{} produced no tables",
-                experiment.id
-            );
+            assert!(!tables.is_empty(), "{} produced no tables", experiment.id);
             for table in &tables {
                 assert!(
                     !table.rows().is_empty(),

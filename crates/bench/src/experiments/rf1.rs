@@ -33,13 +33,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let config = base_config(scale).with_profile(profile.clone());
         let report = Simulation::new(config, PolicyKind::NoGating).run();
         // Stall-duration distribution is aggregated across cores.
-        let durations = report
-            .core_stats
-            .iter()
-            .fold(mapg_mem::LatencyHistogram::new(), |mut acc, core| {
-                acc.merge(&core.stall_durations);
-                acc
-            });
+        let durations =
+            report
+                .core_stats
+                .iter()
+                .fold(mapg_mem::LatencyHistogram::new(), |mut acc, core| {
+                    acc.merge(&core.stall_durations);
+                    acc
+                });
         table.push_row(vec![
             profile.name().to_owned(),
             format!("{:.1}", report.stall_fraction() * 100.0),

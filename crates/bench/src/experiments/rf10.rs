@@ -70,42 +70,36 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let marginal_config = base_config(scale)
         .with_profile(marginal_profile)
         .with_memory(fast_memory);
-    let marginal_baseline =
-        Simulation::new(marginal_config.clone(), PolicyKind::NoGating).run();
+    let marginal_baseline = Simulation::new(marginal_config.clone(), PolicyKind::NoGating).run();
     let mut marginal = Table::new(
         "R-F10b",
         "ablations near the break-even boundary (0.4x DRAM latency)",
-        vec!["variant", "gated%", "norm_core_E", "norm_runtime", "norm_EDP"],
+        vec![
+            "variant",
+            "gated%",
+            "norm_core_E",
+            "norm_runtime",
+            "norm_EDP",
+        ],
     );
     for policy in ABLATIONS.into_iter().skip(1) {
-        let report =
-            Simulation::new(marginal_config.clone(), policy).run();
+        let report = Simulation::new(marginal_config.clone(), policy).run();
         marginal.push_row(vec![
             policy.name().to_owned(),
             format!("{:.1}", report.gating.gated_fraction() * 100.0),
             ratio(report.core_energy() / marginal_baseline.core_energy()),
-            ratio(
-                report.makespan_cycles as f64
-                    / marginal_baseline.makespan_cycles as f64,
-            ),
+            ratio(report.makespan_cycles as f64 / marginal_baseline.makespan_cycles as f64),
             ratio(report.edp() / marginal_baseline.edp()),
         ]);
     }
 
     // Third mechanism: nap chaining (re-gate after an early wake).
-    let no_regate = Simulation::new(
-        marginal_config.without_regate(),
-        PolicyKind::Mapg,
-    )
-    .run();
+    let no_regate = Simulation::new(marginal_config.without_regate(), PolicyKind::Mapg).run();
     marginal.push_row(vec![
         "mapg-no-regate".to_owned(),
         format!("{:.1}", no_regate.gating.gated_fraction() * 100.0),
         ratio(no_regate.core_energy() / marginal_baseline.core_energy()),
-        ratio(
-            no_regate.makespan_cycles as f64
-                / marginal_baseline.makespan_cycles as f64,
-        ),
+        ratio(no_regate.makespan_cycles as f64 / marginal_baseline.makespan_cycles as f64),
         ratio(no_regate.edp() / marginal_baseline.edp()),
     ]);
     vec![table, marginal]
@@ -137,8 +131,7 @@ mod tests {
     fn full_mapg_has_best_edp_among_ablations() {
         let table = &run(Scale::Smoke)[0];
         let full = value(table, "mapg", "norm_EDP");
-        for variant in ["mapg-no-early-wake", "mapg-always-gate", "naive-on-miss"]
-        {
+        for variant in ["mapg-no-early-wake", "mapg-always-gate", "naive-on-miss"] {
             let ablated = value(table, variant, "norm_EDP");
             assert!(
                 full <= ablated + 0.02,

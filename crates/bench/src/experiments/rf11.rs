@@ -64,25 +64,19 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let config = base_config(scale)
                 .with_profile(profile.clone())
                 .with_memory(memory);
-            let baseline =
-                Simulation::new(config.clone(), PolicyKind::NoGating).run();
+            let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
             let mapg = Simulation::new(config, PolicyKind::Mapg).run();
             if label == "off" {
                 no_pf_runtime = baseline.makespan_cycles;
             }
-            let runtime_delta = baseline.makespan_cycles as f64
-                / no_pf_runtime as f64
-                - 1.0;
+            let runtime_delta = baseline.makespan_cycles as f64 / no_pf_runtime as f64 - 1.0;
             table.push_row(vec![
                 profile.name().to_owned(),
                 label.to_owned(),
                 format!("{:.1}", baseline.stall_fraction() * 100.0),
                 pct(runtime_delta),
                 pct(mapg.core_energy_savings_vs(&baseline)),
-                format!(
-                    "{:.0}%",
-                    baseline.memory.prefetch.accuracy() * 100.0
-                ),
+                format!("{:.0}%", baseline.memory.prefetch.accuracy() * 100.0),
             ]);
         }
     }
@@ -105,9 +99,8 @@ mod tests {
     fn prefetch_cuts_streaming_stalls_but_not_chasing() {
         let table = &run(Scale::Smoke)[0];
         // Rows: streaming/off, streaming/on, chase/off, chase/on.
-        let stall = |i: usize| -> f64 {
-            table.cell(i, "stall%").expect("cell").parse().expect("num")
-        };
+        let stall =
+            |i: usize| -> f64 { table.cell(i, "stall%").expect("cell").parse().expect("num") };
         assert!(
             stall(1) < stall(0) - 2.0,
             "prefetching should remove streaming stall time: {} !< {}",
@@ -122,8 +115,7 @@ mod tests {
         );
         // And it must never slow the program down (drop-under-load bounds
         // the interference).
-        let streaming_on =
-            parse_pct(table.cell(1, "runtime_vs_noPf").expect("cell"));
+        let streaming_on = parse_pct(table.cell(1, "runtime_vs_noPf").expect("cell"));
         assert!(streaming_on < 1.0, "runtime regressed: {streaming_on}%");
         // Streaming prefetches are accurate; the chaser never streaks.
         let accuracy = table.cell(1, "pf_accuracy").expect("cell");
@@ -134,10 +126,8 @@ mod tests {
     #[test]
     fn prefetch_reduces_streaming_gating_opportunity() {
         let table = &run(Scale::Smoke)[0];
-        let savings_off =
-            parse_pct(table.cell(0, "mapg_savings").expect("cell"));
-        let savings_on =
-            parse_pct(table.cell(1, "mapg_savings").expect("cell"));
+        let savings_off = parse_pct(table.cell(0, "mapg_savings").expect("cell"));
+        let savings_on = parse_pct(table.cell(1, "mapg_savings").expect("cell"));
         assert!(
             savings_on < savings_off,
             "prefetching must shrink gateable energy: {savings_on} !< {savings_off}"

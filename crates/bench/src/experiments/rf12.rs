@@ -17,8 +17,7 @@ use crate::table::{pct, Table};
 pub fn run(scale: Scale) -> Vec<Table> {
     let tech = TechnologyParams::bulk_45nm();
     let clock = tech.nominal_clock();
-    let baseline =
-        Simulation::new(base_config(scale), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(base_config(scale), PolicyKind::NoGating).run();
 
     let mut table = Table::new(
         "R-F12",
@@ -69,13 +68,15 @@ mod tests {
     fn non_retentive_leaks_less_but_costs_more_runtime() {
         let table = &run(Scale::Smoke)[0];
         let residual = |i: usize| -> f64 {
-            table.cell(i, "residual%").expect("cell").parse().expect("num")
+            table
+                .cell(i, "residual%")
+                .expect("cell")
+                .parse()
+                .expect("num")
         };
         assert!(residual(1) < residual(0), "non-retentive leaks less asleep");
-        let overhead_retentive =
-            parse_pct(table.cell(0, "overhead").expect("cell"));
-        let overhead_flush =
-            parse_pct(table.cell(1, "overhead").expect("cell"));
+        let overhead_retentive = parse_pct(table.cell(0, "overhead").expect("cell"));
+        let overhead_flush = parse_pct(table.cell(1, "overhead").expect("cell"));
         assert!(
             overhead_flush > overhead_retentive,
             "cold starts must cost runtime: {overhead_flush} !> {overhead_retentive}"

@@ -97,7 +97,11 @@ mod tests {
     fn leak_scale_tracks_temperature() {
         let table = &run(Scale::Smoke)[0];
         let scale_of = |i: usize| -> f64 {
-            table.cell(i, "leak_scale").expect("cell").parse().expect("num")
+            table
+                .cell(i, "leak_scale")
+                .expect("cell")
+                .parse()
+                .expect("num")
         };
         assert!(scale_of(2) < scale_of(0));
     }

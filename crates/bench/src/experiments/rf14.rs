@@ -36,21 +36,19 @@ pub fn run(scale: Scale) -> Vec<Table> {
         WorkloadProfile::compute_bound("compute_bound"),
     ] {
         let config = base_config(scale).with_profile(profile.clone());
-        let baseline =
-            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
         let clock = tech.nominal_clock();
         let core = &baseline.core_stats[0];
         let active = Cycles::new(core.active_cycles()).at(clock);
         let stalled = Cycles::new(core.stall_cycles).at(clock);
         // The comparable baseline burns clock-gated stalls (leakage only),
         // i.e. the nominal-point governor estimate.
-        let (base_runtime, base_energy) = OperatingPoint::nominal()
-            .estimate_interval_governor(&tech, active, stalled);
+        let (base_runtime, base_energy) =
+            OperatingPoint::nominal().estimate_interval_governor(&tech, active, stalled);
         let base_edp = base_energy * base_runtime;
 
         for point in [OperatingPoint::low(), OperatingPoint::min()] {
-            let (runtime, energy) =
-                point.estimate_interval_governor(&tech, active, stalled);
+            let (runtime, energy) = point.estimate_interval_governor(&tech, active, stalled);
             table.push_row(vec![
                 profile.name().to_owned(),
                 format!("dvfs@{}", point.name()),
@@ -61,8 +59,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         }
 
         // Measured MAPG, re-normalized to the same clock-gated baseline.
-        let clock_gated =
-            Simulation::new(config.clone(), PolicyKind::ClockGating).run();
+        let clock_gated = Simulation::new(config.clone(), PolicyKind::ClockGating).run();
         let mapg = Simulation::new(config, PolicyKind::Mapg).run();
         table.push_row(vec![
             profile.name().to_owned(),
@@ -83,9 +80,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let stretched_active = active / f_ratio;
         let runtime = stretched_active + stalled;
         let energy = tech.dynamic_power() * (v_ratio * v_ratio) * active
-            + tech.leakage_power()
-                * (v_ratio * v_ratio * v_ratio)
-                * stretched_active
+            + tech.leakage_power() * (v_ratio * v_ratio * v_ratio) * stretched_active
             + circuit.gated_power(&tech) * stalled
             + circuit.transition_energy() * baseline.gating.stalls as f64;
         table.push_row(vec![
@@ -126,10 +121,8 @@ mod tests {
         let table = &run(Scale::Smoke)[0];
         let mapg = row_of(table, "mem_bound", "mapg (measured)");
         let dvfs = row_of(table, "mem_bound", "dvfs@min");
-        let mapg_rt =
-            parse_pct(table.cell(mapg, "runtime_delta").expect("c"));
-        let dvfs_rt =
-            parse_pct(table.cell(dvfs, "runtime_delta").expect("c"));
+        let mapg_rt = parse_pct(table.cell(mapg, "runtime_delta").expect("c"));
+        let dvfs_rt = parse_pct(table.cell(dvfs, "runtime_delta").expect("c"));
         assert!(
             mapg_rt < dvfs_rt / 2.0,
             "MAPG runtime {mapg_rt}% must be far under DVFS {dvfs_rt}%"

@@ -34,8 +34,7 @@ fn interactive_profile(scale: Scale) -> WorkloadProfile {
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Vec<Table> {
     let config = base_config(scale).with_profile(interactive_profile(scale));
-    let baseline =
-        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
 
     let mut table = Table::new(
         "R-F15",

@@ -5,10 +5,7 @@
 //! Low thresholds over-gate (transition energy on short stalls); high
 //! thresholds leave long stalls unharvested. The figure locates the knee.
 
-use mapg::{
-    Controller, ControllerConfig, PolicyKind, RunReport, SimConfig,
-    Simulation,
-};
+use mapg::{Controller, ControllerConfig, PolicyKind, RunReport, SimConfig, Simulation};
 use mapg_cpu::{Cluster, CoreConfig};
 use mapg_mem::HierarchyConfig;
 use mapg_power::{DramEnergyModel, EnergyCategory};
@@ -25,21 +22,12 @@ pub const GUARDS: [f64; 7] = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 /// Runs a MAPG simulation with a custom guard. The [`Simulation`] facade
 /// only exposes [`PolicyKind`]s, so this experiment assembles the pieces
 /// directly — which doubles as a living example of the lower-level API.
-fn run_with_guard(
-    profile: &WorkloadProfile,
-    instructions: u64,
-    guard: f64,
-) -> RunReport {
+fn run_with_guard(profile: &WorkloadProfile, instructions: u64, guard: f64) -> RunReport {
     let policy = mapg::MapgPolicy::predictive().with_guard(guard);
     let config = ControllerConfig::baseline();
     let mut controller = Controller::new(Box::new(policy), config);
-    let sources =
-        vec![SyntheticWorkload::new(profile, 42)];
-    let mut cluster = Cluster::new(
-        CoreConfig::baseline(),
-        HierarchyConfig::baseline(),
-        sources,
-    );
+    let sources = vec![SyntheticWorkload::new(profile, 42)];
+    let mut cluster = Cluster::new(CoreConfig::baseline(), HierarchyConfig::baseline(), sources);
     cluster.run(instructions, &mut controller);
     let stats = cluster.stats();
     controller.finish(
@@ -87,6 +75,9 @@ fn run_with_guard(
         core_stats: stats.per_core,
         memory: stats.memory,
         peak_concurrent_wakes: 0,
+        invariants: controller.invariants(),
+        degradation: controller.degradation(),
+        faults: controller.fault_stats(),
         timeline: None,
     }
 }

@@ -20,8 +20,7 @@ pub const WIDTH_RATIOS: [f64; 6] = [0.005, 0.01, 0.02, 0.03, 0.08, 0.2];
 pub fn run(scale: Scale) -> Vec<Table> {
     let tech = TechnologyParams::bulk_45nm();
     let clock = tech.nominal_clock();
-    let baseline =
-        Simulation::new(base_config(scale), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(base_config(scale), PolicyKind::NoGating).run();
 
     let mut table = Table::new(
         "R-F5",
@@ -39,8 +38,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for &ratio in &WIDTH_RATIOS {
         let circuit = PgCircuitDesign::from_switch_width(ratio, &tech);
         let config = base_config(scale).with_switch_width(ratio);
-        let mapg =
-            Simulation::new(config.clone(), PolicyKind::Mapg).run();
+        let mapg = Simulation::new(config.clone(), PolicyKind::Mapg).run();
         let naive = Simulation::new(config, PolicyKind::NaiveOnMiss).run();
         table.push_row(vec![
             format!("{:.1}", ratio * 100.0),

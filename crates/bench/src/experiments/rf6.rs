@@ -35,8 +35,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ..HierarchyConfig::baseline()
         };
         let config = base_config(scale).with_memory(memory);
-        let baseline =
-            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
         let mapg = Simulation::new(config, PolicyKind::Mapg).run();
         table.push_row(vec![
             format!("{factor:.1}x"),
@@ -61,8 +60,7 @@ mod tests {
     #[test]
     fn savings_grow_with_memory_latency() {
         let table = &run(Scale::Smoke)[0];
-        let first =
-            parse_pct(table.cell(0, "mapg_savings").expect("cell"));
+        let first = parse_pct(table.cell(0, "mapg_savings").expect("cell"));
         let last = parse_pct(
             table
                 .cell(LATENCY_SCALES.len() - 1, "mapg_savings")
@@ -77,8 +75,7 @@ mod tests {
     #[test]
     fn stall_fraction_grows_with_latency() {
         let table = &run(Scale::Smoke)[0];
-        let first: f64 =
-            table.cell(0, "stall%").expect("cell").parse().expect("num");
+        let first: f64 = table.cell(0, "stall%").expect("cell").parse().expect("num");
         let last: f64 = table
             .cell(LATENCY_SCALES.len() - 1, "stall%")
             .expect("cell")

@@ -88,8 +88,7 @@ mod tests {
         let oracle_row = (0..table.rows().len())
             .find(|&i| table.cell(i, "predictor") == Some("mapg+oracle"))
             .expect("oracle row");
-        let accuracy =
-            parse_pct(table.cell(oracle_row, "within25%").expect("cell"));
+        let accuracy = parse_pct(table.cell(oracle_row, "within25%").expect("cell"));
         assert!((accuracy - 100.0).abs() < 1e-6);
         let mae: f64 = table
             .cell(oracle_row, "MAE_cyc")

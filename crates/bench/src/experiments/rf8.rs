@@ -49,8 +49,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .with_profile(multicore_profile())
             .with_instructions(per_core)
             .with_cores(cores);
-        let baseline =
-            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
         let mapg = Simulation::new(config, PolicyKind::Mapg).run();
         scaling.push_row(vec![
             cores.to_string(),
@@ -62,8 +61,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
 
     let tech = TechnologyParams::bulk_45nm();
-    let per_core_rush =
-        PgCircuitDesign::fast_wakeup(&tech).rush_current();
+    let per_core_rush = PgCircuitDesign::fast_wakeup(&tech).rush_current();
     let mut tokens = Table::new(
         "R-F8b",
         "wake-token budget sweep (8 cores, mem_bound)",
@@ -80,8 +78,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         .with_profile(multicore_profile())
         .with_instructions(per_core)
         .with_cores(8);
-    let baseline8 =
-        Simulation::new(base8.clone(), PolicyKind::NoGating).run();
+    let baseline8 = Simulation::new(base8.clone(), PolicyKind::NoGating).run();
     for &budget in &TOKEN_BUDGETS {
         let config = if budget == usize::MAX {
             base8.clone().with_tokens(64) // effectively unlimited for 8 cores
@@ -136,10 +133,7 @@ mod tests {
                 .expect("cell")
                 .parse()
                 .expect("num");
-            assert!(
-                peak <= budget,
-                "budget {budget} violated with peak {peak}"
-            );
+            assert!(peak <= budget, "budget {budget} violated with peak {peak}");
         }
     }
 }

@@ -32,8 +32,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for &fraction in &LEAKAGE_FRACTIONS {
         let tech = TechnologyParams::bulk_45nm().with_leakage_fraction(fraction);
         let config = base_config(scale).with_tech(tech);
-        let baseline =
-            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
         let mut row = vec![format!("{:.0}%", fraction * 100.0)];
         for policy in [
             PolicyKind::ClockGating,

@@ -11,8 +11,7 @@ use crate::table::Table;
 
 /// Width ratios swept (1 % .. 20 %, bracketing the paper's fast-wakeup
 /// point at 3 %).
-pub const WIDTH_RATIOS: [f64; 8] =
-    [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2];
+pub const WIDTH_RATIOS: [f64; 8] = [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2];
 
 /// Runs the experiment.
 pub fn run(_scale: Scale) -> Vec<Table> {
@@ -22,8 +21,15 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         "R-T1",
         "PG circuit design space (45 nm, 1.0 V, 2 GHz)",
         vec![
-            "width%", "t_entry", "t_wake", "wake_cyc", "residual%", "E_trans",
-            "area%", "I_rush", "BET_cyc",
+            "width%",
+            "t_entry",
+            "t_wake",
+            "wake_cyc",
+            "residual%",
+            "E_trans",
+            "area%",
+            "I_rush",
+            "BET_cyc",
         ],
     );
     for design in PgCircuitDesign::design_space(&tech, &WIDTH_RATIOS) {
@@ -61,7 +67,13 @@ mod tests {
     fn wake_cycles_fall_with_width() {
         let table = &run(Scale::Smoke)[0];
         let wake: Vec<u64> = (0..table.rows().len())
-            .map(|i| table.cell(i, "wake_cyc").expect("col").parse().expect("num"))
+            .map(|i| {
+                table
+                    .cell(i, "wake_cyc")
+                    .expect("col")
+                    .parse()
+                    .expect("num")
+            })
             .collect();
         for pair in wake.windows(2) {
             assert!(pair[0] >= pair[1], "wake cycles must fall: {wake:?}");

@@ -18,15 +18,22 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "R-T2",
         "workload characterization (no power management)",
         vec![
-            "workload", "IPC", "LLC_MPKI", "stall%", "mlp%", "dep%",
-            "miss_avg", "miss_p95", "rowhit%", "stalls/Mi",
+            "workload",
+            "IPC",
+            "LLC_MPKI",
+            "stall%",
+            "mlp%",
+            "dep%",
+            "miss_avg",
+            "miss_p95",
+            "rowhit%",
+            "stalls/Mi",
         ],
     );
     for profile in suite.iter() {
         let config = base_config(scale).with_profile(profile.clone());
         let report = Simulation::new(config, PolicyKind::NoGating).run();
-        let stalls_per_mi = report.gating.stalls as f64 * 1e6
-            / report.instructions as f64;
+        let stalls_per_mi = report.gating.stalls as f64 * 1e6 / report.instructions as f64;
         let core = &report.core_stats[0];
         let share = |cycles: u64| {
             if core.stall_cycles == 0 {
@@ -72,9 +79,8 @@ mod tests {
     #[test]
     fn mem_bound_stalls_more_than_compute_bound() {
         let table = &run(Scale::Smoke)[0];
-        let stall = |i: usize| -> f64 {
-            table.cell(i, "stall%").expect("col").parse().expect("num")
-        };
+        let stall =
+            |i: usize| -> f64 { table.cell(i, "stall%").expect("col").parse().expect("num") };
         assert!(stall(0) > stall(1), "mem_bound first in extremes suite");
     }
 }

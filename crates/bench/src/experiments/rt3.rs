@@ -52,8 +52,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                     .gated_stall_coverage()
             })
             .collect();
-        let coverage =
-            coverages.iter().sum::<f64>() / coverages.len().max(1) as f64;
+        let coverage = coverages.iter().sum::<f64>() / coverages.len().max(1) as f64;
         table.push_row(vec![
             policy.to_owned(),
             ratio(energy),
@@ -97,8 +96,7 @@ mod tests {
         assert!(mapg <= column(table, "naive-on-miss", "norm_core_E") + 0.08);
         // ...while paying clearly more runtime.
         assert!(
-            column(table, "mapg", "norm_runtime")
-                < column(table, "naive-on-miss", "norm_runtime")
+            column(table, "mapg", "norm_runtime") < column(table, "naive-on-miss", "norm_runtime")
         );
         // The oracle may only be better.
         assert!(column(table, "mapg-oracle", "norm_core_E") <= mapg + 0.02);

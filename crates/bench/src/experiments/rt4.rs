@@ -21,22 +21,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut table = Table::new(
         "R-T4",
         format!("seed sensitivity over {REPLICAS} paired replicas"),
-        vec![
-            "workload",
-            "metric",
-            "mean",
-            "stdev",
-            "ci95",
-            "min..max",
-        ],
+        vec!["workload", "metric", "mean", "stdev", "ci95", "min..max"],
     );
     for profile in [
         WorkloadProfile::mem_bound("mem_bound"),
         WorkloadProfile::mixed("mixed"),
     ] {
         let config = base_config(scale).with_profile(profile.clone());
-        let baseline =
-            Replication::run(config.clone(), PolicyKind::NoGating, REPLICAS);
+        let baseline = Replication::run(config.clone(), PolicyKind::NoGating, REPLICAS);
         let mapg = Replication::run(config, PolicyKind::Mapg, REPLICAS);
 
         type PairedMetric = fn(&RunReport, &RunReport) -> f64;
@@ -57,9 +49,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    table.push_note(
-        "paired per seed: MAPG and baseline replicas share workload streams",
-    );
+    table.push_note("paired per seed: MAPG and baseline replicas share workload streams");
     vec![table]
 }
 
@@ -71,10 +61,8 @@ mod tests {
     fn savings_are_stable_across_seeds() {
         let table = &run(Scale::Smoke)[0];
         // Row 0: mem_bound savings%.
-        let mean: f64 =
-            table.cell(0, "mean").expect("cell").parse().expect("num");
-        let stdev: f64 =
-            table.cell(0, "stdev").expect("cell").parse().expect("num");
+        let mean: f64 = table.cell(0, "mean").expect("cell").parse().expect("num");
+        let stdev: f64 = table.cell(0, "stdev").expect("cell").parse().expect("num");
         assert!(mean > 20.0, "mem-bound savings mean {mean}");
         assert!(
             stdev < mean * 0.2,

@@ -25,8 +25,7 @@ impl Table {
         title: impl Into<String>,
         headers: Vec<S>,
     ) -> Self {
-        let headers: Vec<String> =
-            headers.into_iter().map(Into::into).collect();
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "a table needs at least one column");
         Table {
             id: id.into(),
@@ -86,8 +85,7 @@ impl Table {
 
     /// Renders the aligned text form.
     pub fn to_text(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.headers.iter().map(String::len).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
@@ -104,7 +102,11 @@ impl Table {
         };
         out.push_str(&render(&self.headers, &widths));
         out.push('\n');
-        let rule_len = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let rule_len = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         out.push_str(&"-".repeat(rule_len));
         out.push('\n');
         for row in &self.rows {
@@ -138,9 +140,7 @@ impl Table {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","),
-            );
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out

@@ -3,13 +3,16 @@
 //! ```bash
 //! mapgsim --workload mcf_like --policy mapg --instructions 1000000
 //! mapgsim --workload mem_bound --policy mapg --compare   # vs no-gating
+//! mapgsim --workload mem_bound --fault-plan moderate --safe-mode
 //! mapgsim --list-workloads
 //! mapgsim --list-policies
 //! ```
 
+use std::fmt::Display;
 use std::process::ExitCode;
+use std::str::FromStr;
 
-use mapg::{PolicyKind, PredictorKind, SimConfig, Simulation};
+use mapg::{FaultPlan, PolicyKind, PredictorKind, SimConfig, Simulation};
 use mapg_trace::{WorkloadProfile, WorkloadSuite};
 
 const POLICIES: [(&str, PolicyKind); 11] = [
@@ -58,14 +61,39 @@ fn usage() {
          \x20 --seed N             RNG seed (default 42)\n\
          \x20 --tokens N           wake-token budget (default unlimited)\n\
          \x20 --switch-width PCT   sleep-switch width ratio in percent (default 3.0)\n\
+         \x20 --fault-plan SPEC    inject faults: none|light|moderate|heavy or an\n\
+         \x20                      intensity multiplier on moderate (e.g. 0.5)\n\
+         \x20 --safe-mode          arm the safe-mode watchdog (degrades to clock\n\
+         \x20                      gating when wake-ups misbehave)\n\
          \x20 --compare            also run the no-gating baseline and print deltas\n\
          \x20 --list-workloads     print available workload names\n\
-         \x20 --list-policies      print available policy names"
+         \x20 --list-policies     print available policy names"
     );
+}
+
+/// Parses `--flag VALUE`, with an explicit message for a missing value and
+/// for a malformed one (the raw text is echoed back, never swallowed).
+fn parse_value<T: FromStr>(flag: &str, what: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: Display,
+{
+    let raw = value.ok_or_else(|| format!("{flag} needs a {what}"))?;
+    raw.parse()
+        .map_err(|e| format!("invalid {what} for {flag}: '{raw}' ({e})"))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut workload = String::from("mem_bound");
     let mut policy_name = String::from("mapg");
     let mut instructions: u64 = 1_000_000;
@@ -73,93 +101,87 @@ fn main() -> ExitCode {
     let mut seed: u64 = 42;
     let mut tokens: Option<usize> = None;
     let mut switch_width_pct: f64 = 3.0;
+    let mut fault_plan = FaultPlan::none();
+    let mut safe_mode = false;
     let mut compare = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut take = |what: &str| -> Option<String> {
-            let value = iter.next().cloned();
-            if value.is_none() {
-                eprintln!("{arg} needs a {what}");
-            }
-            value
-        };
         match arg.as_str() {
             "--help" | "-h" => {
                 usage();
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
             "--list-workloads" => {
                 for profile in WorkloadSuite::spec_like().iter() {
                     println!("{}", profile.name());
                 }
                 println!("mem_bound\ncompute_bound\nmixed");
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
             "--list-policies" => {
                 for (name, _) in POLICIES {
                     println!("{name}");
                 }
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
-            "--workload" => match take("name") {
-                Some(v) => workload = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--policy" => match take("name") {
-                Some(v) => policy_name = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--instructions" => match take("count").and_then(|v| v.parse().ok()) {
-                Some(v) => instructions = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--cores" => match take("count").and_then(|v| v.parse().ok()) {
-                Some(v) => cores = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--seed" => match take("seed").and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => return ExitCode::FAILURE,
-            },
-            "--tokens" => match take("count").and_then(|v| v.parse().ok()) {
-                Some(v) => tokens = Some(v),
-                None => return ExitCode::FAILURE,
-            },
+            "--workload" => {
+                workload = parse_value(arg, "name", iter.next())?;
+            }
+            "--policy" => {
+                policy_name = parse_value(arg, "name", iter.next())?;
+            }
+            "--instructions" => {
+                instructions = parse_value(arg, "count", iter.next())?;
+            }
+            "--cores" => {
+                cores = parse_value(arg, "count", iter.next())?;
+            }
+            "--seed" => {
+                seed = parse_value(arg, "seed", iter.next())?;
+            }
+            "--tokens" => {
+                tokens = Some(parse_value(arg, "count", iter.next())?);
+            }
             "--switch-width" => {
-                match take("percent").and_then(|v| v.parse().ok()) {
-                    Some(v) => switch_width_pct = v,
-                    None => return ExitCode::FAILURE,
-                }
+                switch_width_pct = parse_value(arg, "percent", iter.next())?;
             }
+            "--fault-plan" => {
+                let spec: String = parse_value(arg, "spec", iter.next())?;
+                fault_plan = FaultPlan::from_spec(&spec)
+                    .map_err(|e| format!("{e} (try none|light|moderate|heavy or a number)"))?;
+            }
+            "--safe-mode" => safe_mode = true,
             "--compare" => compare = true,
             other => {
-                eprintln!("unknown option '{other}'");
-                usage();
-                return ExitCode::FAILURE;
+                return Err(format!("unknown option '{other}' (try --help)"));
             }
         }
     }
 
-    let Some(profile) = find_workload(&workload) else {
-        eprintln!("unknown workload '{workload}'; try --list-workloads");
-        return ExitCode::FAILURE;
-    };
-    let Some((_, policy)) =
-        POLICIES.into_iter().find(|(name, _)| *name == policy_name)
-    else {
-        eprintln!("unknown policy '{policy_name}'; try --list-policies");
-        return ExitCode::FAILURE;
-    };
+    let profile = find_workload(&workload)
+        .ok_or_else(|| format!("unknown workload '{workload}'; try --list-workloads"))?;
+    let (_, policy) = POLICIES
+        .into_iter()
+        .find(|(name, _)| *name == policy_name)
+        .ok_or_else(|| format!("unknown policy '{policy_name}'; try --list-policies"))?;
 
     let mut config = SimConfig::default()
         .with_profile(profile)
-        .with_instructions(instructions)
-        .with_cores(cores)
+        .try_with_instructions(instructions)
+        .map_err(|e| e.to_string())?
+        .try_with_cores(cores)
+        .map_err(|e| e.to_string())?
         .with_seed(seed)
-        .with_switch_width(switch_width_pct / 100.0);
+        .try_with_switch_width(switch_width_pct / 100.0)
+        .map_err(|e| e.to_string())?
+        .try_with_fault_plan(fault_plan)
+        .map_err(|e| e.to_string())?;
     if let Some(budget) = tokens {
-        config = config.with_tokens(budget);
+        config = config.try_with_tokens(budget).map_err(|e| e.to_string())?;
+    }
+    if safe_mode {
+        config = config.with_safe_mode_default();
     }
 
     let report = Simulation::new(config.clone(), policy).run();
@@ -185,5 +207,9 @@ fn main() -> ExitCode {
             report.edp_delta_vs(&baseline) * 100.0
         );
     }
-    ExitCode::SUCCESS
+    if !report.invariants.is_clean() {
+        eprintln!("error: invariants broken: {}", report.invariants);
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }

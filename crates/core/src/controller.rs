@@ -5,10 +5,13 @@ use mapg_cpu::{StallHandler, StallInfo};
 use mapg_power::{EnergyAccount, EnergyCategory, PgCircuitDesign, TechnologyParams};
 use mapg_units::{Cycle, Cycles, Hertz, Watts};
 
+use crate::faults::{FaultInjector, FaultPlan, FaultStats};
 use crate::fsm::{GatingFsm, PgState};
+use crate::invariants::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 use crate::policy::{GatingPolicy, PolicyContext, StallAction};
 use crate::timeline::Timeline;
 use crate::tokens::TokenManager;
+use crate::watchdog::{DegradationStats, Watchdog, WatchdogConfig};
 
 use core::fmt;
 
@@ -90,11 +93,18 @@ pub struct ControllerConfig {
     /// do this — the response wire is the reactive wake trigger — at the
     /// cost of one extra transition and a reactive-wake penalty.
     pub regate_on_early_wake: bool,
+    /// Controller-side fault-injection schedule (no-op by default).
+    pub fault_plan: FaultPlan,
+    /// Seed for the fault-draw stream (domain-separated internally, so the
+    /// simulation seed can be reused directly).
+    pub fault_seed: u64,
+    /// Safe-mode watchdog; `None` disables degradation entirely.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl ControllerConfig {
     /// Baseline: 45 nm technology, the MAPG fast-wakeup circuit, 2 GHz,
-    /// no token limiting.
+    /// no token limiting, no faults, no watchdog.
     pub fn baseline() -> Self {
         let tech = TechnologyParams::bulk_45nm();
         ControllerConfig {
@@ -102,6 +112,9 @@ impl ControllerConfig {
             clock: Hertz::from_ghz(2.0),
             tokens: None,
             regate_on_early_wake: true,
+            fault_plan: FaultPlan::none(),
+            fault_seed: 0,
+            watchdog: None,
             tech,
         }
     }
@@ -130,6 +143,15 @@ pub struct Controller {
     timeline: Option<Timeline>,
     energy: EnergyAccount,
     stats: GatingStats,
+    /// Constructed only for non-no-op fault plans, so fault-free runs
+    /// never touch the fault RNG and stay bit-identical.
+    faults: Option<FaultInjector>,
+    watchdog: Option<Watchdog>,
+    invariants: InvariantChecker,
+    /// End of the currently open brownout wake-veto window.
+    brownout_until: Cycle,
+    /// Last event time seen per core, for the monotonic-time invariant.
+    last_event: Vec<Cycle>,
 }
 
 impl fmt::Debug for Controller {
@@ -143,14 +165,23 @@ impl fmt::Debug for Controller {
 
 impl Controller {
     /// Builds a controller around a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token capacity is zero or the fault plan / watchdog
+    /// configuration is out of range.
     pub fn new(policy: Box<dyn GatingPolicy>, config: ControllerConfig) -> Self {
+        if let Err(e) = config.fault_plan.validate() {
+            panic!("{e}");
+        }
         let ctx = PolicyContext {
             entry: config.circuit.entry_cycles(config.clock),
             wakeup: config.circuit.wakeup_cycles(config.clock),
-            break_even: config
-                .circuit
-                .break_even_cycles(&config.tech, config.clock),
+            break_even: config.circuit.break_even_cycles(&config.tech, config.clock),
         };
+        let faults = (!config.fault_plan.is_nop())
+            .then(|| FaultInjector::new(config.fault_plan, config.fault_seed));
+        let watchdog = config.watchdog.map(|wd| Watchdog::new(wd, ctx.wakeup));
         Controller {
             policy,
             ctx,
@@ -159,6 +190,11 @@ impl Controller {
             timeline: None,
             energy: EnergyAccount::new(),
             stats: GatingStats::default(),
+            faults,
+            watchdog,
+            invariants: InvariantChecker::new(),
+            brownout_until: Cycle::ZERO,
+            last_event: Vec::new(),
             config,
         }
     }
@@ -209,11 +245,150 @@ impl Controller {
         self.tokens.as_ref()
     }
 
+    /// Snapshot of the invariant-checking results so far.
+    pub fn invariants(&self) -> InvariantReport {
+        self.invariants.report()
+    }
+
+    /// The checker itself, so the simulation can merge end-of-run audits
+    /// from subsystems the controller does not own (cores, DRAM).
+    pub(crate) fn invariants_mut(&mut self) -> &mut InvariantChecker {
+        &mut self.invariants
+    }
+
+    /// Safe-mode degradation statistics (all zero without a watchdog).
+    pub fn degradation(&self) -> DegradationStats {
+        self.watchdog
+            .as_ref()
+            .map(Watchdog::stats)
+            .unwrap_or_default()
+    }
+
+    /// Counts of faults injected so far (all zero for a no-op plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::stats)
+            .unwrap_or_default()
+    }
+
     /// Closes the FSM books at the end of a run (per-core residencies are
-    /// only complete after this).
+    /// only complete after this) and runs the end-of-run conservation
+    /// audits into the invariant report.
     pub fn finish(&mut self, final_times: &[Cycle]) {
-        for (fsm, &t) in self.fsms.iter_mut().zip(final_times) {
-            fsm.finish(t);
+        let cores = self.fsms.len().min(final_times.len());
+        for (core, &at) in final_times.iter().enumerate().take(cores) {
+            let result = self.fsms[core].try_finish(at);
+            self.note_fsm(result, core, at);
+        }
+        self.audit_books();
+    }
+
+    /// End-of-run conservation laws: residency ↔ stats, energy ledger ↔
+    /// residency × power, token ledger self-consistency.
+    fn audit_books(&mut self) {
+        // Sleeping residency across all cores must equal the gated-cycle
+        // counter: they are two independent integrations of the same time.
+        let sleeping: u64 = self
+            .fsms
+            .iter()
+            .map(|fsm| fsm.residency().sleeping.raw())
+            .sum();
+        let gated = self.stats.gated_cycles;
+        self.invariants.check(
+            sleeping == gated,
+            InvariantKind::Accounting,
+            None,
+            None,
+            || format!("sleeping residency {sleeping} != gated cycles {gated}"),
+        );
+
+        // Gated-residual energy must be exactly gated power × sleep time.
+        let clock = self.config.clock;
+        let gated_power = self.config.circuit.gated_power(&self.config.tech);
+        let expected = (gated_power * Cycles::new(gated).at(clock)).as_joules();
+        let actual = self.energy.get(EnergyCategory::GatedResidual).as_joules();
+        let slack = expected.abs().max(1e-12) * 1e-9;
+        self.invariants.check(
+            (actual - expected).abs() <= slack,
+            InvariantKind::EnergyLedger,
+            None,
+            None,
+            || {
+                format!(
+                    "gated-residual energy {actual} J != gated power × \
+                     residency {expected} J"
+                )
+            },
+        );
+
+        // Transition energy must be the per-event charge times the number
+        // of sleep entries (primary gates + nap re-gates).
+        let transitions = self.stats.gated + self.stats.regates;
+        let expected = self.config.circuit.transition_energy().as_joules() * transitions as f64;
+        let actual = self.energy.get(EnergyCategory::Transition).as_joules();
+        let slack = expected.abs().max(1e-12) * 1e-9;
+        self.invariants.check(
+            (actual - expected).abs() <= slack,
+            InvariantKind::EnergyLedger,
+            None,
+            None,
+            || {
+                format!(
+                    "transition energy {actual} J != {transitions} \
+                     transitions × per-event charge ({expected} J)"
+                )
+            },
+        );
+
+        // Every bucket finite, non-negative, and summing to the total.
+        let problems = self.energy.audit();
+        if problems.is_empty() {
+            self.invariants.count_check();
+        }
+        for detail in problems {
+            self.invariants.record(InvariantViolation {
+                kind: InvariantKind::EnergyLedger,
+                core: None,
+                at: None,
+                detail,
+            });
+        }
+
+        // Token conservation.
+        if let Some(tokens) = &self.tokens {
+            let problems = tokens.audit();
+            if problems.is_empty() {
+                self.invariants.count_check();
+            }
+            for detail in problems {
+                self.invariants.record(InvariantViolation {
+                    kind: InvariantKind::TokenLedger,
+                    core: None,
+                    at: None,
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Folds one FSM `try_*` outcome into the invariant report.
+    fn note_fsm(&mut self, result: Result<(), String>, core: usize, at: Cycle) {
+        match result {
+            Ok(()) => self.invariants.count_check(),
+            Err(detail) => {
+                let kind = if detail.contains("time regression") {
+                    InvariantKind::MonotonicTime
+                } else {
+                    InvariantKind::FsmTransition
+                };
+                self.invariants.record(InvariantViolation {
+                    kind,
+                    core: Some(core),
+                    at: Some(at.raw()),
+                    detail,
+                });
+            }
         }
     }
 
@@ -224,7 +399,8 @@ impl Controller {
 
     /// Charges `power` sustained over `span` cycles to `category`.
     fn charge(&mut self, category: EnergyCategory, power: Watts, span: Cycles) {
-        self.energy.add(category, power * span.at(self.config.clock));
+        self.energy
+            .add(category, power * span.at(self.config.clock));
     }
 
     fn fsm_mut(&mut self, core: usize) -> &mut GatingFsm {
@@ -244,7 +420,40 @@ impl StallHandler for Controller {
     fn on_stall(&mut self, info: &StallInfo) -> Cycle {
         self.stats.stalls += 1;
         let natural = info.natural_duration();
-        let action = self.policy.decide(info, &self.ctx);
+        let core = info.core.0;
+
+        // Invariant: each core's stalls arrive in non-decreasing time.
+        while self.last_event.len() <= core {
+            self.last_event.push(Cycle::ZERO);
+        }
+        let last = self.last_event[core];
+        self.invariants.check(
+            info.start >= last,
+            InvariantKind::MonotonicTime,
+            Some(core),
+            Some(info.start.raw()),
+            || format!("stall starts at {} before prior event {last}", info.start),
+        );
+
+        // Safe mode: the watchdog may have re-armed since the last stall,
+        // or may currently be holding the controller degraded.
+        let safe_mode = match self.watchdog.as_mut() {
+            Some(watchdog) => watchdog.poll(info.start),
+            None => false,
+        };
+
+        let mut action = self.policy.decide(info, &self.ctx);
+        if safe_mode {
+            if let StallAction::PowerGate { .. } = action {
+                // Degrade to clock gating: no wake ramp, no transition
+                // energy, no rush current — always safe, never optimal.
+                if let Some(watchdog) = self.watchdog.as_mut() {
+                    watchdog.note_demotion(natural);
+                }
+                action = StallAction::ClockGate;
+            }
+        }
+
         let resume = match action {
             StallAction::StayActive => {
                 self.charge(EnergyCategory::IdleStall, self.idle_power(), natural);
@@ -270,25 +479,47 @@ impl StallHandler for Controller {
                 self.execute_gate(info, gate_at, wake_at)
             }
         };
-        self.policy.observe(info, natural);
+
+        // Invariant: a core never resumes before its data arrives.
+        self.invariants.check(
+            resume >= info.data_ready,
+            InvariantKind::ResumeBeforeData,
+            Some(core),
+            Some(resume.raw()),
+            || format!("resumed at {resume} before data at {}", info.data_ready),
+        );
+        self.last_event[core] = self.last_event[core].max(resume);
+
+        // The predictor trains on the observed stall duration; a corrupted
+        // sensor sample poisons it without touching the ground truth.
+        let observed = match self.faults.as_mut() {
+            Some(faults) => faults.observed_latency(natural),
+            None => natural,
+        };
+        self.policy.observe(info, observed);
         resume
     }
 }
 
 impl Controller {
     /// Executes a power-gate decision; returns the resume time.
-    fn execute_gate(
-        &mut self,
-        info: &StallInfo,
-        gate_at: Cycle,
-        wake_at: Cycle,
-    ) -> Cycle {
+    fn execute_gate(&mut self, info: &StallInfo, gate_at: Cycle, wake_at: Cycle) -> Cycle {
         let entry = self.ctx.entry;
-        let wakeup = self.ctx.wakeup;
+        let nominal_wakeup = self.ctx.wakeup;
         let leak = self.config.tech.leakage_power();
         let gated_power = self.config.circuit.gated_power(&self.config.tech);
         let gate_at = gate_at.max(info.start);
         let entry_done = gate_at + entry;
+        // A stuck-slow sleep switch inflates this ramp's wake latency.
+        let mut wake_failed = false;
+        let wakeup = match self.faults.as_mut() {
+            Some(faults) => {
+                let actual = faults.wake_latency(nominal_wakeup);
+                wake_failed |= actual > nominal_wakeup;
+                actual
+            }
+            None => nominal_wakeup,
+        };
         // The wake ramp begins at the scheduled time or when the memory
         // response arrives, whichever is first: the data-return signal is
         // observable by the PG controller and always triggers a (reactive)
@@ -296,9 +527,24 @@ impl Controller {
         // wake penalty instead of sleeping past the data. It also cannot
         // begin before sleep entry completes.
         let mut wake_start = wake_at.min(info.data_ready).max(entry_done);
-        // Token limiting may delay it further.
+        // An open brownout window vetoes wake ramps until it closes.
+        if wake_start < self.brownout_until {
+            wake_start = self.brownout_until;
+            if let Some(faults) = self.faults.as_mut() {
+                faults.note_brownout_delay();
+            }
+            wake_failed = true;
+        }
+        // Token limiting may delay it further; a grant dropped in flight
+        // forces a re-request after the retry latency.
         if let Some(tokens) = &mut self.tokens {
-            let granted = tokens.acquire(wake_start, wakeup);
+            let mut granted = tokens.acquire(wake_start, wakeup);
+            if let Some(faults) = self.faults.as_mut() {
+                if faults.drop_token_grant() {
+                    granted = tokens.acquire(granted + faults.token_retry(), wakeup);
+                    wake_failed = true;
+                }
+            }
             if granted > wake_start {
                 self.stats.token_delayed += 1;
                 self.stats.token_delay_cycles += (granted - wake_start).raw();
@@ -306,6 +552,13 @@ impl Controller {
             wake_start = granted;
         }
         let wake_done = wake_start + wakeup;
+        // This wake's inrush may itself brown the rail out, vetoing
+        // concurrent wake-ups for the hold window.
+        if let Some(faults) = self.faults.as_mut() {
+            if let Some(hold) = faults.brownout() {
+                self.brownout_until = self.brownout_until.max(wake_start + hold);
+            }
+        }
 
         // --- primary sleep: energy, stats, FSM ---------------------------
         // Wait before gating (timeout policies): clock-gated, leakage only.
@@ -334,29 +587,50 @@ impl Controller {
         // signal wake it reactively. One re-gate always suffices — the
         // second nap ends at the response.
         let mut last_wake_done = wake_done;
-        let regate_threshold = self.ctx.break_even + wakeup;
+        let regate_threshold = self.ctx.break_even + nominal_wakeup;
         if self.config.regate_on_early_wake
             && info.data_ready.saturating_since(wake_done) > regate_threshold
         {
             let nap_entry_done = wake_done + entry;
+            // The nap's ramp rolls its own stuck-slow fault.
+            let nap_wakeup = match self.faults.as_mut() {
+                Some(faults) => {
+                    let actual = faults.wake_latency(nominal_wakeup);
+                    wake_failed |= actual > nominal_wakeup;
+                    actual
+                }
+                None => nominal_wakeup,
+            };
             // The nap's reactive wake draws the same inrush as any other:
             // it must hold a token too, which may delay it past the
             // response (more penalty, but the di/dt bound stays honest).
             let mut nap_wake_start = info.data_ready;
+            if nap_wake_start < self.brownout_until {
+                nap_wake_start = self.brownout_until;
+                if let Some(faults) = self.faults.as_mut() {
+                    faults.note_brownout_delay();
+                }
+                wake_failed = true;
+            }
             if let Some(tokens) = &mut self.tokens {
-                let granted = tokens.acquire(nap_wake_start, wakeup);
+                let mut granted = tokens.acquire(nap_wake_start, nap_wakeup);
+                if let Some(faults) = self.faults.as_mut() {
+                    if faults.drop_token_grant() {
+                        granted = tokens.acquire(granted + faults.token_retry(), nap_wakeup);
+                        wake_failed = true;
+                    }
+                }
                 if granted > nap_wake_start {
                     self.stats.token_delayed += 1;
-                    self.stats.token_delay_cycles +=
-                        (granted - nap_wake_start).raw();
+                    self.stats.token_delay_cycles += (granted - nap_wake_start).raw();
                 }
                 nap_wake_start = granted;
             }
-            let nap_wake_done = nap_wake_start + wakeup;
+            let nap_wake_done = nap_wake_start + nap_wakeup;
             let nap_span = nap_wake_start - nap_entry_done;
 
             self.charge(EnergyCategory::IdleStall, leak, entry);
-            self.charge(EnergyCategory::IdleStall, leak, wakeup);
+            self.charge(EnergyCategory::IdleStall, leak, nap_wakeup);
             self.charge(EnergyCategory::GatedResidual, gated_power, nap_span);
             self.energy.add(
                 EnergyCategory::Transition,
@@ -377,10 +651,7 @@ impl Controller {
         // --- tail / penalty accounting ------------------------------------
         // Non-retentive designs refill pipeline state after restart; the
         // refill delays useful execution past both wake and data arrival.
-        let cold_start = self
-            .config
-            .circuit
-            .cold_start_cycles(self.config.clock);
+        let cold_start = self.config.circuit.cold_start_cycles(self.config.clock);
         let resume = last_wake_done.max(info.data_ready) + cold_start;
         if last_wake_done < info.data_ready {
             // Clock-gated idle tail: the PG controller knows the response
@@ -396,15 +667,22 @@ impl Controller {
         // Anything past data arrival — late wake and/or cold start — is a
         // critical-path penalty; the cold-start window burns idle power
         // (the core executes refill work).
-        self.stats.penalty_cycles +=
-            resume.saturating_since(info.data_ready).raw();
+        let penalty = resume.saturating_since(info.data_ready);
+        self.stats.penalty_cycles += penalty.raw();
         self.charge(EnergyCategory::IdleStall, self.idle_power(), cold_start);
+
+        // Feed the watchdog one gated-stall outcome: how late the wake
+        // landed, and whether any wake-path fault fired on this stall.
+        if let Some(watchdog) = self.watchdog.as_mut() {
+            watchdog.record(resume, penalty, wake_failed);
+        }
 
         resume
     }
 
     /// Drives one complete entry → sleep → wake cycle through the core's
-    /// FSM and the timeline recorder.
+    /// FSM and the timeline recorder. FSM errors become recorded invariant
+    /// violations — faulty environments must never panic a release sweep.
     fn record_pg_cycle(
         &mut self,
         core: mapg_cpu::CoreId,
@@ -413,16 +691,25 @@ impl Controller {
         wake_start: Cycle,
         wake_done: Cycle,
     ) {
-        let fsm = self.fsm_mut(core.0);
-        fsm.begin_entry(gate_at);
-        fsm.begin_sleep(entry_done);
-        fsm.begin_wake(wake_start);
-        fsm.complete_wake(wake_done);
-        if let Some(timeline) = &mut self.timeline {
-            timeline.record(gate_at, core, PgState::Entering);
-            timeline.record(entry_done, core, PgState::Sleeping);
-            timeline.record(wake_start, core, PgState::Waking);
-            timeline.record(wake_done, core, PgState::Active);
+        self.fsm_mut(core.0);
+        let steps = [
+            (gate_at, PgState::Entering),
+            (entry_done, PgState::Sleeping),
+            (wake_start, PgState::Waking),
+            (wake_done, PgState::Active),
+        ];
+        for (at, next) in steps {
+            let fsm = &mut self.fsms[core.0];
+            let result = match next {
+                PgState::Entering => fsm.try_begin_entry(at),
+                PgState::Sleeping => fsm.try_begin_sleep(at),
+                PgState::Waking => fsm.try_begin_wake(at),
+                PgState::Active => fsm.try_complete_wake(at),
+            };
+            self.note_fsm(result, core.0, at);
+            if let Some(timeline) = &mut self.timeline {
+                timeline.record(at, core, next);
+            }
         }
     }
 }
@@ -456,16 +743,17 @@ mod tests {
 
     #[test]
     fn passive_policy_charges_idle_energy() {
-        let mut controller =
-            Controller::new(Box::new(NoGating), ControllerConfig::baseline());
+        let mut controller = Controller::new(Box::new(NoGating), ControllerConfig::baseline());
         let info = stall(200);
         let resume = controller.on_stall(&info);
         assert_eq!(resume, info.data_ready);
-        assert!(controller
-            .energy()
-            .get(EnergyCategory::IdleStall)
-            .as_joules()
-            > 0.0);
+        assert!(
+            controller
+                .energy()
+                .get(EnergyCategory::IdleStall)
+                .as_joules()
+                > 0.0
+        );
         assert_eq!(controller.stats().gated, 0);
         assert_eq!(controller.stats().stalls, 1);
     }
@@ -480,24 +768,26 @@ mod tests {
         assert_eq!(resume, info.data_ready + wakeup);
         assert_eq!(controller.stats().gated, 1);
         assert_eq!(controller.stats().penalty_cycles, wakeup.raw());
-        assert!(controller
-            .energy()
-            .get(EnergyCategory::GatedResidual)
-            .as_joules()
-            > 0.0);
-        assert!(controller
-            .energy()
-            .get(EnergyCategory::Transition)
-            .as_joules()
-            > 0.0);
+        assert!(
+            controller
+                .energy()
+                .get(EnergyCategory::GatedResidual)
+                .as_joules()
+                > 0.0
+        );
+        assert!(
+            controller
+                .energy()
+                .get(EnergyCategory::Transition)
+                .as_joules()
+                > 0.0
+        );
     }
 
     #[test]
     fn oracle_gate_has_zero_penalty() {
-        let mut controller = Controller::new(
-            Box::new(MapgPolicy::oracle()),
-            ControllerConfig::baseline(),
-        );
+        let mut controller =
+            Controller::new(Box::new(MapgPolicy::oracle()), ControllerConfig::baseline());
         let info = stall(400);
         let resume = controller.on_stall(&info);
         assert_eq!(resume, info.data_ready, "oracle hides the wake entirely");
@@ -507,10 +797,8 @@ mod tests {
 
     #[test]
     fn oracle_skips_below_break_even() {
-        let mut controller = Controller::new(
-            Box::new(MapgPolicy::oracle()),
-            ControllerConfig::baseline(),
-        );
+        let mut controller =
+            Controller::new(Box::new(MapgPolicy::oracle()), ControllerConfig::baseline());
         let short = stall(5);
         let resume = controller.on_stall(&short);
         assert_eq!(resume, short.data_ready);
@@ -526,8 +814,7 @@ mod tests {
         idle_ctl.on_stall(&long);
         let idle_energy = idle_ctl.energy().total();
 
-        let mut gate_ctl =
-            Controller::new(Box::new(MapgPolicy::oracle()), config);
+        let mut gate_ctl = Controller::new(Box::new(MapgPolicy::oracle()), config);
         gate_ctl.on_stall(&long);
         let gate_energy = gate_ctl.energy().total();
 
@@ -543,8 +830,7 @@ mod tests {
             tokens: Some(1),
             ..ControllerConfig::baseline()
         };
-        let mut controller =
-            Controller::new(Box::new(MapgPolicy::oracle()), config);
+        let mut controller = Controller::new(Box::new(MapgPolicy::oracle()), config);
         // Two cores stall with identical timing: their wake ramps collide.
         let a = StallInfo {
             core: CoreId(0),
@@ -568,8 +854,7 @@ mod tests {
     #[test]
     fn fsm_residencies_match_stats() {
         let config = ControllerConfig::baseline();
-        let mut controller =
-            Controller::new(Box::new(MapgPolicy::oracle()), config);
+        let mut controller = Controller::new(Box::new(MapgPolicy::oracle()), config);
         let info = stall(500);
         let resume = controller.on_stall(&info);
         controller.finish(&[resume]);
@@ -587,10 +872,8 @@ mod tests {
         // A static 200-cycle prediction on a 5000-cycle stall: the core
         // wakes at ~start+200, finds the data 4800 cycles away, and must
         // nap again until the response.
-        let policy = MapgPolicy::with_predictor(
-            StaticPredictor::new(Cycles::new(200)),
-            "static-test",
-        );
+        let policy =
+            MapgPolicy::with_predictor(StaticPredictor::new(Cycles::new(200)), "static-test");
         let config = ControllerConfig::baseline();
         let mut controller = Controller::new(Box::new(policy), config);
         let info = stall(5_000);
@@ -612,10 +895,8 @@ mod tests {
     #[test]
     fn regate_can_be_disabled() {
         use crate::predictor::StaticPredictor;
-        let policy = MapgPolicy::with_predictor(
-            StaticPredictor::new(Cycles::new(200)),
-            "static-test",
-        );
+        let policy =
+            MapgPolicy::with_predictor(StaticPredictor::new(Cycles::new(200)), "static-test");
         let config = ControllerConfig {
             regate_on_early_wake: false,
             ..ControllerConfig::baseline()
@@ -643,12 +924,121 @@ mod tests {
     }
 
     #[test]
+    fn finish_leaves_normal_runs_invariant_clean() {
+        let mut controller =
+            Controller::new(Box::new(MapgPolicy::oracle()), ControllerConfig::baseline());
+        let info = stall(500);
+        let resume = controller.on_stall(&info);
+        controller.finish(&[resume]);
+        let report = controller.invariants();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn slow_wake_fault_delays_resume() {
+        let config = ControllerConfig {
+            fault_plan: FaultPlan {
+                slow_wake_prob: 1.0,
+                slow_wake_factor: 10.0,
+                ..FaultPlan::none()
+            },
+            ..ControllerConfig::baseline()
+        };
+        let mut faulty = Controller::new(Box::new(NaiveOnMiss), config);
+        let mut clean = Controller::new(Box::new(NaiveOnMiss), ControllerConfig::baseline());
+        let info = stall(300);
+        let faulty_resume = faulty.on_stall(&info);
+        let clean_resume = clean.on_stall(&info);
+        assert!(
+            faulty_resume > clean_resume,
+            "a 10× wake ramp must land later: {faulty_resume} !> {clean_resume}"
+        );
+        assert_eq!(faulty.fault_stats().slow_wakes, 1);
+        assert_eq!(clean.fault_stats().slow_wakes, 0);
+    }
+
+    #[test]
+    fn brownout_window_vetoes_the_next_wake() {
+        let config = ControllerConfig {
+            fault_plan: FaultPlan {
+                brownout_prob: 1.0,
+                brownout_hold_cycles: Cycles::new(5_000),
+                ..FaultPlan::none()
+            },
+            ..ControllerConfig::baseline()
+        };
+        let mut controller = Controller::new(Box::new(MapgPolicy::oracle()), config);
+        // First gated stall opens a veto window over its wake...
+        let a = stall(400);
+        controller.on_stall(&a);
+        // ...which delays the second core's overlapping wake.
+        let b = StallInfo {
+            core: CoreId(1),
+            ..stall(400)
+        };
+        let resume_b = controller.on_stall(&b);
+        assert!(
+            resume_b > b.data_ready,
+            "vetoed wake must miss the data: {resume_b}"
+        );
+        let stats = controller.fault_stats();
+        assert!(stats.brownouts >= 1, "{stats}");
+        assert_eq!(stats.brownout_delayed_wakes, 1, "{stats}");
+    }
+
+    #[test]
+    fn watchdog_demotes_gating_in_safe_mode() {
+        let watchdog = WatchdogConfig {
+            window: 8,
+            min_samples: 4,
+            penalty_ratio: 1.0,
+            failure_threshold: 0.5,
+            backoff_base: Cycles::new(1_000_000),
+            backoff_max: Cycles::new(1_000_000),
+        };
+        let config = ControllerConfig {
+            fault_plan: FaultPlan {
+                slow_wake_prob: 1.0,
+                slow_wake_factor: 20.0,
+                ..FaultPlan::none()
+            },
+            watchdog: Some(watchdog),
+            ..ControllerConfig::baseline()
+        };
+        let mut controller = Controller::new(Box::new(NaiveOnMiss), config);
+        let gated_stall = |start: u64| StallInfo {
+            start: Cycle::new(start),
+            data_ready: Cycle::new(start + 300),
+            ..stall(300)
+        };
+        // Every wake is 20× slow: each gated stall records a penalty far
+        // past the 1× threshold, so the fourth sample trips the watchdog.
+        let mut start = 10_000u64;
+        for _ in 0..4 {
+            controller.on_stall(&gated_stall(start));
+            start += 10_000;
+        }
+        assert_eq!(controller.degradation().safe_mode_entries, 1);
+        let gated_before = controller.stats().gated;
+        let resume = controller.on_stall(&gated_stall(start));
+        assert_eq!(
+            controller.stats().gated,
+            gated_before,
+            "safe mode must demote the power gate"
+        );
+        assert_eq!(controller.degradation().demoted_gates, 1);
+        assert_eq!(
+            resume,
+            Cycle::new(start + 300),
+            "clock gating resumes exactly at data arrival"
+        );
+    }
+
+    #[test]
     fn every_comparison_policy_runs_through_controller() {
         for kind in PolicyKind::COMPARISON_SET {
-            let mut controller = Controller::new(
-                kind.instantiate(),
-                ControllerConfig::baseline(),
-            );
+            let mut controller = Controller::new(kind.instantiate(), ControllerConfig::baseline());
             let info = stall(300);
             let resume = controller.on_stall(&info);
             assert!(

@@ -1,0 +1,62 @@
+//! The crate's error type for user-supplied configuration.
+//!
+//! The builder APIs keep their documented panicking behaviour (a bad
+//! hard-coded config in a benchmark *should* abort), but every validation
+//! also exists as a fallible `try_*` method returning [`MapgError`], which
+//! the `mapgsim` CLI and other front-ends use to turn bad user input into
+//! error messages instead of panics.
+
+use core::fmt;
+
+/// Why a user-supplied configuration or name was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapgError {
+    /// A configuration value is out of range or inconsistent. The message
+    /// is the same text the corresponding panicking builder would abort
+    /// with.
+    InvalidConfig(String),
+    /// A name (workload, policy, fault-plan preset) did not match anything
+    /// known.
+    UnknownName {
+        /// What kind of name was looked up ("workload", "policy", ...).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl MapgError {
+    /// Shorthand for an [`MapgError::InvalidConfig`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        MapgError::InvalidConfig(message.into())
+    }
+}
+
+impl fmt::Display for MapgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapgError::InvalidConfig(message) => f.write_str(message),
+            MapgError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_message() {
+        let e = MapgError::invalid("need at least one core");
+        assert_eq!(e.to_string(), "need at least one core");
+        let e = MapgError::UnknownName {
+            kind: "policy",
+            name: "warp-drive".to_owned(),
+        };
+        assert_eq!(e.to_string(), "unknown policy 'warp-drive'");
+    }
+}

@@ -1,0 +1,442 @@
+//! Seeded, deterministic fault injection for the gating stack.
+//!
+//! A [`FaultPlan`] describes environmental misbehaviour the controller must
+//! survive: DRAM latency spikes, sleep transistors that wake slower than
+//! their design point, wake-token grants that are dropped or arrive late,
+//! corrupted predictor training samples, and supply brownouts that veto
+//! concurrent wake-ups.
+//!
+//! Determinism contract: all controller-side fault draws come from a
+//! [`StdRng`] stream seeded from `(simulation seed, site tag)`, and the
+//! cluster steps cores in a deterministic global time order, so identical
+//! `(seed, config, plan)` produce bit-identical runs. DRAM-side spikes use
+//! stateless per-(bank, window) hashing — see
+//! [`mapg_mem::DramFaultConfig`] — and are therefore order-independent as
+//! well. When the plan is a no-op the injector is never constructed and no
+//! RNG is drawn, so fault-free runs are bit-identical to runs of builds
+//! without fault support.
+
+use mapg_mem::DramFaultConfig;
+use mapg_units::Cycles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::MapgError;
+
+use core::fmt;
+
+/// Domain-separation tag for the controller fault stream, so fault draws
+/// never alias the workload-generation streams (which use `seed + core`).
+const FAULT_STREAM_TAG: u64 = 0xFA17_0CAF_E0DD_5EED;
+
+/// A deterministic fault-injection schedule (all faults off by default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a wake ramp is "stuck slow" (marginal sleep switch).
+    pub slow_wake_prob: f64,
+    /// Wake-latency multiplier applied to a stuck-slow ramp (≥ 1).
+    pub slow_wake_factor: f64,
+    /// Probability a granted wake token is dropped in flight, forcing the
+    /// core to re-request after [`FaultPlan::token_retry_cycles`].
+    pub token_drop_prob: f64,
+    /// Re-request latency after a dropped token grant.
+    pub token_retry_cycles: Cycles,
+    /// Probability a predictor training sample is corrupted.
+    pub predictor_corrupt_prob: f64,
+    /// Probability a gated stall triggers a rush-current brownout event,
+    /// vetoing wake-ups for [`FaultPlan::brownout_hold_cycles`].
+    pub brownout_prob: f64,
+    /// Length of the wake-veto window a brownout opens.
+    pub brownout_hold_cycles: Cycles,
+    /// Probability a (DRAM bank, time window) pair is latency-spiking.
+    pub dram_spike_prob: f64,
+    /// Extra DRAM array latency inside a spiking window.
+    pub dram_spike_cycles: Cycles,
+    /// Width of the DRAM spike-decision window, in cycles.
+    pub dram_window_cycles: u64,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultPlan {
+            slow_wake_prob: 0.0,
+            slow_wake_factor: 1.0,
+            token_drop_prob: 0.0,
+            token_retry_cycles: Cycles::new(200),
+            predictor_corrupt_prob: 0.0,
+            brownout_prob: 0.0,
+            brownout_hold_cycles: Cycles::new(2_000),
+            dram_spike_prob: 0.0,
+            dram_spike_cycles: Cycles::new(400),
+            dram_window_cycles: 10_000,
+        }
+    }
+
+    /// A moderate schedule: frequent enough to exercise every fault path
+    /// on a memory-bound run, mild enough that gating can still win.
+    pub fn moderate() -> Self {
+        FaultPlan {
+            slow_wake_prob: 0.25,
+            slow_wake_factor: 8.0,
+            token_drop_prob: 0.25,
+            predictor_corrupt_prob: 0.20,
+            brownout_prob: 0.05,
+            dram_spike_prob: 0.20,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A light schedule: a quarter of [`FaultPlan::moderate`]'s rates.
+    pub fn light() -> Self {
+        FaultPlan::moderate().with_intensity(0.25)
+    }
+
+    /// A heavy schedule: double [`FaultPlan::moderate`]'s rates.
+    pub fn heavy() -> Self {
+        FaultPlan::moderate().with_intensity(2.0)
+    }
+
+    /// Scales every fault *probability* by `intensity` (clamped to 1.0);
+    /// magnitudes (factors, hold times, spike widths) are unchanged.
+    /// `plan.with_intensity(0.0)` is a no-op plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is negative or not finite.
+    pub fn with_intensity(mut self, intensity: f64) -> Self {
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "fault intensity must be finite and non-negative, got {intensity}"
+        );
+        let scale = |p: f64| (p * intensity).min(1.0);
+        self.slow_wake_prob = scale(self.slow_wake_prob);
+        self.token_drop_prob = scale(self.token_drop_prob);
+        self.predictor_corrupt_prob = scale(self.predictor_corrupt_prob);
+        self.brownout_prob = scale(self.brownout_prob);
+        self.dram_spike_prob = scale(self.dram_spike_prob);
+        self
+    }
+
+    /// Parses a CLI fault-plan specification: one of the preset names
+    /// `none` / `light` / `moderate` / `heavy`, or a non-negative number
+    /// used as an intensity multiplier on the moderate plan (`0.5` = half
+    /// of moderate's rates).
+    pub fn from_spec(spec: &str) -> Result<Self, MapgError> {
+        match spec {
+            "none" | "off" => return Ok(FaultPlan::none()),
+            "light" => return Ok(FaultPlan::light()),
+            "moderate" => return Ok(FaultPlan::moderate()),
+            "heavy" => return Ok(FaultPlan::heavy()),
+            _ => {}
+        }
+        match spec.parse::<f64>() {
+            Ok(intensity) if intensity.is_finite() && intensity >= 0.0 => {
+                Ok(FaultPlan::moderate().with_intensity(intensity))
+            }
+            _ => Err(MapgError::UnknownName {
+                kind: "fault plan",
+                name: spec.to_owned(),
+            }),
+        }
+    }
+
+    /// True when this plan can never inject a fault. No-op plans skip the
+    /// entire injection path, keeping fault-free runs bit-identical.
+    pub fn is_nop(&self) -> bool {
+        self.controller_faults_are_nop() && self.dram_faults_are_nop()
+    }
+
+    fn controller_faults_are_nop(&self) -> bool {
+        (self.slow_wake_prob <= 0.0 || self.slow_wake_factor <= 1.0)
+            && (self.token_drop_prob <= 0.0 || self.token_retry_cycles == Cycles::ZERO)
+            && self.predictor_corrupt_prob <= 0.0
+            && (self.brownout_prob <= 0.0 || self.brownout_hold_cycles == Cycles::ZERO)
+    }
+
+    fn dram_faults_are_nop(&self) -> bool {
+        self.dram_spike_prob <= 0.0 || self.dram_spike_cycles == Cycles::ZERO
+    }
+
+    /// Checks every field is in range.
+    pub fn validate(&self) -> Result<(), MapgError> {
+        let prob = |name: &str, p: f64| -> Result<(), MapgError> {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(MapgError::invalid(format!(
+                    "{name} probability must be in [0, 1], got {p}"
+                )))
+            }
+        };
+        prob("slow-wake", self.slow_wake_prob)?;
+        prob("token-drop", self.token_drop_prob)?;
+        prob("predictor-corruption", self.predictor_corrupt_prob)?;
+        prob("brownout", self.brownout_prob)?;
+        prob("DRAM-spike", self.dram_spike_prob)?;
+        if !self.slow_wake_factor.is_finite() || self.slow_wake_factor < 1.0 {
+            return Err(MapgError::invalid(format!(
+                "slow-wake factor must be ≥ 1, got {}",
+                self.slow_wake_factor
+            )));
+        }
+        if !self.dram_faults_are_nop() && self.dram_window_cycles == 0 {
+            return Err(MapgError::invalid("DRAM fault window must be non-zero"));
+        }
+        Ok(())
+    }
+
+    /// The DRAM-side slice of this plan, keyed to the simulation seed.
+    pub fn dram_faults(&self, seed: u64) -> DramFaultConfig {
+        DramFaultConfig {
+            spike_prob: self.dram_spike_prob,
+            spike_cycles: self.dram_spike_cycles,
+            window_cycles: self.dram_window_cycles,
+            seed,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nop() {
+            return f.write_str("none");
+        }
+        write!(
+            f,
+            "slow-wake {:.0}%×{:.0}, token-drop {:.0}%, corrupt {:.0}%, \
+             brownout {:.0}%, dram-spike {:.0}%",
+            self.slow_wake_prob * 100.0,
+            self.slow_wake_factor,
+            self.token_drop_prob * 100.0,
+            self.predictor_corrupt_prob * 100.0,
+            self.brownout_prob * 100.0,
+            self.dram_spike_prob * 100.0,
+        )
+    }
+}
+
+/// Counts of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Wake ramps inflated by the stuck-slow fault.
+    pub slow_wakes: u64,
+    /// Token grants dropped in flight.
+    pub dropped_grants: u64,
+    /// Predictor training samples corrupted.
+    pub corrupted_observations: u64,
+    /// Brownout events raised.
+    pub brownouts: u64,
+    /// Wake-ups delayed by an open brownout veto window.
+    pub brownout_delayed_wakes: u64,
+}
+
+impl FaultStats {
+    /// Total controller-side fault events (DRAM spikes are counted by the
+    /// memory hierarchy, in `DramStats::fault_spikes`).
+    pub fn total(&self) -> u64 {
+        self.slow_wakes + self.dropped_grants + self.corrupted_observations + self.brownouts
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} slow wakes, {} dropped grants, {} corrupt samples, {} brownouts",
+            self.slow_wakes, self.dropped_grants, self.corrupted_observations, self.brownouts
+        )
+    }
+}
+
+/// Draws controller-side faults from a dedicated seeded stream.
+///
+/// Constructed only for non-no-op plans; the controller's hot path never
+/// touches an RNG when faults are off.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(seed ^ FAULT_STREAM_TAG),
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Possibly inflates one wake ramp (stuck-slow sleep switch).
+    pub(crate) fn wake_latency(&mut self, nominal: Cycles) -> Cycles {
+        if self.plan.slow_wake_prob > 0.0 && self.rng.gen_bool(self.plan.slow_wake_prob) {
+            self.stats.slow_wakes += 1;
+            nominal.scale(self.plan.slow_wake_factor)
+        } else {
+            nominal
+        }
+    }
+
+    /// Whether this token grant is dropped in flight.
+    pub(crate) fn drop_token_grant(&mut self) -> bool {
+        let dropped =
+            self.plan.token_drop_prob > 0.0 && self.rng.gen_bool(self.plan.token_drop_prob);
+        if dropped {
+            self.stats.dropped_grants += 1;
+        }
+        dropped
+    }
+
+    pub(crate) fn token_retry(&self) -> Cycles {
+        self.plan.token_retry_cycles
+    }
+
+    /// Possibly corrupts one predictor training sample. Corruption flips
+    /// the observed latency by a random factor in [1/8, 8] — large enough
+    /// to poison history-based predictors in either direction.
+    pub(crate) fn observed_latency(&mut self, actual: Cycles) -> Cycles {
+        if self.plan.predictor_corrupt_prob > 0.0
+            && self.rng.gen_bool(self.plan.predictor_corrupt_prob)
+        {
+            self.stats.corrupted_observations += 1;
+            let factor = if self.rng.gen_bool(0.5) {
+                self.rng.gen_range(2.0..8.0)
+            } else {
+                self.rng.gen_range(0.125..0.5)
+            };
+            actual.scale(factor).max(Cycles::new(1))
+        } else {
+            actual
+        }
+    }
+
+    /// Whether this gated stall raises a brownout event; returns the veto
+    /// window length when it does.
+    pub(crate) fn brownout(&mut self) -> Option<Cycles> {
+        if self.plan.brownout_prob > 0.0 && self.rng.gen_bool(self.plan.brownout_prob) {
+            self.stats.brownouts += 1;
+            Some(self.plan.brownout_hold_cycles)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn note_brownout_delay(&mut self) {
+        self.stats.brownout_delayed_wakes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_nop_and_presets_are_not() {
+        assert!(FaultPlan::none().is_nop());
+        assert!(FaultPlan::default().is_nop());
+        assert!(!FaultPlan::light().is_nop());
+        assert!(!FaultPlan::moderate().is_nop());
+        assert!(!FaultPlan::heavy().is_nop());
+        assert!(FaultPlan::moderate().with_intensity(0.0).is_nop());
+    }
+
+    #[test]
+    fn intensity_scales_probabilities_and_clamps() {
+        let m = FaultPlan::moderate();
+        let half = m.with_intensity(0.5);
+        assert!((half.slow_wake_prob - m.slow_wake_prob * 0.5).abs() < 1e-12);
+        assert_eq!(half.slow_wake_factor, m.slow_wake_factor);
+        let huge = m.with_intensity(100.0);
+        assert_eq!(huge.slow_wake_prob, 1.0);
+        assert!(huge.validate().is_ok());
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert!(FaultPlan::from_spec("none").unwrap().is_nop());
+        assert_eq!(
+            FaultPlan::from_spec("moderate").unwrap(),
+            FaultPlan::moderate()
+        );
+        assert_eq!(
+            FaultPlan::from_spec("0.5").unwrap(),
+            FaultPlan::moderate().with_intensity(0.5)
+        );
+        assert!(FaultPlan::from_spec("bogus").is_err());
+        assert!(FaultPlan::from_spec("-1").is_err());
+        assert!(FaultPlan::from_spec("inf").is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut plan = FaultPlan::moderate();
+        plan.slow_wake_factor = 0.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::moderate();
+        plan.brownout_prob = 2.0;
+        assert!(plan.validate().is_err());
+        assert!(FaultPlan::heavy().validate().is_ok());
+    }
+
+    #[test]
+    fn injector_streams_are_deterministic() {
+        let run = || {
+            let mut injector = FaultInjector::new(FaultPlan::moderate(), 42);
+            let latencies: Vec<u64> = (0..64)
+                .map(|_| injector.wake_latency(Cycles::new(20)).raw())
+                .collect();
+            let drops: Vec<bool> = (0..64).map(|_| injector.drop_token_grant()).collect();
+            (latencies, drops, injector.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn injector_rates_track_plan() {
+        let mut injector = FaultInjector::new(FaultPlan::moderate(), 7);
+        for _ in 0..2_000 {
+            injector.wake_latency(Cycles::new(20));
+            injector.observed_latency(Cycles::new(300));
+            injector.brownout();
+        }
+        let stats = injector.stats();
+        let rate = stats.slow_wakes as f64 / 2_000.0;
+        assert!((rate - 0.25).abs() < 0.05, "slow-wake rate {rate}");
+        assert!(stats.corrupted_observations > 0);
+        assert!(stats.brownouts > 0);
+        assert!(stats.total() > 0);
+        assert!(stats.to_string().contains("slow wakes"));
+    }
+
+    #[test]
+    fn corrupted_observation_never_zero() {
+        let mut injector = FaultInjector::new(
+            FaultPlan {
+                predictor_corrupt_prob: 1.0,
+                ..FaultPlan::none()
+            },
+            1,
+        );
+        for _ in 0..100 {
+            assert!(injector.observed_latency(Cycles::new(1)) >= Cycles::new(1));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FaultPlan::none().to_string(), "none");
+        assert!(FaultPlan::moderate().to_string().contains("slow-wake"));
+    }
+}

@@ -114,8 +114,19 @@ impl GatingFsm {
     ///
     /// Panics on an illegal transition or a time regression.
     pub fn begin_entry(&mut self, at: Cycle) {
-        self.transition(PgState::Active, PgState::Entering, at);
+        unwrap_transition(self.try_begin_entry(at));
+    }
+
+    /// Active → Entering, reporting failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation message on an illegal transition or a time
+    /// regression, leaving the FSM unchanged.
+    pub fn try_begin_entry(&mut self, at: Cycle) -> Result<(), String> {
+        self.transition(PgState::Active, PgState::Entering, at)?;
         self.sleep_count += 1;
+        Ok(())
     }
 
     /// Entering → Sleeping.
@@ -124,7 +135,17 @@ impl GatingFsm {
     ///
     /// Panics on an illegal transition or a time regression.
     pub fn begin_sleep(&mut self, at: Cycle) {
-        self.transition(PgState::Entering, PgState::Sleeping, at);
+        unwrap_transition(self.try_begin_sleep(at));
+    }
+
+    /// Entering → Sleeping, reporting failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation message on an illegal transition or a time
+    /// regression, leaving the FSM unchanged.
+    pub fn try_begin_sleep(&mut self, at: Cycle) -> Result<(), String> {
+        self.transition(PgState::Entering, PgState::Sleeping, at)
     }
 
     /// Sleeping → Waking.
@@ -133,7 +154,17 @@ impl GatingFsm {
     ///
     /// Panics on an illegal transition or a time regression.
     pub fn begin_wake(&mut self, at: Cycle) {
-        self.transition(PgState::Sleeping, PgState::Waking, at);
+        unwrap_transition(self.try_begin_wake(at));
+    }
+
+    /// Sleeping → Waking, reporting failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation message on an illegal transition or a time
+    /// regression, leaving the FSM unchanged.
+    pub fn try_begin_wake(&mut self, at: Cycle) -> Result<(), String> {
+        self.transition(PgState::Sleeping, PgState::Waking, at)
     }
 
     /// Waking → Active.
@@ -142,7 +173,17 @@ impl GatingFsm {
     ///
     /// Panics on an illegal transition or a time regression.
     pub fn complete_wake(&mut self, at: Cycle) {
-        self.transition(PgState::Waking, PgState::Active, at);
+        unwrap_transition(self.try_complete_wake(at));
+    }
+
+    /// Waking → Active, reporting failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation message on an illegal transition or a time
+    /// regression, leaving the FSM unchanged.
+    pub fn try_complete_wake(&mut self, at: Cycle) -> Result<(), String> {
+        self.transition(PgState::Waking, PgState::Active, at)
     }
 
     /// Closes the books at end of run: accumulates the residency of the
@@ -152,27 +193,38 @@ impl GatingFsm {
     ///
     /// Panics if `at` precedes the last transition.
     pub fn finish(&mut self, at: Cycle) {
-        self.accumulate(at);
-        self.since = at;
+        unwrap_transition(self.try_finish(at));
     }
 
-    fn transition(&mut self, expect: PgState, next: PgState, at: Cycle) {
-        assert!(
-            self.state == expect,
-            "illegal transition to {next} from {} (expected {expect})",
-            self.state
-        );
-        self.accumulate(at);
+    /// Closes the books, reporting a time regression instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation message if `at` precedes the last transition,
+    /// leaving the FSM unchanged.
+    pub fn try_finish(&mut self, at: Cycle) -> Result<(), String> {
+        self.accumulate(at)?;
+        self.since = at;
+        Ok(())
+    }
+
+    fn transition(&mut self, expect: PgState, next: PgState, at: Cycle) -> Result<(), String> {
+        if self.state != expect {
+            return Err(format!(
+                "illegal transition to {next} from {} (expected {expect})",
+                self.state
+            ));
+        }
+        self.accumulate(at)?;
         self.state = next;
         self.since = at;
+        Ok(())
     }
 
-    fn accumulate(&mut self, at: Cycle) {
-        assert!(
-            at >= self.since,
-            "time regression: {at} before {}",
-            self.since
-        );
+    fn accumulate(&mut self, at: Cycle) -> Result<(), String> {
+        if at < self.since {
+            return Err(format!("time regression: {at} before {}", self.since));
+        }
         let span = at - self.since;
         match self.state {
             PgState::Active => self.residency.active += span,
@@ -180,6 +232,15 @@ impl GatingFsm {
             PgState::Sleeping => self.residency.sleeping += span,
             PgState::Waking => self.residency.waking += span,
         }
+        Ok(())
+    }
+}
+
+/// Panics with the violation message, preserving the documented panic
+/// behaviour of the non-`try` methods.
+fn unwrap_transition(result: Result<(), String>) {
+    if let Err(message) = result {
+        panic!("{message}");
     }
 }
 
@@ -260,6 +321,20 @@ mod tests {
         fsm.begin_wake(Cycle::new(10));
         fsm.complete_wake(Cycle::new(10));
         assert_eq!(fsm.residency().total(), Cycles::new(10));
+    }
+
+    #[test]
+    fn try_variants_report_instead_of_panicking() {
+        let mut fsm = GatingFsm::new();
+        let err = fsm.try_begin_wake(Cycle::new(5)).unwrap_err();
+        assert!(err.contains("illegal transition"), "{err}");
+        assert_eq!(fsm.state(), PgState::Active, "FSM unchanged on error");
+
+        fsm.try_begin_entry(Cycle::new(100)).unwrap();
+        let err = fsm.try_begin_sleep(Cycle::new(50)).unwrap_err();
+        assert!(err.contains("time regression"), "{err}");
+        assert_eq!(fsm.state(), PgState::Entering, "FSM unchanged on error");
+        assert_eq!(fsm.sleep_count(), 1);
     }
 
     #[test]

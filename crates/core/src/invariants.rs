@@ -1,0 +1,239 @@
+//! Runtime invariant checking for the gating stack.
+//!
+//! The simulator's correctness argument rests on a handful of conservation
+//! laws: FSM transitions are legal, simulated time never runs backwards,
+//! wake tokens are conserved, the energy ledger matches residency × power,
+//! and no core resumes before its data arrives. The
+//! [`InvariantChecker`] evaluates those laws *during* a run — including
+//! runs with fault injection, where the environment misbehaves but the
+//! controller's bookkeeping must not.
+//!
+//! Violations are collected into the run's [`InvariantReport`] instead of
+//! panicking: a release binary driving a parameter sweep should report a
+//! broken invariant alongside the row that produced it, not abort the
+//! sweep. Tests then assert [`InvariantReport::is_clean`].
+
+use core::fmt;
+
+/// Upper bound on violations kept with full detail (the total count keeps
+/// incrementing past it, so a hot broken invariant cannot balloon memory).
+const MAX_RECORDED: usize = 32;
+
+/// Which law a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// A power-gating FSM transition was illegal for the current state.
+    FsmTransition,
+    /// An event timestamp preceded an earlier event on the same core.
+    MonotonicTime,
+    /// Token grants, delays, or concurrency do not reconcile.
+    TokenLedger,
+    /// An energy bucket disagrees with residency × power (or is negative
+    /// or non-finite).
+    EnergyLedger,
+    /// A core resumed execution before its memory response arrived (it
+    /// would be computing while gated or data-less).
+    ResumeBeforeData,
+    /// Statistics that must partition or bound each other do not.
+    Accounting,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvariantKind::FsmTransition => "fsm-transition",
+            InvariantKind::MonotonicTime => "monotonic-time",
+            InvariantKind::TokenLedger => "token-ledger",
+            InvariantKind::EnergyLedger => "energy-ledger",
+            InvariantKind::ResumeBeforeData => "resume-before-data",
+            InvariantKind::Accounting => "accounting",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One broken invariant, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The law that broke.
+    pub kind: InvariantKind,
+    /// Core involved, when the violation is per-core.
+    pub core: Option<usize>,
+    /// Simulated cycle at which it was detected, when time-scoped.
+    pub at: Option<u64>,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(core) = self.core {
+            write!(f, " core {core}")?;
+        }
+        if let Some(at) = self.at {
+            write!(f, " @cycle {at}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Accumulates invariant evaluations over a run.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantChecker {
+    checks: u64,
+    total_violations: u64,
+    violations: Vec<InvariantViolation>,
+}
+
+impl InvariantChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        InvariantChecker::default()
+    }
+
+    /// Evaluates one invariant: `ok` must hold. `detail` is only invoked
+    /// on failure, so hot-path checks pay no formatting cost.
+    pub fn check(
+        &mut self,
+        ok: bool,
+        kind: InvariantKind,
+        core: Option<usize>,
+        at: Option<u64>,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.checks += 1;
+        if !ok {
+            self.record(InvariantViolation {
+                kind,
+                core,
+                at,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Records an externally detected violation (e.g. an FSM `try_*` error).
+    pub fn record(&mut self, violation: InvariantViolation) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(violation);
+        }
+    }
+
+    /// Counts one check that passed by construction elsewhere.
+    pub fn count_check(&mut self) {
+        self.checks += 1;
+    }
+
+    /// Snapshot of the results so far.
+    pub fn report(&self) -> InvariantReport {
+        InvariantReport {
+            checks: self.checks,
+            total_violations: self.total_violations,
+            violations: self.violations.clone(),
+        }
+    }
+}
+
+/// The invariant-checking outcome of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Invariant evaluations performed.
+    pub checks: u64,
+    /// Violations detected (including any beyond the recording cap).
+    pub total_violations: u64,
+    /// The first violations, with full detail (capped).
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl InvariantReport {
+    /// True when every evaluated invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checks, {} violations",
+            self.checks, self.total_violations
+        )?;
+        for violation in &self.violations {
+            write!(f, "\n    {violation}")?;
+        }
+        if self.total_violations as usize > self.violations.len() {
+            write!(
+                f,
+                "\n    ... and {} more",
+                self.total_violations as usize - self.violations.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_checks_stay_clean() {
+        let mut checker = InvariantChecker::new();
+        for i in 0..10u64 {
+            checker.check(true, InvariantKind::MonotonicTime, None, Some(i), || {
+                unreachable!("detail must not be built for passing checks")
+            });
+        }
+        let report = checker.report();
+        assert!(report.is_clean());
+        assert_eq!(report.checks, 10);
+        assert!(report.to_string().contains("10 checks"));
+    }
+
+    #[test]
+    fn failures_are_recorded_with_context() {
+        let mut checker = InvariantChecker::new();
+        checker.check(
+            false,
+            InvariantKind::TokenLedger,
+            Some(3),
+            Some(1_000),
+            || "grants 5 != intervals 4".to_owned(),
+        );
+        let report = checker.report();
+        assert!(!report.is_clean());
+        assert_eq!(report.total_violations, 1);
+        let text = report.to_string();
+        assert!(text.contains("token-ledger"), "{text}");
+        assert!(text.contains("core 3"), "{text}");
+        assert!(text.contains("@cycle 1000"), "{text}");
+        assert!(text.contains("grants 5 != intervals 4"), "{text}");
+    }
+
+    #[test]
+    fn recording_is_capped_but_counting_is_not() {
+        let mut checker = InvariantChecker::new();
+        for i in 0..100 {
+            checker.check(false, InvariantKind::Accounting, None, None, || {
+                format!("violation {i}")
+            });
+        }
+        let report = checker.report();
+        assert_eq!(report.total_violations, 100);
+        assert_eq!(report.violations.len(), MAX_RECORDED);
+        assert!(report.to_string().contains("and 68 more"));
+    }
+
+    #[test]
+    fn kind_display_names_are_stable() {
+        assert_eq!(InvariantKind::FsmTransition.to_string(), "fsm-transition");
+        assert_eq!(InvariantKind::EnergyLedger.to_string(), "energy-ledger");
+        assert_eq!(
+            InvariantKind::ResumeBeforeData.to_string(),
+            "resume-before-data"
+        );
+    }
+}

@@ -36,12 +36,16 @@
 //! | prediction | [`MissLatencyPredictor`], [`HistoryTablePredictor`], [`EwmaPredictor`], [`LastValuePredictor`], [`StaticPredictor`], [`OraclePredictor`], [`PredictorScore`] |
 //! | mechanism | [`GatingFsm`], [`PgState`], [`TokenManager`], [`Controller`] |
 //! | harness | [`Simulation`], [`SimConfig`], [`RunReport`], [`SuiteRunner`], [`SuiteMatrix`] |
+//! | robustness | [`FaultPlan`], [`FaultStats`], [`InvariantReport`], [`Watchdog`], [`DegradationStats`], [`MapgError`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod controller;
+mod error;
+mod faults;
 mod fsm;
+mod invariants;
 mod policy;
 mod predictor;
 mod replicate;
@@ -50,16 +54,20 @@ mod sim;
 mod suite;
 mod timeline;
 mod tokens;
+mod watchdog;
 
 pub use controller::{Controller, ControllerConfig, GatingStats};
+pub use error::MapgError;
+pub use faults::{FaultPlan, FaultStats};
 pub use fsm::{GatingFsm, PgState, StateResidency};
+pub use invariants::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 pub use policy::{
-    ClockGating, DvfsStall, GatingPolicy, MapgPolicy, NaiveOnMiss, NoGating,
-    PolicyContext, PolicyKind, PredictorKind, StallAction, TimeoutGating,
+    ClockGating, DvfsStall, GatingPolicy, MapgPolicy, NaiveOnMiss, NoGating, PolicyContext,
+    PolicyKind, PredictorKind, StallAction, TimeoutGating,
 };
 pub use predictor::{
-    EwmaPredictor, HistoryTablePredictor, LastValuePredictor,
-    MissLatencyPredictor, OraclePredictor, PredictorScore, StaticPredictor,
+    EwmaPredictor, HistoryTablePredictor, LastValuePredictor, MissLatencyPredictor,
+    OraclePredictor, PredictorScore, StaticPredictor,
 };
 pub use replicate::{MetricSummary, Replication};
 pub use report::{geometric_mean, RunReport};
@@ -67,3 +75,4 @@ pub use sim::{SimConfig, Simulation};
 pub use suite::{SuiteMatrix, SuiteRunner};
 pub use timeline::{Timeline, TimelineEvent};
 pub use tokens::TokenManager;
+pub use watchdog::{DegradationStats, Watchdog, WatchdogConfig};

@@ -19,8 +19,8 @@ use mapg_power::OperatingPoint;
 use mapg_units::{Cycle, Cycles};
 
 use crate::predictor::{
-    EwmaPredictor, HistoryTablePredictor, LastValuePredictor,
-    MissLatencyPredictor, OraclePredictor, PredictorScore, StaticPredictor,
+    EwmaPredictor, HistoryTablePredictor, LastValuePredictor, MissLatencyPredictor,
+    OraclePredictor, PredictorScore, StaticPredictor,
 };
 
 /// Circuit-derived constants the controller hands every policy.
@@ -228,10 +228,7 @@ impl MapgPolicy<HistoryTablePredictor> {
     /// The deployable MAPG configuration: PC-indexed history predictor,
     /// unity guard, early wake on.
     pub fn predictive() -> Self {
-        MapgPolicy::with_predictor(
-            HistoryTablePredictor::hardware_default(),
-            "mapg",
-        )
+        MapgPolicy::with_predictor(HistoryTablePredictor::hardware_default(), "mapg")
     }
 
     /// Ablation: prediction and break-even guard disabled — gate every
@@ -284,13 +281,27 @@ impl<P: MissLatencyPredictor> MapgPolicy<P> {
     /// # Panics
     ///
     /// Panics if `guard` is negative or not finite.
-    pub fn with_guard(mut self, guard: f64) -> Self {
-        assert!(
-            guard.is_finite() && guard >= 0.0,
-            "guard must be finite and non-negative, got {guard}"
-        );
+    pub fn with_guard(self, guard: f64) -> Self {
+        match self.try_with_guard(guard) {
+            Ok(policy) => policy,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`MapgPolicy::with_guard`] for user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError`](crate::MapgError) if `guard` is negative or
+    /// not finite.
+    pub fn try_with_guard(mut self, guard: f64) -> Result<Self, crate::MapgError> {
+        if !(guard.is_finite() && guard >= 0.0) {
+            return Err(crate::MapgError::invalid(format!(
+                "guard must be finite and non-negative, got {guard}"
+            )));
+        }
         self.guard = guard;
-        self
+        Ok(self)
     }
 
     /// The wrapped predictor.
@@ -402,18 +413,10 @@ impl PredictorKind {
     /// Instantiates the predictor.
     pub fn instantiate(&self) -> Box<dyn MissLatencyPredictor> {
         match self {
-            PredictorKind::Static => {
-                Box::new(StaticPredictor::new(Cycles::new(200)))
-            }
-            PredictorKind::LastValue => {
-                Box::new(LastValuePredictor::new(Cycles::new(200)))
-            }
-            PredictorKind::Ewma => {
-                Box::new(EwmaPredictor::new(Cycles::new(200), 4))
-            }
-            PredictorKind::HistoryTable => {
-                Box::new(HistoryTablePredictor::hardware_default())
-            }
+            PredictorKind::Static => Box::new(StaticPredictor::new(Cycles::new(200))),
+            PredictorKind::LastValue => Box::new(LastValuePredictor::new(Cycles::new(200))),
+            PredictorKind::Ewma => Box::new(EwmaPredictor::new(Cycles::new(200), 4)),
+            PredictorKind::HistoryTable => Box::new(HistoryTablePredictor::hardware_default()),
             PredictorKind::Oracle => Box::new(OraclePredictor),
         }
     }
@@ -470,15 +473,11 @@ impl PolicyKind {
             PolicyKind::MapgOracle => Box::new(MapgPolicy::oracle()),
             PolicyKind::Mapg => Box::new(MapgPolicy::predictive()),
             PolicyKind::MapgAlwaysGate => Box::new(MapgPolicy::always_gate()),
-            PolicyKind::MapgNoEarlyWake => {
-                Box::new(MapgPolicy::no_early_wake())
-            }
-            PolicyKind::MapgWith { predictor } => Box::new(
-                MapgPolicy::with_predictor(
-                    predictor.instantiate(),
-                    predictor.policy_name(),
-                ),
-            ),
+            PolicyKind::MapgNoEarlyWake => Box::new(MapgPolicy::no_early_wake()),
+            PolicyKind::MapgWith { predictor } => Box::new(MapgPolicy::with_predictor(
+                predictor.instantiate(),
+                predictor.policy_name(),
+            )),
         }
     }
 

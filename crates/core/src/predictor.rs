@@ -118,9 +118,8 @@ impl EwmaPredictor {
 
     fn fold(&mut self, actual: Cycles) {
         let sample_x16 = actual.raw() * 16;
-        self.state_x16 = (self.state_x16 * (16 - self.alpha_x16)
-            + sample_x16 * self.alpha_x16)
-            / 16;
+        self.state_x16 =
+            (self.state_x16 * (16 - self.alpha_x16) + sample_x16 * self.alpha_x16) / 16;
     }
 }
 
@@ -197,8 +196,7 @@ impl MissLatencyPredictor for HistoryTablePredictor {
             return;
         }
         if self.table.len() < self.capacity {
-            let mut entry =
-                EwmaPredictor::new(self.default_estimate, self.alpha_x16);
+            let mut entry = EwmaPredictor::new(self.default_estimate, self.alpha_x16);
             entry.fold(actual);
             self.table.insert(info.pc, entry);
         }

@@ -43,11 +43,7 @@ impl MetricSummary {
         let stdev = if n < 2 {
             0.0
         } else {
-            let var = samples
-                .iter()
-                .map(|s| (s - mean).powi(2))
-                .sum::<f64>()
-                / (n - 1) as f64;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
@@ -147,11 +143,7 @@ impl Replication {
     /// # Panics
     ///
     /// Panics if the replica counts differ.
-    pub fn summarize_paired<F>(
-        &self,
-        baseline: &Replication,
-        metric: F,
-    ) -> MetricSummary
+    pub fn summarize_paired<F>(&self, baseline: &Replication, metric: F) -> MetricSummary
     where
         F: Fn(&RunReport, &RunReport) -> f64,
     {
@@ -226,8 +218,7 @@ mod tests {
         let config = SimConfig::default().with_instructions(20_000);
         let baseline = Replication::run(config.clone(), PolicyKind::NoGating, 4);
         let mapg = Replication::run(config, PolicyKind::Mapg, 4);
-        let paired = mapg
-            .summarize_paired(&baseline, |m, b| m.core_energy_savings_vs(b));
+        let paired = mapg.summarize_paired(&baseline, |m, b| m.core_energy_savings_vs(b));
         assert!(paired.mean > 0.0, "MAPG saves energy on every seed");
         assert!(paired.min > 0.0);
     }

@@ -6,8 +6,11 @@ use mapg_power::EnergyAccount;
 use mapg_units::{Joules, Seconds};
 
 use crate::controller::GatingStats;
+use crate::faults::FaultStats;
+use crate::invariants::InvariantReport;
 use crate::predictor::PredictorScore;
 use crate::timeline::Timeline;
+use crate::watchdog::DegradationStats;
 
 use core::fmt;
 
@@ -38,6 +41,14 @@ pub struct RunReport {
     pub predictor: Option<PredictorScore>,
     /// Peak simultaneous wake-ups observed (1-core runs report ≤ 1).
     pub peak_concurrent_wakes: usize,
+    /// Runtime invariant-checking outcome (clean unless the controller's
+    /// bookkeeping broke a conservation law during the run).
+    pub invariants: InvariantReport,
+    /// Safe-mode degradation statistics (all zero without a watchdog).
+    pub degradation: DegradationStats,
+    /// Controller-side fault-injection counts (all zero without a plan;
+    /// DRAM spikes are in [`memory`](RunReport::memory)'s DRAM stats).
+    pub faults: FaultStats,
     /// Power-state transition record, when requested via
     /// [`SimConfig::with_timeline`](crate::SimConfig::with_timeline).
     pub timeline: Option<Timeline>,
@@ -162,6 +173,15 @@ impl fmt::Display for RunReport {
         if let Some(score) = &self.predictor {
             writeln!(f, "  predictor: {score}")?;
         }
+        if self.faults.total() > 0 {
+            writeln!(f, "  faults: {}", self.faults)?;
+        }
+        if !self.degradation.is_empty() {
+            writeln!(f, "  safe mode: {}", self.degradation)?;
+        }
+        if !self.invariants.is_clean() {
+            writeln!(f, "  INVARIANTS BROKEN: {}", self.invariants)?;
+        }
         Ok(())
     }
 }
@@ -213,6 +233,9 @@ mod tests {
             memory: MemoryHierarchy::new(HierarchyConfig::baseline()).stats(),
             predictor: None,
             peak_concurrent_wakes: 0,
+            invariants: InvariantReport::default(),
+            degradation: DegradationStats::default(),
+            faults: FaultStats::default(),
             timeline: None,
         }
     }

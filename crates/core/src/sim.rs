@@ -4,15 +4,18 @@
 use mapg_cpu::{Cluster, CoreConfig};
 use mapg_mem::HierarchyConfig;
 use mapg_power::{
-    DramEnergyModel, EnergyCategory, PgCircuitDesign, RetentionStyle,
-    TechnologyParams,
+    DramEnergyModel, EnergyCategory, PgCircuitDesign, RetentionStyle, TechnologyParams,
 };
 use mapg_trace::{SyntheticWorkload, WorkloadProfile};
 use mapg_units::{Cycle, Cycles};
 
 use crate::controller::{Controller, ControllerConfig};
+use crate::error::MapgError;
+use crate::faults::FaultPlan;
+use crate::invariants::{InvariantKind, InvariantViolation};
 use crate::policy::PolicyKind;
 use crate::report::RunReport;
+use crate::watchdog::WatchdogConfig;
 
 /// Everything a run needs. Construct with [`SimConfig::default`] and
 /// customize with the `with_*` methods:
@@ -43,6 +46,8 @@ pub struct SimConfig {
     record_timeline: bool,
     regate_on_early_wake: bool,
     dram_energy: DramEnergyModel,
+    fault_plan: FaultPlan,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl SimConfig {
@@ -59,11 +64,28 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `profiles` is empty.
-    pub fn with_workload_mix(mut self, profiles: Vec<WorkloadProfile>) -> Self {
-        assert!(!profiles.is_empty(), "a mix needs at least one profile");
+    pub fn with_workload_mix(self, profiles: Vec<WorkloadProfile>) -> Self {
+        match self.try_with_workload_mix(profiles) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::with_workload_mix`] for user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if `profiles` is empty.
+    pub fn try_with_workload_mix(
+        mut self,
+        profiles: Vec<WorkloadProfile>,
+    ) -> Result<Self, MapgError> {
+        if profiles.is_empty() {
+            return Err(MapgError::invalid("a mix needs at least one profile"));
+        }
         self.cores = profiles.len();
         self.profiles = profiles;
-        self
+        Ok(self)
     }
 
     /// Number of cores.
@@ -71,10 +93,24 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `cores` is zero.
-    pub fn with_cores(mut self, cores: usize) -> Self {
-        assert!(cores > 0, "need at least one core");
+    pub fn with_cores(self, cores: usize) -> Self {
+        match self.try_with_cores(cores) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::with_cores`] for user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if `cores` is zero.
+    pub fn try_with_cores(mut self, cores: usize) -> Result<Self, MapgError> {
+        if cores == 0 {
+            return Err(MapgError::invalid("need at least one core"));
+        }
         self.cores = cores;
-        self
+        Ok(self)
     }
 
     /// Instructions each core retires.
@@ -82,10 +118,24 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if zero.
-    pub fn with_instructions(mut self, instructions: u64) -> Self {
-        assert!(instructions > 0, "need at least one instruction");
+    pub fn with_instructions(self, instructions: u64) -> Self {
+        match self.try_with_instructions(instructions) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::with_instructions`] for user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if `instructions` is zero.
+    pub fn try_with_instructions(mut self, instructions: u64) -> Result<Self, MapgError> {
+        if instructions == 0 {
+            return Err(MapgError::invalid("need at least one instruction"));
+        }
         self.instructions_per_core = instructions;
-        self
+        Ok(self)
     }
 
     /// Master RNG seed; core *i* uses `seed + i`.
@@ -113,9 +163,31 @@ impl SimConfig {
     }
 
     /// Sleep-transistor width ratio (selects the PG circuit design point).
+    ///
+    /// The value is range-checked later, when the circuit is derived —
+    /// see [`SimConfig::try_with_switch_width`] for the fallible form that
+    /// rejects it up front.
     pub fn with_switch_width(mut self, ratio: f64) -> Self {
         self.switch_width_ratio = ratio;
         self
+    }
+
+    /// Fallible form of [`SimConfig::with_switch_width`] for user input;
+    /// rejects ratios the circuit model would panic on deep inside the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if `ratio` is outside
+    /// `[0.005, 0.2]` (below, the switch cannot deliver the core's active
+    /// current; above, the model's first-order laws stop holding).
+    pub fn try_with_switch_width(mut self, ratio: f64) -> Result<Self, MapgError> {
+        if !(0.005..=0.2).contains(&ratio) {
+            return Err(MapgError::invalid(format!(
+                "switch width ratio must be in [0.005, 0.2], got {ratio}"
+            )));
+        }
+        self.switch_width_ratio = ratio;
+        Ok(self)
     }
 
     /// State-retention style of the PG circuit (default: retentive).
@@ -130,10 +202,60 @@ impl SimConfig {
         self
     }
 
+    /// Fallible form of [`SimConfig::with_tokens`] for user input; rejects
+    /// a zero capacity here instead of deep inside the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if `tokens` is zero.
+    pub fn try_with_tokens(mut self, tokens: usize) -> Result<Self, MapgError> {
+        if tokens == 0 {
+            return Err(MapgError::invalid("token capacity must be non-zero"));
+        }
+        self.tokens = Some(tokens);
+        Ok(self)
+    }
+
     /// Disables token limiting (the default).
     pub fn without_tokens(mut self) -> Self {
         self.tokens = None;
         self
+    }
+
+    /// Enables fault injection per `plan`. The fault streams are keyed to
+    /// the simulation seed, so `(seed, config, plan)` fully determine the
+    /// run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Fallible form of [`SimConfig::with_fault_plan`] for user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if the plan is out of range
+    /// (see [`FaultPlan::validate`]).
+    pub fn try_with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, MapgError> {
+        plan.validate()?;
+        self.fault_plan = plan;
+        Ok(self)
+    }
+
+    /// Enables the safe-mode watchdog with explicit thresholds.
+    pub fn with_safe_mode(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Enables the safe-mode watchdog with default thresholds.
+    pub fn with_safe_mode_default(self) -> Self {
+        self.with_safe_mode(WatchdogConfig::default())
+    }
+
+    /// The configured fault plan (a no-op plan by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Records every power-state transition into
@@ -165,8 +287,7 @@ impl SimConfig {
         if self.profiles.len() == 1 {
             self.profiles[0].name().to_owned()
         } else {
-            let names: Vec<&str> =
-                self.profiles.iter().map(|p| p.name()).collect();
+            let names: Vec<&str> = self.profiles.iter().map(|p| p.name()).collect();
             format!("mix[{}]", names.join("+"))
         }
     }
@@ -206,6 +327,8 @@ impl Default for SimConfig {
             record_timeline: false,
             regate_on_early_wake: true,
             dram_energy: DramEnergyModel::ddr3(),
+            fault_plan: FaultPlan::none(),
+            watchdog: None,
         }
     }
 }
@@ -237,9 +360,11 @@ impl Simulation {
             clock: config.core.clock,
             tokens: config.tokens,
             regate_on_early_wake: config.regate_on_early_wake,
+            fault_plan: config.fault_plan,
+            fault_seed: config.seed,
+            watchdog: config.watchdog,
         };
-        let mut controller =
-            Controller::new(self.policy.instantiate(), controller_config);
+        let mut controller = Controller::new(self.policy.instantiate(), controller_config);
         if config.record_timeline {
             controller.enable_timeline();
         }
@@ -250,7 +375,14 @@ impl Simulation {
                 SyntheticWorkload::new(profile, config.seed + i as u64)
             })
             .collect();
-        let mut cluster = Cluster::new(config.core, config.memory, sources);
+        // A non-no-op plan injects its DRAM-side faults into the shared
+        // hierarchy, keyed to the simulation seed; a no-op plan leaves the
+        // memory configuration untouched.
+        let mut memory = config.memory;
+        if !config.fault_plan.is_nop() {
+            memory.dram_faults = config.fault_plan.dram_faults(config.seed);
+        }
+        let mut cluster = Cluster::new(config.core, memory, sources);
         cluster.run(config.instructions_per_core, &mut controller);
 
         let cluster_stats = cluster.stats();
@@ -293,6 +425,39 @@ impl Simulation {
             .map(|t| t.peak_concurrency())
             .unwrap_or(0);
 
+        // --- end-of-run audits the controller cannot see -----------------
+        // Per-core accounting laws and the fully merged energy ledger join
+        // the controller's own invariant report.
+        {
+            let checker = controller.invariants_mut();
+            for (i, core) in cluster_stats.per_core.iter().enumerate() {
+                let problems = core.audit();
+                if problems.is_empty() {
+                    checker.count_check();
+                }
+                for detail in problems {
+                    checker.record(InvariantViolation {
+                        kind: InvariantKind::Accounting,
+                        core: Some(i),
+                        at: None,
+                        detail,
+                    });
+                }
+            }
+            let problems = energy.audit();
+            if problems.is_empty() {
+                checker.count_check();
+            }
+            for detail in problems {
+                checker.record(InvariantViolation {
+                    kind: InvariantKind::EnergyLedger,
+                    core: None,
+                    at: None,
+                    detail,
+                });
+            }
+        }
+
         let timeline = controller.take_timeline();
         RunReport {
             timeline,
@@ -308,6 +473,9 @@ impl Simulation {
             core_stats: cluster_stats.per_core,
             memory: cluster_stats.memory,
             peak_concurrent_wakes,
+            invariants: controller.invariants(),
+            degradation: controller.degradation(),
+            faults: controller.fault_stats(),
         }
     }
 }
@@ -363,18 +531,15 @@ mod tests {
         let naive = Simulation::new(quick(), PolicyKind::NaiveOnMiss).run();
         let mapg = Simulation::new(quick(), PolicyKind::Mapg).run();
         assert!(
-            naive.perf_overhead_vs(&baseline)
-                > mapg.perf_overhead_vs(&baseline),
+            naive.perf_overhead_vs(&baseline) > mapg.perf_overhead_vs(&baseline),
             "reactive wake must cost more runtime than early wake"
         );
     }
 
     #[test]
     fn compute_bound_offers_little_to_gate() {
-        let config = quick()
-            .with_profile(WorkloadProfile::compute_bound("cpu_bound"));
-        let baseline =
-            Simulation::new(config.clone(), PolicyKind::NoGating).run();
+        let config = quick().with_profile(WorkloadProfile::compute_bound("cpu_bound"));
+        let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
         let mapg = Simulation::new(config, PolicyKind::Mapg).run();
         let savings = mapg.core_energy_savings_vs(&baseline);
         assert!(
@@ -425,7 +590,13 @@ mod tests {
         assert!(report.energy.get(EnergyCategory::GatedResidual).as_joules() > 0.0);
         assert!(report.energy.get(EnergyCategory::Transition).as_joules() > 0.0);
         assert!(report.energy.get(EnergyCategory::DramAccess).as_joules() > 0.0);
-        assert!(report.energy.get(EnergyCategory::DramBackground).as_joules() > 0.0);
+        assert!(
+            report
+                .energy
+                .get(EnergyCategory::DramBackground)
+                .as_joules()
+                > 0.0
+        );
     }
 
     #[test]
@@ -454,6 +625,86 @@ mod tests {
             sprinter.stall_fraction()
         );
         assert_eq!(report.workload, "mix[hog+sprinter]");
+    }
+
+    #[test]
+    fn fault_free_runs_are_clean() {
+        let report = Simulation::new(quick(), PolicyKind::Mapg).run();
+        assert!(report.invariants.is_clean(), "{}", report.invariants);
+        assert!(report.invariants.checks > 0, "checker must have run");
+        assert_eq!(report.faults.total(), 0);
+        assert!(report.degradation.is_empty());
+        assert_eq!(report.memory.dram.fault_spikes, 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let run = || {
+            let config = quick()
+                .with_cores(2)
+                .with_instructions(50_000)
+                .with_tokens(2)
+                .with_fault_plan(FaultPlan::moderate());
+            Simulation::new(config, PolicyKind::Mapg).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.gating, b.gating);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.memory.dram.fault_spikes, b.memory.dram.fault_spikes);
+        assert_eq!(a.total_energy(), b.total_energy());
+    }
+
+    #[test]
+    fn faults_hurt_performance_but_not_bookkeeping() {
+        let clean = Simulation::new(quick(), PolicyKind::Mapg).run();
+        let faulty = Simulation::new(
+            quick().with_fault_plan(FaultPlan::moderate()),
+            PolicyKind::Mapg,
+        )
+        .run();
+        assert!(faulty.faults.total() > 0, "moderate plan must inject");
+        assert!(faulty.memory.dram.fault_spikes > 0);
+        assert!(
+            faulty.makespan_cycles > clean.makespan_cycles,
+            "faults must cost runtime: {} !> {}",
+            faulty.makespan_cycles,
+            clean.makespan_cycles
+        );
+        // The environment misbehaves; the controller's books must not.
+        assert!(faulty.invariants.is_clean(), "{}", faulty.invariants);
+    }
+
+    #[test]
+    fn watchdog_degrades_and_recovers_under_heavy_faults() {
+        let config = quick()
+            .with_instructions(200_000)
+            .with_fault_plan(FaultPlan::heavy())
+            .with_safe_mode_default();
+        let report = Simulation::new(config, PolicyKind::Mapg).run();
+        assert!(
+            report.degradation.safe_mode_entries > 0,
+            "watchdog never tripped: {}",
+            report.degradation
+        );
+        assert!(report.degradation.demoted_gates > 0);
+        assert!(
+            report.degradation.recoveries > 0,
+            "watchdog never recovered: {}",
+            report.degradation
+        );
+        assert!(report.invariants.is_clean(), "{}", report.invariants);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_healthy_runs() {
+        let report = Simulation::new(quick().with_safe_mode_default(), PolicyKind::Mapg).run();
+        assert!(
+            report.degradation.is_empty(),
+            "healthy run tripped the watchdog: {}",
+            report.degradation
+        );
     }
 
     #[test]

@@ -98,11 +98,7 @@ impl SuiteMatrix {
     /// # Panics
     ///
     /// Panics if either policy is missing for some workload.
-    pub fn geomean_normalized_energy(
-        &self,
-        policy: &str,
-        baseline: &str,
-    ) -> f64 {
+    pub fn geomean_normalized_energy(&self, policy: &str, baseline: &str) -> f64 {
         geometric_mean(self.workloads().iter().map(|w| {
             let p = self.get(w, policy).expect("policy report missing");
             let b = self.get(w, baseline).expect("baseline report missing");
@@ -116,11 +112,7 @@ impl SuiteMatrix {
     /// # Panics
     ///
     /// Panics if either policy is missing for some workload.
-    pub fn geomean_normalized_runtime(
-        &self,
-        policy: &str,
-        baseline: &str,
-    ) -> f64 {
+    pub fn geomean_normalized_runtime(&self, policy: &str, baseline: &str) -> f64 {
         geometric_mean(self.workloads().iter().map(|w| {
             let p = self.get(w, policy).expect("policy report missing");
             let b = self.get(w, baseline).expect("baseline report missing");
@@ -170,12 +162,9 @@ mod tests {
 
     #[test]
     fn geomeans_are_sensible() {
-        let matrix =
-            tiny_runner().run(&[PolicyKind::NoGating, PolicyKind::Mapg]);
-        let energy =
-            matrix.geomean_normalized_energy("mapg", "no-gating");
-        let runtime =
-            matrix.geomean_normalized_runtime("mapg", "no-gating");
+        let matrix = tiny_runner().run(&[PolicyKind::NoGating, PolicyKind::Mapg]);
+        let energy = matrix.geomean_normalized_energy("mapg", "no-gating");
+        let runtime = matrix.geomean_normalized_runtime("mapg", "no-gating");
         let edp = matrix.geomean_normalized_edp("mapg", "no-gating");
         assert!(energy < 1.0, "MAPG should save energy: {energy}");
         assert!(runtime < 1.10, "runtime should stay close: {runtime}");
@@ -185,8 +174,7 @@ mod tests {
     #[test]
     fn baseline_normalized_to_itself_is_unity() {
         let matrix = tiny_runner().run(&[PolicyKind::NoGating]);
-        let unity =
-            matrix.geomean_normalized_energy("no-gating", "no-gating");
+        let unity = matrix.geomean_normalized_energy("no-gating", "no-gating");
         assert!((unity - 1.0).abs() < 1e-12);
     }
 }

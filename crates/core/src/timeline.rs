@@ -60,12 +60,7 @@ impl Timeline {
     /// (per-core timelines must be monotone; different cores may interleave
     /// arbitrarily).
     pub fn record(&mut self, at: Cycle, core: CoreId, state: PgState) {
-        if let Some(last) = self
-            .events
-            .iter()
-            .rev()
-            .find(|e| e.core == core)
-        {
+        if let Some(last) = self.events.iter().rev().find(|e| e.core == core) {
             assert!(
                 at >= last.at,
                 "timeline regression for {core}: {at} after {}",
@@ -92,11 +87,7 @@ impl Timeline {
 
     /// Number of cores that appear in the timeline.
     pub fn cores(&self) -> usize {
-        self.events
-            .iter()
-            .map(|e| e.core.0 + 1)
-            .max()
-            .unwrap_or(0)
+        self.events.iter().map(|e| e.core.0 + 1).max().unwrap_or(0)
     }
 
     /// Total cycles each core spent in [`PgState::Sleeping`] according to

@@ -10,6 +10,8 @@
 
 use mapg_units::{Cycle, Cycles};
 
+use crate::error::MapgError;
+
 /// Grants at most `capacity` concurrent wake-up slots.
 ///
 /// ```
@@ -41,14 +43,28 @@ impl TokenManager {
     /// Panics if `capacity` is zero — with no tokens no core could ever
     /// wake.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "token capacity must be non-zero");
-        TokenManager {
+        match TokenManager::try_new(capacity) {
+            Ok(manager) => manager,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor for user-supplied capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] when `capacity` is zero.
+    pub fn try_new(capacity: usize) -> Result<Self, MapgError> {
+        if capacity == 0 {
+            return Err(MapgError::invalid("token capacity must be non-zero"));
+        }
+        Ok(TokenManager {
             slots: vec![Cycle::ZERO; capacity],
             grants: 0,
             delayed_grants: 0,
             delay_cycles: 0,
             intervals: Vec::new(),
-        }
+        })
     }
 
     /// Token capacity.
@@ -98,8 +114,7 @@ impl TokenManager {
     /// computed exactly by a sweep over the granted intervals (a token is
     /// held for `[start, start + duration)`).
     pub fn peak_concurrency(&self) -> usize {
-        let mut events: Vec<(u64, i32)> =
-            Vec::with_capacity(self.intervals.len() * 2);
+        let mut events: Vec<(u64, i32)> = Vec::with_capacity(self.intervals.len() * 2);
         for &(start, end) in &self.intervals {
             events.push((start, 1));
             events.push((end, -1));
@@ -115,6 +130,47 @@ impl TokenManager {
         }
         peak as usize
     }
+
+    /// Audits token conservation: every grant left an interval, no
+    /// interval runs backwards, delayed-grant bookkeeping is mutually
+    /// consistent, and concurrency never exceeded capacity. Returns one
+    /// message per broken law.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.grants != self.intervals.len() as u64 {
+            problems.push(format!(
+                "token ledger: {} grants but {} recorded intervals",
+                self.grants,
+                self.intervals.len()
+            ));
+        }
+        if let Some(&(start, end)) = self.intervals.iter().find(|&&(start, end)| end < start) {
+            problems.push(format!(
+                "token ledger: interval runs backwards ({start} → {end})"
+            ));
+        }
+        if self.delayed_grants > self.grants {
+            problems.push(format!(
+                "token ledger: {} delayed grants exceed {} total grants",
+                self.delayed_grants, self.grants
+            ));
+        }
+        if self.delay_cycles > 0 && self.delayed_grants == 0 {
+            problems.push(format!(
+                "token ledger: {} delay cycles with zero delayed grants",
+                self.delay_cycles
+            ));
+        }
+        let peak = self.peak_concurrency();
+        if peak > self.capacity() {
+            problems.push(format!(
+                "token conservation: peak concurrency {peak} exceeds \
+                 capacity {}",
+                self.capacity()
+            ));
+        }
+        problems
+    }
 }
 
 #[cfg(test)]
@@ -125,10 +181,7 @@ mod tests {
     fn parallel_grants_up_to_capacity() {
         let mut t = TokenManager::new(3);
         for _ in 0..3 {
-            assert_eq!(
-                t.acquire(Cycle::new(50), Cycles::new(10)),
-                Cycle::new(50)
-            );
+            assert_eq!(t.acquire(Cycle::new(50), Cycles::new(10)), Cycle::new(50));
         }
         // Fourth must wait.
         assert_eq!(t.acquire(Cycle::new(50), Cycles::new(10)), Cycle::new(60));
@@ -143,10 +196,7 @@ mod tests {
         let mut t = TokenManager::new(1);
         assert_eq!(t.acquire(Cycle::new(0), Cycles::new(10)), Cycle::new(0));
         // Requested after the first released: no delay.
-        assert_eq!(
-            t.acquire(Cycle::new(20), Cycles::new(10)),
-            Cycle::new(20)
-        );
+        assert_eq!(t.acquire(Cycle::new(20), Cycles::new(10)), Cycle::new(20));
         assert_eq!(t.delayed_grants(), 0);
     }
 
@@ -169,5 +219,21 @@ mod tests {
     #[test]
     fn capacity_accessor() {
         assert_eq!(TokenManager::new(7).capacity(), 7);
+    }
+
+    #[test]
+    fn try_new_reports_zero_capacity() {
+        let err = TokenManager::try_new(0).unwrap_err();
+        assert!(err.to_string().contains("token capacity"), "{err}");
+        assert!(TokenManager::try_new(2).is_ok());
+    }
+
+    #[test]
+    fn audit_passes_on_normal_use() {
+        let mut t = TokenManager::new(2);
+        for i in 0..10u64 {
+            t.acquire(Cycle::new(i * 3), Cycles::new(10));
+        }
+        assert!(t.audit().is_empty(), "{:?}", t.audit());
     }
 }

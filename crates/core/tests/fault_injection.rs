@@ -1,0 +1,117 @@
+//! Property tests over the fault-injection harness: determinism under
+//! arbitrary fault plans, and cleanliness of fault-free runs.
+
+use proptest::prelude::*;
+
+use mapg::{FaultPlan, PolicyKind, SimConfig, Simulation};
+use mapg_trace::WorkloadProfile;
+
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Mapg,
+    PolicyKind::NaiveOnMiss,
+    PolicyKind::ClockGating,
+];
+
+fn config(seed: u64, cores: usize, plan: FaultPlan) -> SimConfig {
+    SimConfig::default()
+        .with_profile(WorkloadProfile::mem_bound("mem_bound"))
+        .with_instructions(10_000)
+        .with_cores(cores)
+        .with_tokens(cores.max(2))
+        .with_seed(seed)
+        .with_fault_plan(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// (seed, fault plan, config) fully determine the run: two simulations
+    /// built from the same inputs produce bit-identical reports, fault
+    /// counts included.
+    #[test]
+    fn any_fault_plan_is_deterministic(
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..3.0,
+        cores in 1usize..3,
+        policy_index in 0usize..3,
+        watchdog in any::<bool>(),
+    ) {
+        let plan = FaultPlan::moderate().with_intensity(intensity);
+        let policy = POLICIES[policy_index];
+        let build = || {
+            let mut c = config(seed, cores, plan);
+            if watchdog {
+                c = c.with_safe_mode_default();
+            }
+            Simulation::new(c, policy).run()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        prop_assert_eq!(
+            a.energy.total().as_joules().to_bits(),
+            b.energy.total().as_joules().to_bits(),
+            "energy must match to the bit"
+        );
+        prop_assert_eq!(a.gating.gated, b.gating.gated);
+        prop_assert_eq!(a.gating.penalty_cycles, b.gating.penalty_cycles);
+        prop_assert_eq!(a.faults.slow_wakes, b.faults.slow_wakes);
+        prop_assert_eq!(a.faults.dropped_grants, b.faults.dropped_grants);
+        prop_assert_eq!(
+            a.faults.corrupted_observations,
+            b.faults.corrupted_observations
+        );
+        prop_assert_eq!(a.faults.brownout_delayed_wakes, b.faults.brownout_delayed_wakes);
+        prop_assert_eq!(a.memory.dram.fault_spikes, b.memory.dram.fault_spikes);
+        prop_assert_eq!(
+            a.degradation.safe_mode_entries,
+            b.degradation.safe_mode_entries
+        );
+        // Whatever the faults do to timing, the books must still balance.
+        prop_assert!(
+            a.invariants.is_clean(),
+            "fault plan broke an invariant: {}",
+            a.invariants
+        );
+    }
+
+    /// A no-fault config behaves exactly like one that never heard of the
+    /// harness: zero injected faults, zero violations, and a report
+    /// bit-identical to a plain `SimConfig` run.
+    #[test]
+    fn no_fault_config_is_clean_and_unperturbed(
+        seed in 0u64..1_000_000,
+        cores in 1usize..3,
+        policy_index in 0usize..3,
+    ) {
+        let policy = POLICIES[policy_index];
+        let with_plan =
+            Simulation::new(config(seed, cores, FaultPlan::none()), policy)
+                .run();
+        let plain = Simulation::new(
+            SimConfig::default()
+                .with_profile(WorkloadProfile::mem_bound("mem_bound"))
+                .with_instructions(10_000)
+                .with_cores(cores)
+                .with_tokens(cores.max(2))
+                .with_seed(seed),
+            policy,
+        )
+        .run();
+        prop_assert_eq!(with_plan.faults.total(), 0);
+        prop_assert_eq!(with_plan.memory.dram.fault_spikes, 0);
+        prop_assert!(
+            with_plan.invariants.is_clean(),
+            "fault-free run violated an invariant: {}",
+            with_plan.invariants
+        );
+        prop_assert!(with_plan.invariants.checks > 0);
+        prop_assert_eq!(with_plan.makespan_cycles, plain.makespan_cycles);
+        prop_assert_eq!(
+            with_plan.energy.total().as_joules().to_bits(),
+            plain.energy.total().as_joules().to_bits(),
+            "FaultPlan::none() must not perturb the simulation"
+        );
+        prop_assert_eq!(with_plan.gating.gated, plain.gating.gated);
+    }
+}

@@ -3,10 +3,7 @@
 
 use proptest::prelude::*;
 
-use mapg::{
-    Controller, ControllerConfig, GatingFsm, MapgPolicy, PolicyKind,
-    TokenManager,
-};
+use mapg::{Controller, ControllerConfig, GatingFsm, MapgPolicy, PolicyKind, TokenManager};
 use mapg_cpu::{CoreId, StallCause, StallHandler, StallInfo};
 use mapg_units::{Cycle, Cycles};
 

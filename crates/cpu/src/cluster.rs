@@ -80,11 +80,7 @@ impl<S: EventSource> Cluster<S> {
     /// # Panics
     ///
     /// Panics if `sources` is empty.
-    pub fn new(
-        core_config: CoreConfig,
-        memory_config: HierarchyConfig,
-        sources: Vec<S>,
-    ) -> Self {
+    pub fn new(core_config: CoreConfig, memory_config: HierarchyConfig, sources: Vec<S>) -> Self {
         assert!(!sources.is_empty(), "a cluster needs at least one core");
         let cores = sources
             .into_iter()
@@ -114,11 +110,7 @@ impl<S: EventSource> Cluster<S> {
     /// # Panics
     ///
     /// Panics if `instructions_per_core` is zero.
-    pub fn run<H: StallHandler>(
-        &mut self,
-        instructions_per_core: u64,
-        handler: &mut H,
-    ) {
+    pub fn run<H: StallHandler>(&mut self, instructions_per_core: u64, handler: &mut H) {
         assert!(
             instructions_per_core > 0,
             "must run at least one instruction per core"

@@ -106,6 +106,34 @@ impl CoreStats {
     pub fn active_cycles(&self) -> u64 {
         self.total_cycles - self.stall_cycles
     }
+
+    /// Audits internal consistency: stall time is bounded by total time,
+    /// the per-cause breakdown partitions the stall total, and penalties
+    /// are part of the stall time. Returns one message per broken law.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.stall_cycles > self.total_cycles {
+            problems.push(format!(
+                "core accounting: stall {} exceeds total {} cycles",
+                self.stall_cycles, self.total_cycles
+            ));
+        }
+        let breakdown =
+            self.mlp_stall_cycles + self.dependency_stall_cycles + self.idle_stall_cycles;
+        if breakdown != self.stall_cycles {
+            problems.push(format!(
+                "core accounting: cause breakdown {} != stall total {}",
+                breakdown, self.stall_cycles
+            ));
+        }
+        if self.penalty_cycles > self.stall_cycles {
+            problems.push(format!(
+                "core accounting: penalty {} exceeds stall {} cycles",
+                self.penalty_cycles, self.stall_cycles
+            ));
+        }
+        problems
+    }
 }
 
 /// A single core executing an event stream against a shared hierarchy.
@@ -190,11 +218,7 @@ impl<S: EventSource> Core<S> {
 
     /// Processes exactly one trace event. Exposed so clusters can interleave
     /// cores in global time order.
-    pub fn step<H: StallHandler>(
-        &mut self,
-        memory: &mut MemoryHierarchy,
-        handler: &mut H,
-    ) {
+    pub fn step<H: StallHandler>(&mut self, memory: &mut MemoryHierarchy, handler: &mut H) {
         let event = self.source.next_event();
         self.stats.instructions += event.instructions();
         match event {
@@ -216,9 +240,7 @@ impl<S: EventSource> Core<S> {
                 // in flight.
                 if access.dependent {
                     self.prune();
-                    if !self.outstanding.is_empty()
-                        && self.last_miss_completion > self.now
-                    {
+                    if !self.outstanding.is_empty() && self.last_miss_completion > self.now {
                         self.stall(
                             StallCause::Dependency,
                             self.last_miss_completion,
@@ -246,18 +268,15 @@ impl<S: EventSource> Core<S> {
                         self.now += Cycles::new(1);
                         self.prune();
                         if self.outstanding.len() >= self.config.mlp_limit {
+                            // Unreachable expect: a completion was pushed
+                            // onto `outstanding` a few lines above.
                             let oldest = self
                                 .outstanding
                                 .iter()
                                 .copied()
                                 .min()
                                 .expect("outstanding non-empty at MLP limit");
-                            self.stall(
-                                StallCause::MlpLimit,
-                                oldest,
-                                access.pc,
-                                handler,
-                            );
+                            self.stall(StallCause::MlpLimit, oldest, access.pc, handler);
                         }
                     }
                 }
@@ -316,9 +335,9 @@ impl<S: EventSource> Core<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stall::PassiveHandler;
     use mapg_mem::HierarchyConfig;
     use mapg_trace::{MemAccess, SyntheticWorkload, WorkloadProfile};
-    use crate::stall::PassiveHandler;
 
     /// A scripted event source for precise tests.
     struct Script {
@@ -402,11 +421,7 @@ mod tests {
             mlp_limit: 2,
             ..CoreConfig::baseline()
         };
-        let script = Script::new(vec![
-            load(0x10_0000),
-            load(0x20_0000),
-            load(0x30_0000),
-        ]);
+        let script = Script::new(vec![load(0x10_0000), load(0x20_0000), load(0x30_0000)]);
         let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
         let mut core = Core::new(config, script);
         core.run(3, &mut memory, &mut PassiveHandler);
@@ -464,10 +479,7 @@ mod tests {
     fn stats_are_internally_consistent() {
         let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
         let profile = WorkloadProfile::mixed("consistency");
-        let mut core = Core::new(
-            CoreConfig::baseline(),
-            SyntheticWorkload::new(&profile, 11),
-        );
+        let mut core = Core::new(CoreConfig::baseline(), SyntheticWorkload::new(&profile, 11));
         core.run(200_000, &mut memory, &mut PassiveHandler);
         let stats = core.stats();
         assert!(stats.instructions >= 200_000);
@@ -506,16 +518,11 @@ mod tests {
     fn stall_cause_breakdown_partitions_stall_cycles() {
         let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
         let profile = WorkloadProfile::mem_bound("breakdown");
-        let mut core = Core::new(
-            CoreConfig::baseline(),
-            SyntheticWorkload::new(&profile, 13),
-        );
+        let mut core = Core::new(CoreConfig::baseline(), SyntheticWorkload::new(&profile, 13));
         core.run(200_000, &mut memory, &mut PassiveHandler);
         let stats = core.stats();
         assert_eq!(
-            stats.mlp_stall_cycles
-                + stats.dependency_stall_cycles
-                + stats.idle_stall_cycles,
+            stats.mlp_stall_cycles + stats.dependency_stall_cycles + stats.idle_stall_cycles,
             stats.stall_cycles,
             "cause breakdown must partition the stall total"
         );
@@ -534,10 +541,7 @@ mod tests {
             .mem_refs_per_kilo_inst(20.0)
             .idle_injection(IdleInjection::new(5_000, 100_000))
             .build();
-        let mut core = Core::new(
-            CoreConfig::baseline(),
-            SyntheticWorkload::new(&profile, 3),
-        );
+        let mut core = Core::new(CoreConfig::baseline(), SyntheticWorkload::new(&profile, 3));
         core.run(50_000, &mut memory, &mut PassiveHandler);
         let stats = core.stats();
         assert!(stats.idle_periods > 0, "injection must fire");
@@ -548,8 +552,7 @@ mod tests {
     fn determinism_full_stack() {
         let profile = WorkloadProfile::mem_bound("det");
         let run = |seed| {
-            let mut memory =
-                MemoryHierarchy::new(HierarchyConfig::baseline());
+            let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
             let mut core = Core::new(
                 CoreConfig::baseline(),
                 SyntheticWorkload::new(&profile, seed),

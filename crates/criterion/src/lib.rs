@@ -1,0 +1,261 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this minimal shim instead of the upstream crate. It runs each benchmark
+//! for the configured sample count within the configured measurement window
+//! and prints mean wall-clock time per iteration — no statistical analysis,
+//! outlier detection, HTML reports, or baseline comparison.
+//!
+//! Covered API: [`Criterion`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_function` / `bench_with_input` / `finish`,
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`BenchmarkId::new`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records total elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks sharing timing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a standalone benchmark with default group settings.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        // Standalone benches in this workspace are micro-benchmarks; a
+        // short window keeps `cargo bench` usable without the statistics
+        // machinery that would justify a longer one.
+        group.sample_size(50);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_secs(1));
+        group.run(&name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks with shared sample-count and timing windows.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self.warm_up_time = self.warm_up_time.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Sets the warm-up window run before timing starts.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement window the samples should roughly fill.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run(&id, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing it a reference to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The shim prints per-benchmark results eagerly, so
+    /// this only exists for API compatibility.)
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run single iterations until the window elapses, which
+        // also yields a per-iteration estimate for sizing the samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            f(&mut bencher);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so all samples together roughly fill the
+        // measurement window, with at least one iteration per sample.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = if per_iter > 0.0 {
+            ((budget / per_iter).round() as u64).max(1)
+        } else {
+            1
+        };
+
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        for _ in 0..self.sample_size {
+            bencher.iterations = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iterations += iters_per_sample;
+        }
+
+        let mean_ns = total.as_secs_f64() * 1e9 / iterations.max(1) as f64;
+        println!(
+            "{}/{id}: {:.3} µs/iter ({} samples × {iters_per_sample} iters)",
+            self.name,
+            mean_ns / 1e3,
+            self.sample_size,
+        );
+    }
+}
+
+/// Defines a function that runs a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_returns() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.finish();
+        assert!(calls > 0, "benchmark body never ran");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("input", 42), &42u64, |b, &value| {
+            b.iter(|| {
+                seen = value;
+                value
+            });
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+}

@@ -191,10 +191,7 @@ impl Cache {
         let sets = config.sets();
         Cache {
             config,
-            sets: vec![
-                vec![Way::default(); config.associativity as usize];
-                sets as usize
-            ],
+            sets: vec![vec![Way::default(); config.associativity as usize]; sets as usize],
             stats: CacheStats::default(),
             use_clock: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
@@ -234,11 +231,7 @@ impl Cache {
         }
 
         // Miss: pick invalid way if any, else the policy's victim.
-        let victim_index = Self::select_victim(
-            set,
-            self.config.replacement,
-            &mut self.rng_state,
-        );
+        let victim_index = Self::select_victim(set, self.config.replacement, &mut self.rng_state);
         let victim = &mut set[victim_index];
         let writeback = if victim.valid && victim.dirty {
             // Reconstruct the victim's line address from its tag.
@@ -260,14 +253,12 @@ impl Cache {
     }
 
     /// Picks the way to evict: any invalid way first, else per policy.
-    fn select_victim(
-        set: &[Way],
-        policy: ReplacementPolicy,
-        rng_state: &mut u64,
-    ) -> usize {
+    fn select_victim(set: &[Way], policy: ReplacementPolicy, rng_state: &mut u64) -> usize {
         if let Some(invalid) = set.iter().position(|w| !w.valid) {
             return invalid;
         }
+        // The expects below are unreachable: validate() rejects
+        // associativity == 0, so every set holds at least one way.
         match policy {
             ReplacementPolicy::Lru => set
                 .iter()
@@ -310,11 +301,7 @@ impl Cache {
         if set.iter().any(|w| w.valid && w.tag == tag) {
             return None;
         }
-        let victim_index = Self::select_victim(
-            set,
-            self.config.replacement,
-            &mut self.rng_state,
-        );
+        let victim_index = Self::select_victim(set, self.config.replacement, &mut self.rng_state);
         let victim = &mut set[victim_index];
         let writeback = if victim.valid && victim.dirty {
             let victim_line = victim.tag * set_count + set_index as u64;
@@ -341,9 +328,7 @@ impl Cache {
         let set_count = self.sets.len() as u64;
         let set_index = (line % set_count) as usize;
         let tag = line / set_count;
-        self.sets[set_index]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.sets[set_index].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Invalidates all lines and forgets statistics; used between
@@ -425,7 +410,9 @@ mod tests {
         c.access(0x100, false);
         // Evict 0x000 (LRU): expect its line address in the writeback.
         match c.access(0x200, false) {
-            CacheOutcome::Miss { writeback: Some(line) } => {
+            CacheOutcome::Miss {
+                writeback: Some(line),
+            } => {
                 assert_eq!(line, 0, "victim was line zero");
             }
             other => panic!("expected dirty writeback, got {other:?}"),

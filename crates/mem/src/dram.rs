@@ -9,6 +9,8 @@
 
 use mapg_units::{Cycle, Cycles};
 
+use crate::faults::DramFaultConfig;
+
 use core::fmt;
 
 /// Row-buffer management policy.
@@ -135,6 +137,8 @@ pub struct DramStats {
     pub refresh_stalls: u64,
     /// Total cycles the data bus was occupied.
     pub bus_busy_cycles: u64,
+    /// Accesses slowed by an injected latency-spike fault.
+    pub fault_spikes: u64,
 }
 
 impl DramStats {
@@ -189,24 +193,39 @@ struct Bank {
 #[derive(Debug, Clone)]
 pub struct Dram {
     config: DramConfig,
+    faults: DramFaultConfig,
     banks: Vec<Bank>,
     bus_free: Cycle,
     stats: DramStats,
 }
 
 impl Dram {
-    /// Creates the device with all banks precharged.
+    /// Creates the device with all banks precharged and no fault injection.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (zero banks, row smaller
     /// than a line, refresh duration ≥ interval).
     pub fn new(config: DramConfig) -> Self {
+        Dram::with_faults(config, DramFaultConfig::none())
+    }
+
+    /// Creates the device with deterministic latency-fault injection (see
+    /// [`DramFaultConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is inconsistent.
+    pub fn with_faults(config: DramConfig, faults: DramFaultConfig) -> Self {
         config.validate();
+        if let Err(message) = faults.validate() {
+            panic!("{message}");
+        }
         Dram {
             banks: vec![Bank::default(); config.banks as usize],
             bus_free: Cycle::ZERO,
             stats: DramStats::default(),
+            faults,
             config,
         }
     }
@@ -223,12 +242,7 @@ impl Dram {
 
     /// Serves one line access arriving at the controller at `now`; returns
     /// the completion timestamp and the row-buffer outcome.
-    pub fn access(
-        &mut self,
-        now: Cycle,
-        addr: u64,
-        is_write: bool,
-    ) -> (Cycle, RowBufferOutcome) {
+    pub fn access(&mut self, now: Cycle, addr: u64, is_write: bool) -> (Cycle, RowBufferOutcome) {
         let row = addr / self.config.row_bytes;
         let bank_count = self.banks.len() as u64;
         let bank_index = (row % bank_count) as usize;
@@ -239,7 +253,7 @@ impl Dram {
         // ...and outside any refresh window.
         start = self.apply_refresh(start);
 
-        let (array_latency, outcome) = match self.banks[bank_index].open_row {
+        let (mut array_latency, outcome) = match self.banks[bank_index].open_row {
             Some(open) if open == row_id => {
                 self.stats.row_hits += 1;
                 (self.config.t_cas, RowBufferOutcome::Hit)
@@ -259,6 +273,14 @@ impl Dram {
                 )
             }
         };
+
+        // Injected fault: a spiking (bank, window) pair slows the array
+        // access. The decision is a pure hash of (seed, bank, window), so
+        // it is independent of access order (see `DramFaultConfig`).
+        if self.faults.spikes(bank_index, start.raw()) {
+            array_latency += self.faults.spike_cycles;
+            self.stats.fault_spikes += 1;
+        }
 
         // Data leaves the array, then must win the shared channel.
         let data_ready = start + array_latency;
@@ -321,9 +343,7 @@ impl Dram {
         let bank_count = self.banks.len() as u64;
         let bank_index = (row % bank_count) as usize;
         let deadline = now + slack;
-        if self.banks[bank_index].next_free > deadline
-            || self.bus_free > deadline
-        {
+        if self.banks[bank_index].next_free > deadline || self.bus_free > deadline {
             return None;
         }
         Some(self.access(now, addr, is_write))
@@ -395,10 +415,7 @@ mod tests {
         let fixed = cfg.t_burst + cfg.controller_overhead;
         assert_eq!(hit_latency, cfg.t_cas + fixed);
         assert_eq!(empty_latency, cfg.t_rcd + cfg.t_cas + fixed);
-        assert_eq!(
-            conflict_latency,
-            cfg.t_rp + cfg.t_rcd + cfg.t_cas + fixed
-        );
+        assert_eq!(conflict_latency, cfg.t_rp + cfg.t_rcd + cfg.t_cas + fixed);
     }
 
     #[test]
@@ -538,6 +555,39 @@ mod tests {
         assert_eq!(open_out, RowBufferOutcome::Conflict);
         assert_eq!(closed_out, RowBufferOutcome::Empty);
         assert!(closed_conflict < open_conflict);
+    }
+
+    #[test]
+    fn fault_spikes_slow_accesses_and_are_deterministic() {
+        let faults = DramFaultConfig {
+            spike_prob: 1.0, // every window spikes
+            spike_cycles: Cycles::new(500),
+            window_cycles: 1_000,
+            seed: 3,
+        };
+        let (clean_done, _) = Dram::new(no_refresh()).access(Cycle::new(0), 0, false);
+        let run_faulty = || {
+            let mut dram = Dram::with_faults(no_refresh(), faults);
+            let (done, _) = dram.access(Cycle::new(0), 0, false);
+            (done, dram.stats().fault_spikes)
+        };
+        let (faulty_done, spikes) = run_faulty();
+        assert_eq!(faulty_done, clean_done + Cycles::new(500));
+        assert_eq!(spikes, 1);
+        // Bit-identical on replay.
+        assert_eq!(run_faulty(), (faulty_done, spikes));
+    }
+
+    #[test]
+    #[should_panic(expected = "spike probability")]
+    fn rejects_invalid_fault_probability() {
+        let faults = DramFaultConfig {
+            spike_prob: -0.5,
+            spike_cycles: Cycles::new(1),
+            window_cycles: 1_000,
+            seed: 0,
+        };
+        let _ = Dram::with_faults(DramConfig::ddr3_1333(), faults);
     }
 
     #[test]

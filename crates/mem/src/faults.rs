@@ -1,0 +1,170 @@
+//! Deterministic DRAM latency-fault injection.
+//!
+//! Models intermittent DRAM slowdowns — thermal throttling windows, shared
+//! channel interference from devices outside the model, marginal banks —
+//! as **latency spikes** scoped to a (bank, time-window) pair: while a
+//! window is "spiking", every access to that bank pays extra array latency.
+//!
+//! Spike decisions are *stateless*: whether bank `b` spikes during window
+//! `w` is a pure hash of `(seed, b, w)`, so the decision does not depend on
+//! the order in which accesses arrive. This keeps fault injection fully
+//! deterministic — two runs with the same seed and configuration see the
+//! same faults even when unrelated config changes reorder accesses within
+//! a window.
+
+use mapg_units::Cycles;
+
+/// Configuration of DRAM latency-spike injection (disabled by default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramFaultConfig {
+    /// Probability that a given (bank, window) pair is spiking.
+    pub spike_prob: f64,
+    /// Extra array latency added to every access served inside a spiking
+    /// window.
+    pub spike_cycles: Cycles,
+    /// Width of the spike-decision time window, in cycles.
+    pub window_cycles: u64,
+    /// Seed mixed into every spike decision.
+    pub seed: u64,
+}
+
+impl DramFaultConfig {
+    /// No faults: zero probability, zero spike.
+    pub fn none() -> Self {
+        DramFaultConfig {
+            spike_prob: 0.0,
+            spike_cycles: Cycles::ZERO,
+            window_cycles: 10_000,
+            seed: 0,
+        }
+    }
+
+    /// True when this configuration can never inject a fault.
+    pub fn is_nop(&self) -> bool {
+        self.spike_prob <= 0.0 || self.spike_cycles == Cycles::ZERO
+    }
+
+    /// Checks internal consistency; returns a message on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.spike_prob.is_finite() || !(0.0..=1.0).contains(&self.spike_prob) {
+            return Err(format!(
+                "DRAM spike probability must be in [0, 1], got {}",
+                self.spike_prob
+            ));
+        }
+        if !self.is_nop() && self.window_cycles == 0 {
+            return Err("DRAM fault window must be non-zero".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Whether `bank` is spiking during the window containing cycle `at`.
+    /// A pure function of `(seed, bank, at / window_cycles)`.
+    pub fn spikes(&self, bank: usize, at: u64) -> bool {
+        if self.is_nop() {
+            return false;
+        }
+        let window = at / self.window_cycles;
+        let mut x = self
+            .seed
+            .wrapping_add((bank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(window.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        // SplitMix64 finalizer: full avalanche, so nearby (bank, window)
+        // pairs decide independently.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.spike_prob
+    }
+}
+
+impl Default for DramFaultConfig {
+    fn default() -> Self {
+        DramFaultConfig::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active() -> DramFaultConfig {
+        DramFaultConfig {
+            spike_prob: 0.3,
+            spike_cycles: Cycles::new(200),
+            window_cycles: 1_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn none_never_spikes() {
+        let cfg = DramFaultConfig::none();
+        assert!(cfg.is_nop());
+        for bank in 0..8 {
+            for window in 0..64u64 {
+                assert!(!cfg.spikes(bank, window * 10_000));
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_stateless_and_window_scoped() {
+        let cfg = active();
+        for bank in 0..8 {
+            for base in (0..20u64).map(|w| w * cfg.window_cycles) {
+                let first = cfg.spikes(bank, base);
+                // Same window → same answer at any offset inside it.
+                assert_eq!(first, cfg.spikes(bank, base + cfg.window_cycles - 1));
+                assert_eq!(first, cfg.spikes(bank, base));
+            }
+        }
+    }
+
+    #[test]
+    fn spike_rate_tracks_probability() {
+        let cfg = active();
+        let mut hits = 0u32;
+        let total = 4_000u32;
+        for bank in 0..8usize {
+            for window in 0..500u64 {
+                if cfg.spikes(bank, window * cfg.window_cycles) {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = f64::from(hits) / f64::from(total);
+        assert!(
+            (rate - cfg.spike_prob).abs() < 0.05,
+            "observed spike rate {rate} far from configured {}",
+            cfg.spike_prob
+        );
+    }
+
+    #[test]
+    fn different_seeds_decide_differently() {
+        let a = active();
+        let b = DramFaultConfig {
+            seed: 8,
+            ..active()
+        };
+        let disagreements = (0..200u64)
+            .filter(|&w| a.spikes(0, w * 1_000) != b.spikes(0, w * 1_000))
+            .count();
+        assert!(disagreements > 0, "seeds must matter");
+    }
+
+    #[test]
+    fn validation_rejects_bad_probability() {
+        let cfg = DramFaultConfig {
+            spike_prob: 1.5,
+            ..active()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(active().validate().is_ok());
+        assert!(DramFaultConfig::none().validate().is_ok());
+    }
+}

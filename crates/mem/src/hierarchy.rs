@@ -5,6 +5,7 @@ use mapg_units::{Cycle, Cycles};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::dram::{Dram, DramConfig, DramStats, RowBufferOutcome};
+use crate::faults::DramFaultConfig;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::{PrefetchConfig, PrefetchStats, StreamPrefetcher};
 use crate::stats::LatencyHistogram;
@@ -22,6 +23,8 @@ pub struct HierarchyConfig {
     pub mshr_entries: usize,
     /// Stream prefetcher at the LLC (disabled by default).
     pub prefetch: PrefetchConfig,
+    /// Deterministic DRAM latency-fault injection (disabled by default).
+    pub dram_faults: DramFaultConfig,
 }
 
 impl HierarchyConfig {
@@ -33,6 +36,7 @@ impl HierarchyConfig {
             dram: DramConfig::ddr3_1333(),
             mshr_entries: 16,
             prefetch: PrefetchConfig::disabled(),
+            dram_faults: DramFaultConfig::none(),
         }
     }
 
@@ -43,6 +47,12 @@ impl HierarchyConfig {
             prefetch: PrefetchConfig::stream(),
             ..HierarchyConfig::baseline()
         }
+    }
+
+    /// Returns a copy with the given DRAM fault injection configured.
+    pub fn with_dram_faults(mut self, faults: DramFaultConfig) -> Self {
+        self.dram_faults = faults;
+        self
     }
 }
 
@@ -139,7 +149,7 @@ impl MemoryHierarchy {
         MemoryHierarchy {
             l1: Cache::new(config.l1),
             l2: Cache::new(config.l2),
-            dram: Dram::new(config.dram),
+            dram: Dram::with_faults(config.dram, config.dram_faults),
             mshrs: MshrFile::new(config.mshr_entries),
             prefetcher: StreamPrefetcher::new(config.prefetch),
             pending_prefetches: Vec::new(),
@@ -177,8 +187,7 @@ impl MemoryHierarchy {
                         writeback: Some(l2_victim),
                     } = self.l2.access(victim_addr, true)
                     {
-                        let l2_victim_addr =
-                            l2_victim * self.config.l2.line_bytes;
+                        let l2_victim_addr = l2_victim * self.config.l2.line_bytes;
                         let _ = self.dram.access(l1_done, l2_victim_addr, true);
                     }
                 }
@@ -215,12 +224,7 @@ impl MemoryHierarchy {
     }
 
     /// Handles the DRAM leg of an LLC miss, including MSHR allocation.
-    fn dram_fill(
-        &mut self,
-        issued: Cycle,
-        mut ready: Cycle,
-        access: &MemAccess,
-    ) -> AccessResponse {
+    fn dram_fill(&mut self, issued: Cycle, mut ready: Cycle, access: &MemAccess) -> AccessResponse {
         let line = access.addr / self.config.l2.line_bytes;
         let is_write = access.kind == AccessKind::Store;
         loop {
@@ -238,10 +242,10 @@ impl MemoryHierarchy {
                     ready = free_at + Cycles::new(1);
                 }
                 MshrOutcome::Allocated => {
-                    let (completion, row) =
-                        self.dram.access(ready, access.addr, is_write);
+                    let (completion, row) = self.dram.access(ready, access.addr, is_write);
                     self.mshrs.commit(line, completion);
-                    self.miss_latency.record(completion.saturating_since(issued));
+                    self.miss_latency
+                        .record(completion.saturating_since(issued));
                     self.issue_prefetches(line, completion);
                     return AccessResponse {
                         completion,
@@ -492,8 +496,7 @@ mod tests {
     #[test]
     fn stream_prefetcher_converts_misses_to_l2_hits() {
         let mut plain = MemoryHierarchy::new(HierarchyConfig::baseline());
-        let mut prefetching =
-            MemoryHierarchy::new(HierarchyConfig::with_stream_prefetcher());
+        let mut prefetching = MemoryHierarchy::new(HierarchyConfig::with_stream_prefetcher());
         // A long sequential line stream over a working set far beyond L2.
         let run = |m: &mut MemoryHierarchy| {
             let mut t = Cycle::new(0);
@@ -525,8 +528,7 @@ mod tests {
 
     #[test]
     fn prefetcher_stays_silent_on_random_streams() {
-        let mut m =
-            MemoryHierarchy::new(HierarchyConfig::with_stream_prefetcher());
+        let mut m = MemoryHierarchy::new(HierarchyConfig::with_stream_prefetcher());
         let mut t = Cycle::new(0);
         // Widely-spaced pseudo-random lines: no streaks.
         let mut addr = 0x9E37_79B9_7F4A_7C15u64;

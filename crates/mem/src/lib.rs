@@ -42,6 +42,7 @@
 
 mod cache;
 mod dram;
+mod faults;
 mod hierarchy;
 mod mshr;
 mod prefetch;
@@ -49,9 +50,9 @@ mod stats;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats, ReplacementPolicy};
 pub use dram::{Dram, DramConfig, DramStats, PagePolicy, RowBufferOutcome};
+pub use faults::DramFaultConfig;
 pub use hierarchy::{
-    AccessResponse, HierarchyConfig, HierarchyStats, MemoryHierarchy,
-    ServiceLevel,
+    AccessResponse, HierarchyConfig, HierarchyStats, MemoryHierarchy, ServiceLevel,
 };
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetch::{PrefetchConfig, PrefetchStats, StreamPrefetcher};

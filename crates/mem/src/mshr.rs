@@ -89,6 +89,8 @@ impl MshrFile {
             };
         }
         if self.entries.len() >= self.capacity {
+            // Unreachable expect: new() rejects capacity == 0, so a full
+            // file holds at least one entry.
             let free_at = self
                 .entries
                 .iter()

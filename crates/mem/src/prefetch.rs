@@ -218,10 +218,7 @@ mod tests {
         pf.observe_miss(10);
         pf.observe_miss(500); // evicts nothing yet (window 2)
         pf.observe_miss(900); // evicts 10
-        assert!(
-            pf.observe_miss(11).is_empty(),
-            "line 10 must have aged out"
-        );
+        assert!(pf.observe_miss(11).is_empty(), "line 10 must have aged out");
     }
 
     #[test]

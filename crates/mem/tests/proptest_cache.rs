@@ -38,8 +38,7 @@ impl ReferenceCache {
         }
         let mut evicted = None;
         if entries.len() == self.ways {
-            let (victim_tag, dirty) =
-                entries.pop_front().expect("full set is non-empty");
+            let (victim_tag, dirty) = entries.pop_front().expect("full set is non-empty");
             if dirty {
                 evicted = Some(victim_tag * set_count + set as u64);
             }

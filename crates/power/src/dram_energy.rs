@@ -88,9 +88,7 @@ mod tests {
             ..DramStats::default()
         };
         let expected = 3.0 * 15e-9 + 10.0 * 10e-9 + 5.0 * 12e-9;
-        assert!(
-            (model.access_energy(&stats).as_joules() - expected).abs() < 1e-15
-        );
+        assert!((model.access_energy(&stats).as_joules() - expected).abs() < 1e-15);
     }
 
     #[test]

@@ -142,12 +142,9 @@ impl OperatingPoint {
         let stretched_active = active / f_ratio;
         let runtime = stretched_active + stalled;
         // Dynamic: same cycle count, V²-scaled energy per cycle.
-        let dynamic_energy =
-            tech.dynamic_power() * (v_ratio * v_ratio) * active;
+        let dynamic_energy = tech.dynamic_power() * (v_ratio * v_ratio) * active;
         // Leakage: V³-scaled power over the whole (stretched) runtime.
-        let leakage_energy = tech.leakage_power()
-            * (v_ratio * v_ratio * v_ratio)
-            * runtime;
+        let leakage_energy = tech.leakage_power() * (v_ratio * v_ratio * v_ratio) * runtime;
         (runtime, dynamic_energy + leakage_energy)
     }
 }
@@ -189,8 +186,11 @@ mod tests {
     #[test]
     fn points_are_monotone() {
         let t = tech();
-        let points =
-            [OperatingPoint::nominal(), OperatingPoint::low(), OperatingPoint::min()];
+        let points = [
+            OperatingPoint::nominal(),
+            OperatingPoint::low(),
+            OperatingPoint::min(),
+        ];
         for pair in points.windows(2) {
             assert!(pair[1].dynamic_power(&t) < pair[0].dynamic_power(&t));
             assert!(pair[1].leakage_power(&t) < pair[0].leakage_power(&t));
@@ -216,17 +216,16 @@ mod tests {
 
         // At the nominal point the estimate must reproduce the plain run
         // (clock-gated stalls).
-        let (runtime, energy) = OperatingPoint::nominal()
-            .estimate_interval_governor(&t, active, stalled);
+        let (runtime, energy) =
+            OperatingPoint::nominal().estimate_interval_governor(&t, active, stalled);
         assert!((runtime.as_secs() - 5e-3).abs() < 1e-12);
-        let expected = t.dynamic_power() * active
-            + t.leakage_power() * Seconds::new(5e-3);
+        let expected = t.dynamic_power() * active + t.leakage_power() * Seconds::new(5e-3);
         assert!((energy / expected - 1.0).abs() < 1e-9);
 
         // At the floor point: runtime stretches only by the (small)
         // active share; energy drops.
-        let (slow_runtime, slow_energy) = OperatingPoint::min()
-            .estimate_interval_governor(&t, active, stalled);
+        let (slow_runtime, slow_energy) =
+            OperatingPoint::min().estimate_interval_governor(&t, active, stalled);
         assert!(slow_runtime > runtime);
         assert!(
             slow_runtime.as_secs() < 5e-3 * 1.5,
@@ -240,8 +239,7 @@ mod tests {
         let t = tech();
         let active = Seconds::new(4e-3);
         let stalled = Seconds::new(1e-3);
-        let (runtime, _) = OperatingPoint::min()
-            .estimate_interval_governor(&t, active, stalled);
+        let (runtime, _) = OperatingPoint::min().estimate_interval_governor(&t, active, stalled);
         // 4 ms of cycles at 0.3x frequency = 13.3 ms + 1 ms memory.
         assert!(runtime.as_secs() > 10e-3);
     }

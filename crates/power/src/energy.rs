@@ -142,6 +142,35 @@ impl EnergyAccount {
             *a += *b;
         }
     }
+
+    /// Audits the ledger: every bucket must be finite and non-negative,
+    /// and the total must equal the bucket sum (within floating-point
+    /// slack). Returns one message per broken law.
+    pub fn audit(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut sum = 0.0;
+        for category in EnergyCategory::ALL {
+            let value = self.get(category).as_joules();
+            if !value.is_finite() || value < 0.0 {
+                problems.push(format!(
+                    "energy ledger: {category} holds non-physical {value} J"
+                ));
+                continue;
+            }
+            sum += value;
+        }
+        let total = self.total().as_joules();
+        // Tolerance scaled to the magnitude: summation order may differ
+        // from `total()` by a few ulps per bucket.
+        let epsilon = sum.abs().max(1.0) * 1e-12;
+        if problems.is_empty() && (total - sum).abs() > epsilon {
+            problems.push(format!(
+                "energy ledger: total {total} J disagrees with bucket sum \
+                 {sum} J"
+            ));
+        }
+        problems
+    }
 }
 
 impl fmt::Display for EnergyAccount {
@@ -183,11 +212,9 @@ mod tests {
             account.add(category, Joules::new((i + 1) as f64));
         }
         let total = account.total();
-        let dram = account.get(EnergyCategory::DramAccess)
-            + account.get(EnergyCategory::DramBackground);
-        assert!(
-            ((account.core_total() + dram) / total - 1.0).abs() < 1e-12
-        );
+        let dram =
+            account.get(EnergyCategory::DramAccess) + account.get(EnergyCategory::DramBackground);
+        assert!(((account.core_total() + dram) / total - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -234,5 +261,25 @@ mod tests {
         assert!(EnergyCategory::Transition.is_core());
         assert!(!EnergyCategory::DramAccess.is_core());
         assert!(!EnergyCategory::DramBackground.is_core());
+    }
+
+    #[test]
+    fn audit_accepts_physical_ledgers() {
+        let mut account = EnergyAccount::new();
+        assert!(account.audit().is_empty(), "empty ledger is physical");
+        account.add(EnergyCategory::ActiveDynamic, Joules::new(1.25));
+        account.add(EnergyCategory::DramAccess, Joules::new(0.75));
+        assert!(account.audit().is_empty(), "{:?}", account.audit());
+    }
+
+    #[test]
+    fn audit_flags_non_finite_buckets() {
+        let mut account = EnergyAccount::new();
+        // `add` forbids negative energy but cannot stop NaN/inf arising
+        // from degenerate power × time products upstream; the audit must.
+        account.add(EnergyCategory::IdleStall, Joules::new(f64::INFINITY));
+        let problems = account.audit();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("idle-stall"), "{problems:?}");
     }
 }

@@ -108,10 +108,8 @@ impl PgCircuitDesign {
         );
         let vdd = tech.vdd().as_volts();
         let wakeup_time = Seconds::new(K_WAKE_S / ratio);
-        let transition_energy =
-            Joules::new(C_VIRTUAL_F * vdd * vdd * TRANSITION_OVERHEAD);
-        let rush_current =
-            Amperes::new(C_VIRTUAL_F * vdd / wakeup_time.as_secs());
+        let transition_energy = Joules::new(C_VIRTUAL_F * vdd * vdd * TRANSITION_OVERHEAD);
+        let rush_current = Amperes::new(C_VIRTUAL_F * vdd / wakeup_time.as_secs());
         PgCircuitDesign {
             switch_width_ratio: ratio,
             retention: RetentionStyle::Retentive,
@@ -119,9 +117,7 @@ impl PgCircuitDesign {
             wakeup_time,
             cold_start_time: Seconds::ZERO,
             transition_energy,
-            residual_leakage: Ratio::saturating(
-                RESIDUAL_FLOOR + RESIDUAL_SLOPE * ratio,
-            ),
+            residual_leakage: Ratio::saturating(RESIDUAL_FLOOR + RESIDUAL_SLOPE * ratio),
             area_overhead: Ratio::saturating(AREA_SLOPE * ratio),
             rush_current,
         }
@@ -135,16 +131,14 @@ impl PgCircuitDesign {
             RetentionStyle::Retentive => {
                 self.entry_time = Seconds::new(T_ENTRY_S);
                 self.cold_start_time = Seconds::ZERO;
-                self.residual_leakage = Ratio::saturating(
-                    RESIDUAL_FLOOR + RESIDUAL_SLOPE * self.switch_width_ratio,
-                );
+                self.residual_leakage =
+                    Ratio::saturating(RESIDUAL_FLOOR + RESIDUAL_SLOPE * self.switch_width_ratio);
             }
             RetentionStyle::NonRetentive => {
                 self.entry_time = Seconds::new(T_ENTRY_S + T_FLUSH_S);
                 self.cold_start_time = Seconds::new(T_COLD_START_S);
                 self.residual_leakage = Ratio::saturating(
-                    RESIDUAL_FLOOR_NON_RETENTIVE
-                        + RESIDUAL_SLOPE * self.switch_width_ratio,
+                    RESIDUAL_FLOOR_NON_RETENTIVE + RESIDUAL_SLOPE * self.switch_width_ratio,
                 );
             }
         }
@@ -190,10 +184,7 @@ impl PgCircuitDesign {
     }
 
     /// Evaluates a sweep of width ratios (experiment R-T1).
-    pub fn design_space(
-        tech: &TechnologyParams,
-        ratios: &[f64],
-    ) -> Vec<PgCircuitDesign> {
+    pub fn design_space(tech: &TechnologyParams, ratios: &[f64]) -> Vec<PgCircuitDesign> {
         ratios
             .iter()
             .map(|&r| PgCircuitDesign::from_switch_width(r, tech))
@@ -261,19 +252,12 @@ impl PgCircuitDesign {
     /// `t_be = E_trans / (P_leak·(1−residual))`. The mechanism also cannot
     /// profit from stalls shorter than the entry+wake machinery itself, so
     /// the reported break-even is the maximum of the two.
-    pub fn break_even_cycles(
-        &self,
-        tech: &TechnologyParams,
-        clock: Hertz,
-    ) -> Cycles {
-        let saved_power =
-            tech.leakage_power() * self.residual_leakage.complement().value();
-        let t_energy =
-            Seconds::new(self.transition_energy.as_joules() / saved_power.as_watts());
+    pub fn break_even_cycles(&self, tech: &TechnologyParams, clock: Hertz) -> Cycles {
+        let saved_power = tech.leakage_power() * self.residual_leakage.complement().value();
+        let t_energy = Seconds::new(self.transition_energy.as_joules() / saved_power.as_watts());
         let energy_cycles = Self::to_cycles(t_energy, clock);
-        let latency_cycles = self.entry_cycles(clock)
-            + self.wakeup_cycles(clock)
-            + self.cold_start_cycles(clock);
+        let latency_cycles =
+            self.entry_cycles(clock) + self.wakeup_cycles(clock) + self.cold_start_cycles(clock);
         energy_cycles.max(latency_cycles)
     }
 
@@ -337,10 +321,8 @@ mod tests {
         let clock = Hertz::from_ghz(2.0);
         let lo = tech().with_leakage_fraction(0.15);
         let hi = tech().with_leakage_fraction(0.6);
-        let bet_lo =
-            PgCircuitDesign::fast_wakeup(&lo).break_even_cycles(&lo, clock);
-        let bet_hi =
-            PgCircuitDesign::fast_wakeup(&hi).break_even_cycles(&hi, clock);
+        let bet_lo = PgCircuitDesign::fast_wakeup(&lo).break_even_cycles(&lo, clock);
+        let bet_hi = PgCircuitDesign::fast_wakeup(&hi).break_even_cycles(&hi, clock);
         assert!(
             bet_hi < bet_lo,
             "more leakage ⇒ faster amortization: {bet_hi} !< {bet_lo}"
@@ -351,8 +333,7 @@ mod tests {
     fn gated_power_is_residual_leakage() {
         let t = tech();
         let d = PgCircuitDesign::fast_wakeup(&t);
-        let expected =
-            t.leakage_power().as_watts() * d.residual_leakage().value();
+        let expected = t.leakage_power().as_watts() * d.residual_leakage().value();
         assert!((d.gated_power(&t).as_watts() - expected).abs() < 1e-12);
         assert!(d.gated_power(&t) < t.leakage_power());
     }
@@ -360,8 +341,7 @@ mod tests {
     #[test]
     fn design_space_is_ordered() {
         let t = tech();
-        let space =
-            PgCircuitDesign::design_space(&t, &[0.01, 0.02, 0.04, 0.08]);
+        let space = PgCircuitDesign::design_space(&t, &[0.01, 0.02, 0.04, 0.08]);
         assert_eq!(space.len(), 4);
         for pair in space.windows(2) {
             assert!(pair[0].wakeup_time() > pair[1].wakeup_time());

@@ -143,12 +143,8 @@ mod tests {
         let t = TechnologyParams::bulk_45nm();
         for fraction in [0.1, 0.3, 0.5, 0.6] {
             let scaled = t.with_leakage_fraction(fraction);
-            assert!(
-                (scaled.total_power() / t.total_power() - 1.0).abs() < 1e-12
-            );
-            assert!(
-                (scaled.leakage_fraction().value() - fraction).abs() < 1e-9
-            );
+            assert!((scaled.total_power() / t.total_power() - 1.0).abs() < 1e-12);
+            assert!((scaled.leakage_fraction().value() - fraction).abs() < 1e-9);
         }
     }
 
@@ -163,12 +159,7 @@ mod tests {
         let t = TechnologyParams::bulk_45nm();
         let double = t.with_total_power(Watts::new(2.0));
         assert_eq!(double.total_power(), Watts::new(2.0));
-        assert!(
-            (double.leakage_fraction().value()
-                - t.leakage_fraction().value())
-            .abs()
-                < 1e-9
-        );
+        assert!((double.leakage_fraction().value() - t.leakage_fraction().value()).abs() < 1e-9);
     }
 
     #[test]

@@ -115,15 +115,12 @@ impl ThermalParams {
         }
         // T = Ta + R·(Pd + Pl·(1 + k·(T − Tr)))
         //   ⇒ T·(1 − R·Pl·k) = Ta + R·(Pd + Pl·(1 − k·Tr))
-        let temperature_c = (self.ambient_c
-            + r * (pd + pl * (1.0 - k * self.reference_c)))
-            / (1.0 - gain);
-        let leakage_scale =
-            1.0 + k * (temperature_c - self.reference_c);
+        let temperature_c =
+            (self.ambient_c + r * (pd + pl * (1.0 - k * self.reference_c))) / (1.0 - gain);
+        let leakage_scale = 1.0 + k * (temperature_c - self.reference_c);
         // Leakage cannot go negative however cold the die runs.
         let leakage_scale = leakage_scale.max(0.0);
-        let total_power =
-            Watts::new(pd + pl * leakage_scale);
+        let total_power = Watts::new(pd + pl * leakage_scale);
         Ok(ThermalOperatingPoint {
             temperature_c,
             leakage_scale,
@@ -143,8 +140,8 @@ mod tests {
             .steady_state(Watts::new(0.7), Watts::new(0.3))
             .expect("stable");
         // Plug the solution back into the fixed-point equation.
-        let recomputed = thermal.ambient_c
-            + thermal.resistance_c_per_w * point.total_power.as_watts();
+        let recomputed =
+            thermal.ambient_c + thermal.resistance_c_per_w * point.total_power.as_watts();
         assert!(
             (recomputed - point.temperature_c).abs() < 1e-9,
             "{recomputed} != {}",

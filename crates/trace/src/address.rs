@@ -90,9 +90,7 @@ impl AddressStream {
             region_bytes >= LINE_BYTES,
             "working set too small: {working_set_bytes} B across {regions} regions"
         );
-        let cursors = (0..u64::from(regions))
-            .map(|r| r * region_bytes)
-            .collect();
+        let cursors = (0..u64::from(regions)).map(|r| r * region_bytes).collect();
         AddressStream {
             working_set_bytes,
             spatial_locality,
@@ -117,9 +115,7 @@ impl AddressStream {
     pub fn next_addr<R: Rng>(&mut self, rng: &mut R) -> (u64, AddressPattern) {
         if rng.gen::<f64>() < self.spatial_locality {
             (self.advance_run(), AddressPattern::Sequential)
-        } else if self.cursors.len() > 1
-            && rng.gen::<f64>() < self.region_switch_bias
-        {
+        } else if self.cursors.len() > 1 && rng.gen::<f64>() < self.region_switch_bias {
             self.current_region = rng.gen_range(0..self.cursors.len());
             (self.jump_within_region(rng), AddressPattern::RegionSwitch)
         } else {
@@ -179,9 +175,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
         let sequential = (0..n)
-            .filter(|_| {
-                matches!(s.next_addr(&mut rng).1, AddressPattern::Sequential)
-            })
+            .filter(|_| matches!(s.next_addr(&mut rng).1, AddressPattern::Sequential))
             .count();
         let fraction = sequential as f64 / n as f64;
         assert!(

@@ -94,8 +94,8 @@ impl SyntheticWorkload {
     /// Samples the instruction gap to the next memory reference under the
     /// current phase (geometric distribution, mean `1000/rate - 1`).
     fn sample_gap(&mut self) -> u64 {
-        let rate = self.profile.mem_refs_per_kilo_inst()
-            * self.phases.current().intensity_multiplier();
+        let rate =
+            self.profile.mem_refs_per_kilo_inst() * self.phases.current().intensity_multiplier();
         let rate = rate.min(1000.0);
         let mean_gap = (1000.0 / rate - 1.0).max(0.0);
         if mean_gap < 1e-9 {
@@ -114,8 +114,7 @@ impl SyntheticWorkload {
         } else {
             AccessKind::Load
         };
-        let dependent =
-            self.rng.gen::<f64>() < self.profile.pointer_chase_fraction();
+        let dependent = self.rng.gen::<f64>() < self.profile.pointer_chase_fraction();
         self.pc_wheel = (self.pc_wheel + 1) % Self::PC_COUNT;
         // Real programs issue pointer chases, streaming sweeps and random
         // probes from *different load instructions*; a PC-indexed
@@ -129,8 +128,7 @@ impl SyntheticWorkload {
         };
         MemAccess {
             addr,
-            pc: class_base
-                + (self.pc_wheel % (Self::PC_COUNT / 4)) * Self::PC_STRIDE,
+            pc: class_base + (self.pc_wheel % (Self::PC_COUNT / 4)) * Self::PC_STRIDE,
             kind,
             dependent,
         }
@@ -147,9 +145,7 @@ impl EventSource for SyntheticWorkload {
             if remaining == 0 {
                 // Re-roll the next interval around the configured mean.
                 let u: f64 = self.rng.gen::<f64>().max(1e-12);
-                let next = (-(spec.mean_interval_instructions as f64)
-                    * u.ln())
-                .max(1.0) as u64;
+                let next = (-(spec.mean_interval_instructions as f64) * u.ln()).max(1.0) as u64;
                 self.instructions_to_idle = Some(next);
                 return TraceEvent::Idle {
                     cycles: spec.duration_cycles,
@@ -169,8 +165,7 @@ impl EventSource for SyntheticWorkload {
             return TraceEvent::MemAccess(access);
         }
         self.staged_access = Some(access);
-        let cycles =
-            ((gap as f64 / self.profile.compute_ipc()).ceil() as u64).max(1);
+        let cycles = ((gap as f64 / self.profile.compute_ipc()).ceil() as u64).max(1);
         self.consume_instructions(gap);
         self.phases.retire(gap, &mut self.rng);
         TraceEvent::Compute {
@@ -206,10 +201,7 @@ impl Iterator for SyntheticWorkload {
 mod tests {
     use super::*;
 
-    fn count_kinds(
-        workload: &mut SyntheticWorkload,
-        instructions: u64,
-    ) -> (u64, u64) {
+    fn count_kinds(workload: &mut SyntheticWorkload, instructions: u64) -> (u64, u64) {
         let mut insts = 0;
         let mut refs = 0;
         while insts < instructions {
@@ -240,10 +232,8 @@ mod tests {
 
     #[test]
     fn mem_bound_much_denser_than_compute_bound() {
-        let mut mem =
-            SyntheticWorkload::new(&WorkloadProfile::mem_bound("m"), 1);
-        let mut cpu =
-            SyntheticWorkload::new(&WorkloadProfile::compute_bound("c"), 1);
+        let mut mem = SyntheticWorkload::new(&WorkloadProfile::mem_bound("m"), 1);
+        let mut cpu = SyntheticWorkload::new(&WorkloadProfile::compute_bound("c"), 1);
         let (mi, mr) = count_kinds(&mut mem, 1_000_000);
         let (ci, cr) = count_kinds(&mut cpu, 1_000_000);
         let mem_rate = mr as f64 / mi as f64;
@@ -303,8 +293,7 @@ mod tests {
 
     #[test]
     fn pcs_come_from_small_wheel() {
-        let mut w =
-            SyntheticWorkload::new(&WorkloadProfile::mem_bound("pc"), 8);
+        let mut w = SyntheticWorkload::new(&WorkloadProfile::mem_bound("pc"), 8);
         let mut pcs = std::collections::HashSet::new();
         let mut seen = 0;
         while seen < 1000 {
@@ -337,16 +326,14 @@ mod tests {
         }
         let expected = 1_000_000 / 10_000;
         assert!(
-            idles as f64 > expected as f64 * 0.7
-                && (idles as f64) < expected as f64 * 1.4,
+            idles as f64 > expected as f64 * 0.7 && (idles as f64) < expected as f64 * 1.4,
             "idle periods {idles}, expected ~{expected}"
         );
     }
 
     #[test]
     fn no_injection_means_no_idle_events() {
-        let mut w =
-            SyntheticWorkload::new(&WorkloadProfile::mem_bound("ni"), 5);
+        let mut w = SyntheticWorkload::new(&WorkloadProfile::mem_bound("ni"), 5);
         for _ in 0..10_000 {
             assert!(!matches!(w.next_event(), TraceEvent::Idle { .. }));
         }

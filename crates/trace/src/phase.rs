@@ -83,11 +83,7 @@ impl PhaseSchedule {
     pub fn mostly_memory() -> Self {
         PhaseSchedule {
             start: Phase::MemoryIntensive,
-            transition: [
-                [0.85, 0.12, 0.03],
-                [0.60, 0.30, 0.10],
-                [0.50, 0.30, 0.20],
-            ],
+            transition: [[0.85, 0.12, 0.03], [0.60, 0.30, 0.10], [0.50, 0.30, 0.20]],
             mean_dwell_instructions: 200_000,
         }
     }
@@ -97,11 +93,7 @@ impl PhaseSchedule {
     pub fn mostly_compute() -> Self {
         PhaseSchedule {
             start: Phase::ComputeIntensive,
-            transition: [
-                [0.20, 0.30, 0.50],
-                [0.10, 0.30, 0.60],
-                [0.03, 0.12, 0.85],
-            ],
+            transition: [[0.20, 0.30, 0.50], [0.10, 0.30, 0.60], [0.03, 0.12, 0.85]],
             mean_dwell_instructions: 200_000,
         }
     }
@@ -111,11 +103,7 @@ impl PhaseSchedule {
     pub fn alternating() -> Self {
         PhaseSchedule {
             start: Phase::Balanced,
-            transition: [
-                [0.40, 0.40, 0.20],
-                [0.30, 0.40, 0.30],
-                [0.20, 0.40, 0.40],
-            ],
+            transition: [[0.40, 0.40, 0.20], [0.30, 0.40, 0.30], [0.20, 0.40, 0.40]],
             mean_dwell_instructions: 100_000,
         }
     }
@@ -236,15 +224,10 @@ mod tests {
 
     #[test]
     fn stationary_never_leaves() {
-        let mut model = PhaseModel::new(PhaseSchedule::stationary(
-            Phase::MemoryIntensive,
-        ));
+        let mut model = PhaseModel::new(PhaseSchedule::stationary(Phase::MemoryIntensive));
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
-            assert_eq!(
-                model.retire(1_000_000, &mut rng),
-                Phase::MemoryIntensive
-            );
+            assert_eq!(model.retire(1_000_000, &mut rng), Phase::MemoryIntensive);
         }
     }
 
@@ -278,12 +261,10 @@ mod tests {
     #[test]
     fn multipliers_ordered() {
         assert!(
-            Phase::MemoryIntensive.intensity_multiplier()
-                > Phase::Balanced.intensity_multiplier()
+            Phase::MemoryIntensive.intensity_multiplier() > Phase::Balanced.intensity_multiplier()
         );
         assert!(
-            Phase::Balanced.intensity_multiplier()
-                > Phase::ComputeIntensive.intensity_multiplier()
+            Phase::Balanced.intensity_multiplier() > Phase::ComputeIntensive.intensity_multiplier()
         );
     }
 

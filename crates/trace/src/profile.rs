@@ -195,8 +195,7 @@ impl WorkloadProfile {
             "intensity factor must be positive, got {factor}"
         );
         let mut copy = self.clone();
-        copy.mem_refs_per_kilo_inst =
-            (copy.mem_refs_per_kilo_inst * factor).min(1000.0);
+        copy.mem_refs_per_kilo_inst = (copy.mem_refs_per_kilo_inst * factor).min(1000.0);
         copy
     }
 }
@@ -273,7 +272,10 @@ impl ProfileBuilder {
     /// Panics if not in `[0, 1)` (a locality of exactly 1.0 would never
     /// start a new run and degenerate to a single stream).
     pub fn spatial_locality(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "locality must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "locality must be in [0,1), got {p}"
+        );
         self.profile.spatial_locality = p;
         self
     }
@@ -295,7 +297,10 @@ impl ProfileBuilder {
     ///
     /// Panics if not in `[0, 1]`.
     pub fn pointer_chase_fraction(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "fraction must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fraction must be in [0,1], got {p}"
+        );
         self.profile.pointer_chase_fraction = p;
         self
     }
@@ -306,7 +311,10 @@ impl ProfileBuilder {
     ///
     /// Panics if not in `[0, 1]`.
     pub fn write_fraction(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "fraction must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fraction must be in [0,1], got {p}"
+        );
         self.profile.write_fraction = p;
         self
     }
@@ -388,10 +396,7 @@ mod tests {
         let base = WorkloadProfile::mem_bound("a");
         let copy = base.renamed("b");
         assert_eq!(copy.name(), "b");
-        assert_eq!(
-            copy.mem_refs_per_kilo_inst(),
-            base.mem_refs_per_kilo_inst()
-        );
+        assert_eq!(copy.mem_refs_per_kilo_inst(), base.mem_refs_per_kilo_inst());
     }
 
     #[test]
@@ -400,12 +405,7 @@ mod tests {
         let hot = base.with_mem_intensity_scaled(10.0);
         assert!(hot.mem_refs_per_kilo_inst() <= 1000.0);
         let cool = base.with_mem_intensity_scaled(0.5);
-        assert!(
-            (cool.mem_refs_per_kilo_inst()
-                - base.mem_refs_per_kilo_inst() * 0.5)
-                .abs()
-                < 1e-9
-        );
+        assert!((cool.mem_refs_per_kilo_inst() - base.mem_refs_per_kilo_inst() * 0.5).abs() < 1e-9);
     }
 
     #[test]

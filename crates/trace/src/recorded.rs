@@ -342,8 +342,7 @@ mod tests {
         let trace = sample();
         let mut buffer = Vec::new();
         trace.write_to(&mut buffer).expect("in-memory write");
-        let parsed =
-            RecordedTrace::read_from(buffer.as_slice()).expect("parse back");
+        let parsed = RecordedTrace::read_from(buffer.as_slice()).expect("parse back");
         assert_eq!(parsed, trace);
     }
 
@@ -403,8 +402,7 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let input = "\n# hello\n! mapg-trace v1 name=commented\nC 5 5\n\nS ff 10\n";
-        let trace =
-            RecordedTrace::read_from(input.as_bytes()).expect("parses");
+        let trace = RecordedTrace::read_from(input.as_bytes()).expect("parses");
         assert_eq!(trace.name(), "commented");
         assert_eq!(trace.events().len(), 2);
     }
@@ -431,8 +429,7 @@ mod tests {
         let text = String::from_utf8(buffer.clone()).expect("utf8");
         assert!(text.contains("Ld 100 4"), "{text}");
         assert!(text.contains("Sd 200 8"), "{text}");
-        let parsed =
-            RecordedTrace::read_from(buffer.as_slice()).expect("parse");
+        let parsed = RecordedTrace::read_from(buffer.as_slice()).expect("parse");
         assert_eq!(parsed.events(), trace.events());
     }
 

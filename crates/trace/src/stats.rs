@@ -111,8 +111,7 @@ mod tests {
 
     #[test]
     fn conservation_of_references() {
-        let mut w =
-            SyntheticWorkload::new(&WorkloadProfile::mixed("cons"), 17);
+        let mut w = SyntheticWorkload::new(&WorkloadProfile::mixed("cons"), 17);
         let stats = TraceStats::collect(&mut w, 500_000);
         assert_eq!(stats.mem_refs, stats.loads + stats.stores);
         assert!(stats.instructions >= 500_000);

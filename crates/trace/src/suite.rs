@@ -234,8 +234,7 @@ mod tests {
     fn suite_has_twelve_distinctly_named_profiles() {
         let suite = WorkloadSuite::spec_like();
         assert_eq!(suite.len(), 12);
-        let mut names: Vec<_> =
-            suite.iter().map(|p| p.name().to_owned()).collect();
+        let mut names: Vec<_> = suite.iter().map(|p| p.name().to_owned()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 12, "duplicate profile names");
@@ -244,9 +243,7 @@ mod tests {
     #[test]
     fn tiers_are_ordered_by_intensity() {
         let suite = WorkloadSuite::spec_like();
-        let rate = |name: &str| {
-            suite.get(name).expect(name).mem_refs_per_kilo_inst()
-        };
+        let rate = |name: &str| suite.get(name).expect(name).mem_refs_per_kilo_inst();
         assert!(rate("mcf_like") > rate("gcc_like"));
         assert!(rate("gcc_like") > rate("namd_like"));
     }

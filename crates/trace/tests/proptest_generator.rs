@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use mapg_trace::{
-    AccessKind, EventSource, Phase, PhaseSchedule, SyntheticWorkload,
-    TraceEvent, TraceStats, WorkloadProfile,
+    AccessKind, EventSource, Phase, PhaseSchedule, SyntheticWorkload, TraceEvent, TraceStats,
+    WorkloadProfile,
 };
 
 fn profiles() -> impl Strategy<Value = WorkloadProfile> {
@@ -33,7 +33,7 @@ fn profiles() -> impl Strategy<Value = WorkloadProfile> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn addresses_stay_inside_the_working_set(

@@ -188,10 +188,7 @@ mod tests {
 
     #[test]
     fn current_arithmetic() {
-        assert_eq!(
-            Amperes::new(1.0) + Amperes::new(0.5),
-            Amperes::new(1.5)
-        );
+        assert_eq!(Amperes::new(1.0) + Amperes::new(0.5), Amperes::new(1.5));
         assert_eq!(Amperes::new(2.0) * 3.0, Amperes::new(6.0));
     }
 }

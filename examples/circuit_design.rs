@@ -41,8 +41,7 @@ fn main() {
     let base = SimConfig::default()
         .with_profile(profile)
         .with_instructions(500_000);
-    let baseline =
-        Simulation::new(base.clone(), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(base.clone(), PolicyKind::NoGating).run();
     println!(
         "{:<14} {:>10} {:>10} {:>12}",
         "design", "savings", "overhead", "penalty_cyc"

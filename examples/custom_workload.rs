@@ -10,9 +10,7 @@
 //! ```
 
 use mapg::{PolicyKind, SimConfig, Simulation};
-use mapg_trace::{
-    Phase, PhaseSchedule, SyntheticWorkload, TraceStats, WorkloadProfile,
-};
+use mapg_trace::{Phase, PhaseSchedule, SyntheticWorkload, TraceStats, WorkloadProfile};
 
 fn main() {
     // A hypothetical in-memory database scan: large working set, highly
@@ -39,20 +37,19 @@ fn main() {
         "dependent fraction: {:.1}%",
         stats.dependent_fraction() * 100.0
     );
-    println!(
-        "footprint touched : {} MiB",
-        stats.footprint_bytes() >> 20
-    );
+    println!("footprint touched : {} MiB", stats.footprint_bytes() >> 20);
 
     // And what can gating extract from it?
     let config = SimConfig::default()
         .with_profile(profile)
         .with_instructions(1_000_000);
-    let baseline =
-        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
     let mapg = Simulation::new(config, PolicyKind::Mapg).run();
     println!("\n=== gating outcome ===");
-    println!("stall fraction    : {:.1}%", baseline.stall_fraction() * 100.0);
+    println!(
+        "stall fraction    : {:.1}%",
+        baseline.stall_fraction() * 100.0
+    );
     println!(
         "LLC MPKI          : {:.1}",
         baseline.memory.llc_mpki(baseline.instructions)

@@ -23,11 +23,8 @@ fn main() {
         .with_profile(WorkloadProfile::mem_bound("manycore"))
         .with_cores(CORES)
         .with_instructions(100_000);
-    let baseline =
-        Simulation::new(base.clone(), PolicyKind::NoGating).run();
-    println!(
-        "{CORES} cores sharing one DRAM channel; per-core inrush {per_core_rush}"
-    );
+    let baseline = Simulation::new(base.clone(), PolicyKind::NoGating).run();
+    println!("{CORES} cores sharing one DRAM channel; per-core inrush {per_core_rush}");
     println!(
         "\n{:>8} {:>11} {:>11} {:>12} {:>10} {:>10}",
         "tokens", "peak_wakes", "peak_rush", "token_wait", "savings", "overhead"

@@ -14,10 +14,7 @@ use mapg_repro::prelude::*;
 fn main() {
     let instructions = 300_000;
     let suite = WorkloadSuite::spec_like();
-    let runner = SuiteRunner::new(
-        suite,
-        SimConfig::default().with_instructions(instructions),
-    );
+    let runner = SuiteRunner::new(suite, SimConfig::default().with_instructions(instructions));
     println!(
         "running {} policies x 12 workloads x {instructions} instructions...",
         PolicyKind::COMPARISON_SET.len()
@@ -25,7 +22,10 @@ fn main() {
     let matrix = runner.run(&PolicyKind::COMPARISON_SET);
 
     // Per-workload MAPG numbers.
-    println!("\n{:<18} {:>10} {:>10} {:>10}", "workload", "savings", "overhead", "gated%");
+    println!(
+        "\n{:<18} {:>10} {:>10} {:>10}",
+        "workload", "savings", "overhead", "gated%"
+    );
     for workload in matrix.workloads() {
         let baseline = matrix
             .get(workload, "no-gating")

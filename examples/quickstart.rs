@@ -16,8 +16,7 @@ fn main() {
         .with_seed(7);
 
     println!("=== baseline: no power management ===");
-    let baseline =
-        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
     print!("{baseline}");
 
     println!("\n=== MAPG: predictive memory-access power gating ===");

@@ -34,12 +34,10 @@ fn full_stack_is_deterministic_across_processes_worth_of_state() {
 #[test]
 fn policy_ordering_invariants_hold_on_memory_bound() {
     let config = quick(WorkloadProfile::mem_bound("ordering"));
-    let baseline =
-        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
     let clock = Simulation::new(config.clone(), PolicyKind::ClockGating).run();
     let mapg = Simulation::new(config.clone(), PolicyKind::Mapg).run();
-    let oracle =
-        Simulation::new(config, PolicyKind::MapgOracle).run();
+    let oracle = Simulation::new(config, PolicyKind::MapgOracle).run();
 
     // Energy: oracle <= mapg < clock-gating < no-gating.
     assert!(oracle.core_energy() <= mapg.core_energy() * 1.01);
@@ -56,8 +54,7 @@ fn policy_ordering_invariants_hold_on_memory_bound() {
 #[test]
 fn gating_leaves_compute_bound_workloads_almost_untouched() {
     let config = quick(WorkloadProfile::compute_bound("calm"));
-    let baseline =
-        Simulation::new(config.clone(), PolicyKind::NoGating).run();
+    let baseline = Simulation::new(config.clone(), PolicyKind::NoGating).run();
     let mapg = Simulation::new(config, PolicyKind::Mapg).run();
     assert!(mapg.perf_overhead_vs(&baseline).abs() < 0.01);
     // Nothing to harvest, but nothing lost either (clock-gated stalls may
@@ -79,11 +76,7 @@ fn every_policy_kind_produces_a_coherent_report() {
             .map(|predictor| PolicyKind::MapgWith { predictor }),
     );
     for kind in kinds {
-        let report = Simulation::new(
-            quick(WorkloadProfile::mixed("coherent")),
-            kind,
-        )
-        .run();
+        let report = Simulation::new(quick(WorkloadProfile::mixed("coherent")), kind).run();
         assert_eq!(report.policy, kind.name());
         assert!(report.instructions >= 100_000, "{}", kind.name());
         assert!(report.total_energy().as_joules() > 0.0, "{}", kind.name());
@@ -93,8 +86,7 @@ fn every_policy_kind_produces_a_coherent_report() {
             kind.name()
         );
         assert!(
-            report.gating.penalty_cycles
-                <= report.core_stats[0].penalty_cycles,
+            report.gating.penalty_cycles <= report.core_stats[0].penalty_cycles,
             "{}: controller penalty exceeds core-observed penalty",
             kind.name()
         );
@@ -105,14 +97,10 @@ fn every_policy_kind_produces_a_coherent_report() {
 fn suite_runner_matches_individual_runs() {
     let suite = WorkloadSuite::extremes();
     let base = SimConfig::default().with_instructions(50_000);
-    let matrix = SuiteRunner::new(suite.clone(), base.clone())
-        .run(&[PolicyKind::Mapg]);
+    let matrix = SuiteRunner::new(suite.clone(), base.clone()).run(&[PolicyKind::Mapg]);
     for profile in suite.iter() {
-        let solo = Simulation::new(
-            base.clone().with_profile(profile.clone()),
-            PolicyKind::Mapg,
-        )
-        .run();
+        let solo =
+            Simulation::new(base.clone().with_profile(profile.clone()), PolicyKind::Mapg).run();
         let from_matrix = matrix
             .get(profile.name(), "mapg")
             .expect("matrix entry exists");
@@ -123,24 +111,15 @@ fn suite_runner_matches_individual_runs() {
 
 #[test]
 fn multicore_contention_is_visible_and_tokens_bound_wakes() {
-    let base = quick(WorkloadProfile::mem_bound("mc"))
-        .with_instructions(25_000);
+    let base = quick(WorkloadProfile::mem_bound("mc")).with_instructions(25_000);
     let solo = Simulation::new(base.clone(), PolicyKind::NoGating).run();
-    let quad = Simulation::new(
-        base.clone().with_cores(4),
-        PolicyKind::NoGating,
-    )
-    .run();
+    let quad = Simulation::new(base.clone().with_cores(4), PolicyKind::NoGating).run();
     assert!(
         quad.memory.miss_latency.mean() > solo.memory.miss_latency.mean(),
         "shared DRAM must inflate miss latency"
     );
 
-    let tokened = Simulation::new(
-        base.with_cores(4).with_tokens(1),
-        PolicyKind::Mapg,
-    )
-    .run();
+    let tokened = Simulation::new(base.with_cores(4).with_tokens(1), PolicyKind::Mapg).run();
     assert!(tokened.peak_concurrent_wakes <= 1);
 }
 

@@ -6,14 +6,9 @@
 
 use mapg::{PolicyKind, Replication, SimConfig, Simulation};
 use mapg_cpu::{Core, CoreConfig, CoreId, PassiveHandler};
-use mapg_mem::{
-    DramConfig, HierarchyConfig, MemoryHierarchy, PagePolicy,
-    ReplacementPolicy,
-};
+use mapg_mem::{DramConfig, HierarchyConfig, MemoryHierarchy, PagePolicy, ReplacementPolicy};
 use mapg_power::RetentionStyle;
-use mapg_trace::{
-    IdleInjection, RecordedTrace, SyntheticWorkload, WorkloadProfile,
-};
+use mapg_trace::{IdleInjection, RecordedTrace, SyntheticWorkload, WorkloadProfile};
 
 fn quick() -> SimConfig {
     SimConfig::default().with_instructions(60_000)
@@ -21,11 +16,7 @@ fn quick() -> SimConfig {
 
 #[test]
 fn timeline_round_trips_to_vcd_through_the_public_api() {
-    let report = Simulation::new(
-        quick().with_cores(2).with_timeline(),
-        PolicyKind::Mapg,
-    )
-    .run();
+    let report = Simulation::new(quick().with_cores(2).with_timeline(), PolicyKind::Mapg).run();
     let timeline = report.timeline.as_ref().expect("recording was enabled");
     assert!(!timeline.is_empty());
     assert_eq!(timeline.cores(), 2);
@@ -64,8 +55,7 @@ fn retention_style_trades_energy_for_runtime_end_to_end() {
     )
     .run();
     assert!(
-        flushing.perf_overhead_vs(&baseline)
-            > retentive.perf_overhead_vs(&baseline),
+        flushing.perf_overhead_vs(&baseline) > retentive.perf_overhead_vs(&baseline),
         "cold starts must cost runtime"
     );
 }
@@ -80,8 +70,7 @@ fn nap_chaining_recovers_underpredicted_stalls() {
         .build();
     let config = quick().with_profile(profile);
     let with_naps = Simulation::new(config.clone(), PolicyKind::Mapg).run();
-    let without =
-        Simulation::new(config.without_regate(), PolicyKind::Mapg).run();
+    let without = Simulation::new(config.without_regate(), PolicyKind::Mapg).run();
     assert!(with_naps.gating.regates > 0, "naps must fire");
     assert_eq!(without.gating.regates, 0);
     assert!(
@@ -119,8 +108,7 @@ fn replication_separates_policy_effect_from_seed_noise() {
     let config = quick().with_instructions(25_000);
     let baseline = Replication::run(config.clone(), PolicyKind::NoGating, 5);
     let mapg = Replication::run(config, PolicyKind::Mapg, 5);
-    let savings =
-        mapg.summarize_paired(&baseline, |m, b| m.core_energy_savings_vs(b));
+    let savings = mapg.summarize_paired(&baseline, |m, b| m.core_energy_savings_vs(b));
     assert!(savings.min > 0.0, "MAPG wins on every seed");
     assert!(
         savings.ci95_halfwidth() < savings.mean,
@@ -141,8 +129,7 @@ fn idle_injection_flows_through_the_full_simulation() {
     .run();
     let idles: u64 = report.core_stats.iter().map(|c| c.idle_periods).sum();
     assert!(idles > 0, "injection must reach the core");
-    let idle_cycles: u64 =
-        report.core_stats.iter().map(|c| c.idle_stall_cycles).sum();
+    let idle_cycles: u64 = report.core_stats.iter().map(|c| c.idle_stall_cycles).sum();
     assert!(idle_cycles >= idles * 150_000);
     // Timeout gating must harvest those long idles.
     assert!(report.gating.gated > 0);
@@ -154,15 +141,10 @@ fn substrate_design_space_options_compose() {
     // through the simulation facade.
     let memory = HierarchyConfig {
         dram: DramConfig::ddr3_1333().with_page_policy(PagePolicy::Closed),
-        l2: mapg_mem::CacheConfig::l2()
-            .with_replacement(ReplacementPolicy::Fifo),
+        l2: mapg_mem::CacheConfig::l2().with_replacement(ReplacementPolicy::Fifo),
         ..HierarchyConfig::with_stream_prefetcher()
     };
-    let report = Simulation::new(
-        quick().with_memory(memory),
-        PolicyKind::Mapg,
-    )
-    .run();
+    let report = Simulation::new(quick().with_memory(memory), PolicyKind::Mapg).run();
     assert!(report.instructions >= 60_000);
     assert!(report.total_energy().as_joules() > 0.0);
     // Closed-page policy means no row-buffer hits at all.

@@ -10,34 +10,32 @@ use mapg_trace::{Phase, PhaseSchedule, WorkloadProfile};
 /// Strategy over valid workload profiles.
 fn profiles() -> impl Strategy<Value = WorkloadProfile> {
     (
-        10.0f64..400.0,          // mem refs per kilo-instruction
-        18u32..28,               // log2 working set (256 KiB .. 128 MiB)
-        0.0f64..0.99,            // spatial locality
-        1u32..12,                // hot regions
-        0.0f64..0.8,             // pointer-chase fraction
-        0.0f64..0.6,             // write fraction
-        0.5f64..4.0,             // compute IPC
-        0usize..3,               // phase schedule selector
+        10.0f64..400.0, // mem refs per kilo-instruction
+        18u32..28,      // log2 working set (256 KiB .. 128 MiB)
+        0.0f64..0.99,   // spatial locality
+        1u32..12,       // hot regions
+        0.0f64..0.8,    // pointer-chase fraction
+        0.0f64..0.6,    // write fraction
+        0.5f64..4.0,    // compute IPC
+        0usize..3,      // phase schedule selector
     )
-        .prop_map(
-            |(rate, ws_log2, loc, regions, chase, wr, ipc, phase_sel)| {
-                let phases = match phase_sel {
-                    0 => PhaseSchedule::mostly_memory(),
-                    1 => PhaseSchedule::alternating(),
-                    _ => PhaseSchedule::stationary(Phase::Balanced),
-                };
-                WorkloadProfile::builder("prop")
-                    .mem_refs_per_kilo_inst(rate)
-                    .working_set_bytes(1u64 << ws_log2)
-                    .spatial_locality(loc)
-                    .hot_regions(regions)
-                    .pointer_chase_fraction(chase)
-                    .write_fraction(wr)
-                    .compute_ipc(ipc)
-                    .phases(phases)
-                    .build()
-            },
-        )
+        .prop_map(|(rate, ws_log2, loc, regions, chase, wr, ipc, phase_sel)| {
+            let phases = match phase_sel {
+                0 => PhaseSchedule::mostly_memory(),
+                1 => PhaseSchedule::alternating(),
+                _ => PhaseSchedule::stationary(Phase::Balanced),
+            };
+            WorkloadProfile::builder("prop")
+                .mem_refs_per_kilo_inst(rate)
+                .working_set_bytes(1u64 << ws_log2)
+                .spatial_locality(loc)
+                .hot_regions(regions)
+                .pointer_chase_fraction(chase)
+                .write_fraction(wr)
+                .compute_ipc(ipc)
+                .phases(phases)
+                .build()
+        })
 }
 
 fn policies() -> impl Strategy<Value = PolicyKind> {
@@ -55,10 +53,8 @@ fn policies() -> impl Strategy<Value = PolicyKind> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case is a full simulation; keep the budget sane
-        ..ProptestConfig::default()
-    })]
+    // Each case is a full simulation; keep the budget sane.
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn report_invariants_hold_for_any_workload_and_policy(
