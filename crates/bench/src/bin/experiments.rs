@@ -4,20 +4,35 @@
 //! ```bash
 //! experiments                      # everything, paper scale
 //! experiments rt1 rf5              # selected experiments
-//! experiments --scale quick        # smaller runs
+//! experiments --scale quick        # smaller runs (full is an alias for paper)
 //! experiments --csv rf2            # CSV instead of aligned text
+//! experiments --jobs 8             # parallel run (output still registry order)
+//! experiments --manifest run.json  # machine-readable run record
 //! experiments --list               # registry
 //! ```
+//!
+//! Experiments run concurrently across a work-sharing pool, and each
+//! experiment's inner suite fan-out is pinned to the same `--jobs` value.
+//! Tables are buffered per experiment and printed in registry order, so
+//! stdout is byte-identical at any job count (the `--jobs 1` serial run is
+//! the reference).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mapg_bench::{experiments, Scale};
+use mapg_bench::experiments::Experiment;
+use mapg_bench::{experiments, Manifest, ManifestEntry, Scale, TableSummary};
+use mapg_pool::Pool;
+
+const USAGE: &str = "usage: experiments [--scale smoke|quick|paper|full] [--csv] [--jobs N] \
+     [--manifest FILE] [--list] [IDS...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut csv = false;
+    let mut jobs = mapg_pool::default_jobs();
+    let mut manifest_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut iter = args.iter();
@@ -32,32 +47,60 @@ fn main() -> ExitCode {
             "--csv" => csv = true,
             "--scale" => {
                 let Some(name) = iter.next() else {
-                    eprintln!("--scale needs a value (smoke|quick|paper)");
+                    eprintln!("--scale needs a value (smoke|quick|paper|full)");
                     return ExitCode::FAILURE;
                 };
                 let Some(parsed) = Scale::parse(name) else {
-                    eprintln!("unknown scale '{name}' (smoke|quick|paper)");
+                    eprintln!("unknown scale '{name}' (smoke|quick|paper|full)");
                     return ExitCode::FAILURE;
                 };
                 scale = parsed;
             }
+            "--jobs" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--jobs needs a value (a worker count >= 1)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("invalid job count '{value}' (need an integer >= 1)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--manifest" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--manifest needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                manifest_path = Some(path.to_owned());
+            }
             "--help" | "-h" => {
-                println!(
-                    "usage: experiments [--scale smoke|quick|paper] [--csv] [--list] [IDS...]"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag '{flag}'\n{USAGE}");
+                return ExitCode::FAILURE;
             }
             id => selected.push(id.to_owned()),
         }
     }
 
-    let to_run: Vec<_> = if selected.is_empty() {
+    let to_run: Vec<Experiment> = if selected.is_empty() {
         experiments::all()
     } else {
-        let mut list = Vec::new();
+        let mut list: Vec<Experiment> = Vec::new();
         for id in &selected {
             match experiments::find(id) {
-                Some(experiment) => list.push(experiment),
+                Some(experiment) => {
+                    if list.iter().any(|e: &Experiment| e.id == experiment.id) {
+                        eprintln!("warning: duplicate experiment '{id}' ignored");
+                    } else {
+                        list.push(experiment);
+                    }
+                }
                 None => {
                     eprintln!("unknown experiment '{id}'; try --list");
                     return ExitCode::FAILURE;
@@ -71,19 +114,56 @@ fn main() -> ExitCode {
         "# MAPG reproduction — {} experiment(s) at {scale:?} scale\n",
         to_run.len()
     );
-    for experiment in to_run {
+
+    // Fan the experiments out, buffering each one's rendered output; the
+    // ordered map returns them in registry order, so the printed stream is
+    // byte-identical to a serial run. The inner suite fan-out of each
+    // experiment is pinned to the same job count.
+    let run_started = Instant::now();
+    let outputs = Pool::new(jobs).map(to_run, |experiment| {
         let started = Instant::now();
-        let tables = (experiment.run)(scale);
+        let tables = mapg_pool::with_default_jobs(jobs, || (experiment.run)(scale));
         let elapsed = started.elapsed();
+        let mut rendered = String::new();
         for table in &tables {
             if csv {
-                println!("# {} — {}", table.id(), table.title());
-                print!("{}", table.to_csv());
+                rendered.push_str(&format!("# {} — {}\n", table.id(), table.title()));
+                rendered.push_str(&table.to_csv());
             } else {
-                println!("{}", table.to_text());
+                rendered.push_str(&table.to_text());
+                rendered.push('\n');
             }
         }
-        eprintln!("[{} done in {elapsed:.2?}]\n", experiment.id);
+        let entry = ManifestEntry {
+            id: experiment.id.to_owned(),
+            title: experiment.title.to_owned(),
+            wall_ms: elapsed.as_secs_f64() * 1e3,
+            tables: tables.iter().map(TableSummary::of).collect(),
+        };
+        (experiment.id, rendered, elapsed, entry)
+    });
+    let total_wall = run_started.elapsed();
+
+    let mut entries = Vec::with_capacity(outputs.len());
+    for (id, rendered, elapsed, entry) in outputs {
+        print!("{rendered}");
+        eprintln!("[{id} done in {elapsed:.2?}]\n");
+        entries.push(entry);
+    }
+    eprintln!("[total: {total_wall:.2?} with {jobs} job(s)]");
+
+    if let Some(path) = manifest_path {
+        let manifest = Manifest {
+            scale,
+            jobs,
+            total_wall_ms: total_wall.as_secs_f64() * 1e3,
+            experiments: entries,
+        };
+        if let Err(error) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("cannot write manifest '{path}': {error}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[manifest written to {path}]");
     }
     ExitCode::SUCCESS
 }

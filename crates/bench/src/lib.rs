@@ -30,8 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod manifest;
 mod scale;
 mod table;
 
+pub use manifest::{Manifest, ManifestEntry, TableSummary, MANIFEST_SCHEMA};
 pub use scale::Scale;
 pub use table::{pct, ratio, Table};

@@ -1,0 +1,242 @@
+//! Machine-readable run records for the `experiments` binary.
+//!
+//! `experiments --manifest out.json` emits one [`Manifest`] per run so the
+//! bench trajectory (per-experiment wall time, table sizes, job count)
+//! accumulates across CI runs and PRs. The JSON is hand-rendered — the
+//! build environment has no registry access, so no serde — and kept to a
+//! flat, stable schema:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "scale": "smoke",
+//!   "jobs": 4,
+//!   "total_wall_ms": 123.456,
+//!   "experiments": [
+//!     {
+//!       "id": "R-T1",
+//!       "title": "power-gating circuit design space",
+//!       "wall_ms": 1.234,
+//!       "tables": [{"id": "R-T1", "rows": 7}]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// Schema version stamped into every manifest.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// Row counts of one rendered table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSummary {
+    /// Table id (e.g. `R-T1`).
+    pub id: String,
+    /// Number of data rows.
+    pub rows: usize,
+}
+
+impl TableSummary {
+    /// Summarizes a rendered table.
+    pub fn of(table: &Table) -> Self {
+        TableSummary {
+            id: table.id().to_owned(),
+            rows: table.rows().len(),
+        }
+    }
+}
+
+/// The record of one experiment within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Experiment id (e.g. `R-F5`).
+    pub id: String,
+    /// One-line experiment title.
+    pub title: String,
+    /// Wall time of the experiment's `run` call, in milliseconds.
+    pub wall_ms: f64,
+    /// Summaries of the tables the experiment produced.
+    pub tables: Vec<TableSummary>,
+}
+
+/// A machine-readable record of one `experiments` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Scale the run used.
+    pub scale: Scale,
+    /// Job count the run used (`--jobs`).
+    pub jobs: usize,
+    /// Wall time of the whole run, in milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-experiment records, in registry order.
+    pub experiments: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Renders the manifest as pretty-printed JSON (trailing newline
+    /// included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", MANIFEST_SCHEMA));
+        out.push_str(&format!(
+            "  \"scale\": {},\n",
+            json_string(self.scale.name())
+        ));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {},\n",
+            json_number(self.total_wall_ms)
+        ));
+        out.push_str("  \"experiments\": [");
+        for (i, entry) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"id\": {},\n", json_string(&entry.id)));
+            out.push_str(&format!(
+                "      \"title\": {},\n",
+                json_string(&entry.title)
+            ));
+            out.push_str(&format!(
+                "      \"wall_ms\": {},\n",
+                json_number(entry.wall_ms)
+            ));
+            out.push_str("      \"tables\": [");
+            for (j, table) in entry.tables.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"id\": {}, \"rows\": {}}}",
+                    json_string(&table.id),
+                    table.rows
+                ));
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.experiments.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string per RFC 8259 and wraps it in quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite float as a JSON number with millisecond-precision
+/// stability (3 fractional digits); non-finite values degrade to `0`.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            scale: Scale::Smoke,
+            jobs: 4,
+            total_wall_ms: 12.3456,
+            experiments: vec![
+                ManifestEntry {
+                    id: "R-T1".to_owned(),
+                    title: "power-gating circuit design space".to_owned(),
+                    wall_ms: 1.5,
+                    tables: vec![TableSummary {
+                        id: "R-T1".to_owned(),
+                        rows: 7,
+                    }],
+                },
+                ManifestEntry {
+                    id: "R-F5".to_owned(),
+                    title: "wake \"latency\" sweep".to_owned(),
+                    wall_ms: 2.25,
+                    tables: vec![
+                        TableSummary {
+                            id: "R-F5".to_owned(),
+                            rows: 6,
+                        },
+                        TableSummary {
+                            id: "R-F5b".to_owned(),
+                            rows: 2,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_the_documented_schema() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"scale\": \"smoke\""), "{json}");
+        assert!(json.contains("\"jobs\": 4"), "{json}");
+        assert!(json.contains("\"total_wall_ms\": 12.346"), "{json}");
+        assert!(json.contains("\"id\": \"R-T1\""), "{json}");
+        assert!(json.contains("{\"id\": \"R-F5b\", \"rows\": 2}"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains(r#""wake \"latency\" sweep""#), "{json}");
+        assert_eq!(json_string("a\\b\nc\t\u{1}"), "\"a\\\\b\\nc\\t\\u0001\"");
+    }
+
+    #[test]
+    fn empty_run_is_valid_json() {
+        let manifest = Manifest {
+            scale: Scale::Paper,
+            jobs: 1,
+            total_wall_ms: 0.0,
+            experiments: Vec::new(),
+        };
+        assert!(manifest.to_json().contains("\"experiments\": []"));
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_zero() {
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+        assert_eq!(json_number(0.5), "0.500");
+    }
+
+    #[test]
+    fn table_summary_counts_rows() {
+        let mut t = Table::new("R-X", "x", vec!["a"]);
+        t.push_row(vec!["1"]);
+        t.push_row(vec!["2"]);
+        let s = TableSummary::of(&t);
+        assert_eq!(s.id, "R-X");
+        assert_eq!(s.rows, 2);
+    }
+}

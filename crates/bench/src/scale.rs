@@ -29,6 +29,15 @@ impl Scale {
         matches!(self, Scale::Paper)
     }
 
+    /// The canonical lowercase name (`"paper"`, never the `"full"` alias).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// Parses a scale name.
     pub fn parse(name: &str) -> Option<Scale> {
         match name {
@@ -57,6 +66,13 @@ mod tests {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
         assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
     }
 
     #[test]

@@ -119,11 +119,11 @@ impl Table {
         out
     }
 
-    /// Renders the CSV form (header row first; cells containing commas are
-    /// quoted).
+    /// Renders the CSV form (header row first; cells containing commas,
+    /// quotes or line breaks are quoted per RFC 4180).
     pub fn to_csv(&self) -> String {
         let quote = |cell: &str| {
-            if cell.contains(',') || cell.contains('"') {
+            if cell.contains([',', '"', '\n', '\r']) {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_owned()
@@ -197,6 +197,29 @@ mod tests {
         let mut t = Table::new("X", "q", vec!["a"]);
         t.push_row(vec!["hello, world"]);
         assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    fn csv_quotes_line_breaks() {
+        // Regression: a multi-line cell used to escape unquoted and split
+        // the row, corrupting the CSV structure.
+        let mut t = Table::new("X", "q", vec!["a", "b"]);
+        t.push_row(vec!["multi\nline", "cr\rcell"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"multi\nline\""), "{csv}");
+        assert!(csv.contains("\"cr\rcell\""), "{csv}");
+        // Unquoted parsing would see three records; quoted sees two
+        // (header + one row): count record boundaries outside quotes.
+        let mut records = 1;
+        let mut in_quotes = false;
+        for c in csv.trim_end().chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                '\n' if !in_quotes => records += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(records, 2, "{csv}");
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `experiments` binary: argument validation,
+//! duplicate-id dedup, and `--jobs` byte-equality of stdout.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("experiments binary should spawn")
+}
+
+#[test]
+fn help_mentions_every_flag_and_the_full_alias() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in ["--scale", "full", "--csv", "--jobs", "--manifest", "--list"] {
+        assert!(text.contains(needle), "help is missing '{needle}': {text}");
+    }
+}
+
+#[test]
+fn scale_error_mentions_the_full_alias() {
+    let out = run(&["--scale", "nope"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("full"), "scale error omits the alias: {err}");
+}
+
+#[test]
+fn full_is_accepted_as_a_scale() {
+    // --list short-circuits before any run, but --scale full must parse.
+    let out = run(&["--scale", "full", "--list"]);
+    assert!(out.status.success(), "{:?}", out);
+}
+
+#[test]
+fn unknown_flags_are_rejected_as_flags() {
+    for flag in ["--cvs", "-x", "--scale=quick"] {
+        let out = run(&[flag]);
+        assert!(!out.status.success(), "'{flag}' should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains(&format!("unknown flag '{flag}'")),
+            "'{flag}' mis-reported: {err}"
+        );
+        assert!(err.contains("usage:"), "no usage line for '{flag}': {err}");
+        assert!(
+            !err.contains("unknown experiment"),
+            "'{flag}' fell through to experiment lookup: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_is_still_reported() {
+    let out = run(&["nope99"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment 'nope99'"), "{err}");
+}
+
+#[test]
+fn bad_jobs_values_are_rejected() {
+    for args in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
+        let out = run(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}
+
+#[test]
+fn duplicate_ids_run_once_with_a_warning() {
+    let out = run(&["--scale", "smoke", "--csv", "rt1", "rt1", "R-T1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        stdout.matches("# R-T1 — ").count(),
+        1,
+        "duplicate selection printed more than once: {stdout}"
+    );
+    assert!(stdout.contains("1 experiment(s)"), "{stdout}");
+    assert_eq!(
+        stderr.matches("warning: duplicate experiment").count(),
+        2,
+        "expected one warning per duplicate: {stderr}"
+    );
+}
+
+#[test]
+fn jobs_do_not_change_stdout_bytes() {
+    // A slice of the registry that exercises SuiteRunner fan-out (rt3),
+    // direct sweeps (rf5) and the token/many-core path (rf8).
+    let ids = ["rt3", "rf5", "rf8"];
+    let serial = run(&[&["--scale", "smoke", "--csv", "--jobs", "1"][..], &ids].concat());
+    let parallel = run(&[&["--scale", "smoke", "--csv", "--jobs", "8"][..], &ids].concat());
+    assert!(serial.status.success() && parallel.status.success());
+    assert!(!serial.stdout.is_empty());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "--jobs 8 stdout diverged from --jobs 1"
+    );
+}
+
+#[test]
+fn manifest_records_the_run() {
+    let dir = std::env::temp_dir().join("mapg-experiments-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("manifest.json");
+    let out = run(&[
+        "--scale",
+        "smoke",
+        "--csv",
+        "--jobs",
+        "2",
+        "--manifest",
+        path.to_str().unwrap(),
+        "rt1",
+        "rf5",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    for needle in [
+        "\"schema\": 1",
+        "\"scale\": \"smoke\"",
+        "\"jobs\": 2",
+        "\"id\": \"R-T1\"",
+        "\"id\": \"R-F5\"",
+        "\"wall_ms\":",
+        "\"rows\":",
+    ] {
+        assert!(json.contains(needle), "manifest missing '{needle}': {json}");
+    }
+}
+
+#[test]
+fn manifest_write_failure_is_a_clean_error() {
+    let out = run(&[
+        "--scale",
+        "smoke",
+        "--manifest",
+        "/nonexistent-dir/manifest.json",
+        "rt1",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot write manifest"), "{err}");
+}

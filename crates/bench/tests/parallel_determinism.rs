@@ -1,0 +1,37 @@
+//! Serial-vs-parallel bit-equality: determinism is enforced, not assumed.
+//!
+//! Every registered experiment at smoke scale must render byte-identical
+//! CSV whether its inner suite fan-out runs on one worker or many — the
+//! acceptance bar for the parallel engine (DESIGN.md §7).
+
+use mapg_bench::{experiments, Scale};
+
+/// Renders every table of every experiment with the ambient job count
+/// pinned to `jobs`.
+fn render_all(jobs: usize) -> Vec<(String, String)> {
+    experiments::all()
+        .into_iter()
+        .map(|experiment| {
+            let tables = mapg_pool::with_default_jobs(jobs, || (experiment.run)(Scale::Smoke));
+            let csv: String = tables
+                .iter()
+                .map(|t| format!("# {}\n{}", t.id(), t.to_csv()))
+                .collect();
+            (experiment.id.to_owned(), csv)
+        })
+        .collect()
+}
+
+#[test]
+fn every_experiment_is_bit_identical_serial_vs_parallel() {
+    let serial = render_all(1);
+    let parallel = render_all(4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((id, csv_serial), (id_p, csv_parallel)) in serial.iter().zip(&parallel) {
+        assert_eq!(id, id_p);
+        assert_eq!(
+            csv_serial, csv_parallel,
+            "{id}: parallel CSV diverged from serial"
+        );
+    }
+}

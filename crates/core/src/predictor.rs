@@ -228,7 +228,7 @@ impl MissLatencyPredictor for OraclePredictor {
 }
 
 /// Accuracy bookkeeping wrapped around any predictor (experiment R-F7).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictorScore {
     predictions: u64,
     /// |error| within 25 % of actual.

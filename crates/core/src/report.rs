@@ -15,7 +15,7 @@ use crate::watchdog::DegradationStats;
 use core::fmt;
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Policy name.
     pub policy: &'static str,

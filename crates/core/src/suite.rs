@@ -1,7 +1,8 @@
 //! Suite runner: the workload-suite × policy-set experiment driver shared
 //! by the benches, examples and integration tests.
 
-use mapg_trace::WorkloadSuite;
+use mapg_pool::Pool;
+use mapg_trace::{WorkloadProfile, WorkloadSuite};
 
 use crate::policy::PolicyKind;
 use crate::report::{geometric_mean, RunReport};
@@ -9,6 +10,12 @@ use crate::sim::{SimConfig, Simulation};
 
 /// Runs every (profile, policy) combination of a suite and collects the
 /// reports.
+///
+/// The matrix is fanned out across a work-sharing thread pool
+/// ([`mapg_pool::Pool`]); because every simulation is a seeded pure
+/// function, the matrix is identical bit-for-bit at any job count — the
+/// pool's ordered map keeps reports in (workload-major, policy-minor)
+/// submission order regardless of completion order.
 ///
 /// ```
 /// use mapg::{PolicyKind, SimConfig, SuiteRunner};
@@ -25,12 +32,38 @@ use crate::sim::{SimConfig, Simulation};
 pub struct SuiteRunner {
     suite: WorkloadSuite,
     base: SimConfig,
+    jobs: Option<usize>,
 }
 
 impl SuiteRunner {
     /// Creates a runner; `base` supplies everything but the profile.
+    ///
+    /// Parallelism defaults to [`mapg_pool::default_jobs`] (available
+    /// parallelism, or the ambient [`mapg_pool::with_default_jobs`]
+    /// override); pin it explicitly with [`with_jobs`](Self::with_jobs).
     pub fn new(suite: WorkloadSuite, base: SimConfig) -> Self {
-        SuiteRunner { suite, base }
+        SuiteRunner {
+            suite,
+            base,
+            jobs: None,
+        }
+    }
+
+    /// Pins the worker count used by [`run`](Self::run); `1` forces the
+    /// serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs > 0, "job count must be at least 1");
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// The worker count [`run`](Self::run) will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(mapg_pool::default_jobs)
     }
 
     /// The suite being run.
@@ -38,15 +71,18 @@ impl SuiteRunner {
         &self.suite
     }
 
-    /// Runs all combinations.
+    /// Runs all combinations, in parallel across [`jobs`](Self::jobs)
+    /// workers.
     pub fn run(&self, policies: &[PolicyKind]) -> SuiteMatrix {
-        let mut reports = Vec::with_capacity(self.suite.len() * policies.len());
-        for profile in self.suite.iter() {
-            for &policy in policies {
-                let config = self.base.clone().with_profile(profile.clone());
-                reports.push(Simulation::new(config, policy).run());
-            }
-        }
+        let combos: Vec<(WorkloadProfile, PolicyKind)> = self
+            .suite
+            .iter()
+            .flat_map(|profile| policies.iter().map(|&policy| (profile.clone(), policy)))
+            .collect();
+        let reports = Pool::new(self.jobs()).map(combos, |(profile, policy)| {
+            let config = self.base.clone().with_profile(profile);
+            Simulation::new(config, policy).run()
+        });
         SuiteMatrix { reports }
     }
 }
@@ -169,6 +205,32 @@ mod tests {
         assert!(energy < 1.0, "MAPG should save energy: {energy}");
         assert!(runtime < 1.10, "runtime should stay close: {runtime}");
         assert!(edp < 1.05, "EDP should not blow up: {edp}");
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_serial() {
+        let policies = [
+            PolicyKind::NoGating,
+            PolicyKind::Mapg,
+            PolicyKind::NaiveOnMiss,
+        ];
+        let serial = tiny_runner().with_jobs(1).run(&policies);
+        let parallel = tiny_runner().with_jobs(8).run(&policies);
+        assert_eq!(serial.reports(), parallel.reports());
+    }
+
+    #[test]
+    fn ambient_default_jobs_override_is_honoured() {
+        let runner = tiny_runner();
+        let pinned = mapg_pool::with_default_jobs(3, || runner.jobs());
+        assert_eq!(pinned, 3);
+        assert_eq!(runner.clone().with_jobs(5).jobs(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_jobs_rejected() {
+        let _ = tiny_runner().with_jobs(0);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Property tests for parallel execution: fanning the suite matrix across
+//! the thread pool must never change a single bit of any report, at any
+//! job count, for any configuration — determinism is enforced, not
+//! assumed (DESIGN.md §7).
+
+use proptest::prelude::*;
+
+use mapg::{PolicyKind, SimConfig, SuiteRunner};
+use mapg_trace::WorkloadSuite;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_suite_matrix_equals_serial_bit_for_bit(
+        seed in any::<u64>(),
+        instructions in 5_000u64..25_000,
+        cores in 1usize..3,
+        jobs in 2usize..9,
+        policy_count in 1usize..4,
+    ) {
+        let policies = [
+            PolicyKind::Mapg,
+            PolicyKind::NoGating,
+            PolicyKind::NaiveOnMiss,
+        ];
+        let policies = &policies[..policy_count];
+        let base = SimConfig::default()
+            .with_instructions(instructions)
+            .with_cores(cores)
+            .with_seed(seed);
+        let runner = SuiteRunner::new(WorkloadSuite::extremes(), base);
+
+        let serial = runner.clone().with_jobs(1).run(policies);
+        let parallel = runner.with_jobs(jobs).run(policies);
+
+        prop_assert_eq!(serial.reports().len(), parallel.reports().len());
+        for (s, p) in serial.reports().iter().zip(parallel.reports()) {
+            prop_assert_eq!(s, p, "jobs={} diverged from serial", jobs);
+        }
+    }
+
+    #[test]
+    fn ambient_jobs_override_matches_serial(
+        seed in any::<u64>(),
+        jobs in 2usize..6,
+    ) {
+        // The thread-local default (what the experiments binary pins per
+        // worker) must behave exactly like the explicit builder.
+        let base = SimConfig::default()
+            .with_instructions(8_000)
+            .with_seed(seed);
+        let runner = SuiteRunner::new(WorkloadSuite::extremes(), base);
+        let policies = [PolicyKind::NoGating, PolicyKind::Mapg];
+
+        let serial = runner.clone().with_jobs(1).run(&policies);
+        let ambient = mapg_pool::with_default_jobs(jobs, || runner.run(&policies));
+
+        prop_assert_eq!(serial.reports(), ambient.reports());
+    }
+}

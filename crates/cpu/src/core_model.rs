@@ -39,7 +39,7 @@ impl Default for CoreConfig {
 }
 
 /// Execution statistics for one core.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreStats {
     /// Instructions retired.
     pub instructions: u64,

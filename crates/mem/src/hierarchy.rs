@@ -92,7 +92,7 @@ impl AccessResponse {
 }
 
 /// Aggregated hierarchy statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchyStats {
     /// L1 counters.
     pub l1: CacheStats,
