@@ -1,0 +1,52 @@
+//! Criterion bench: cost of the observability layer.
+//!
+//! Three configurations of the same 50 k-instruction MAPG run:
+//! observability off (every `ObsHandle` call is one `None` branch — the
+//! acceptance bar is <2% overhead vs. the pre-instrumentation simulator,
+//! which this group tracks as the baseline cell), metrics only, and full
+//! trace + metrics capture. Plus a micro-bench of the disabled handle's
+//! `emit`/`count`/`observe` calls themselves.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mapg::{PolicyKind, SimConfig, Simulation};
+use mapg_obs::{EventKind, ObsHandle, Scope};
+
+fn base() -> SimConfig {
+    SimConfig::default().with_instructions(50_000)
+}
+
+fn bench_observability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("sim_50k/disabled", |b| {
+        b.iter(|| black_box(Simulation::new(base(), PolicyKind::Mapg).run()))
+    });
+    group.bench_function("sim_50k/metrics", |b| {
+        b.iter(|| black_box(Simulation::new(base().with_metrics(), PolicyKind::Mapg).run()))
+    });
+    group.bench_function("sim_50k/trace+metrics", |b| {
+        b.iter(|| {
+            black_box(Simulation::new(base().with_trace().with_metrics(), PolicyKind::Mapg).run())
+        })
+    });
+    group.bench_function("disabled_handle/emit+count+observe", |b| {
+        let obs = ObsHandle::disabled();
+        b.iter(|| {
+            for cycle in 0..1_000u64 {
+                obs.emit(cycle, Scope::Core(0), EventKind::StallBegin);
+                obs.count("stalls", 1);
+                obs.observe("stall_length", cycle);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

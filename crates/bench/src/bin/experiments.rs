@@ -25,7 +25,7 @@ use mapg_bench::{experiments, Manifest, ManifestEntry, Scale, TableSummary};
 use mapg_pool::Pool;
 
 const USAGE: &str = "usage: experiments [--scale smoke|quick|paper|full] [--csv] [--jobs N] \
-     [--manifest FILE] [--list] [IDS...]";
+     [--manifest FILE] [--metrics FILE] [--list] [IDS...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +33,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut jobs = mapg_pool::default_jobs();
     let mut manifest_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
 
     let mut iter = args.iter();
@@ -75,6 +76,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 manifest_path = Some(path.to_owned());
+            }
+            "--metrics" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--metrics needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(path.to_owned());
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -119,10 +127,22 @@ fn main() -> ExitCode {
     // ordered map returns them in registry order, so the printed stream is
     // byte-identical to a serial run. The inner suite fan-out of each
     // experiment is pinned to the same job count.
+    // Metrics collection is opt-in (a manifest or metrics file was
+    // requested); otherwise observability stays disabled and the run pays
+    // only a never-taken branch per would-be event.
+    let collect_metrics = manifest_path.is_some() || metrics_path.is_some();
     let run_started = Instant::now();
     let outputs = Pool::new(jobs).map(to_run, |experiment| {
         let started = Instant::now();
-        let tables = mapg_pool::with_default_jobs(jobs, || (experiment.run)(scale));
+        let run = || mapg_pool::with_default_jobs(jobs, || (experiment.run)(scale));
+        // One hub per experiment: every simulation the experiment spawns
+        // (its inner fan-out included) merges its registry in. Merging is
+        // commutative, so the snapshot is deterministic at any job count.
+        let hub = collect_metrics.then(mapg_obs::MetricsHub::new);
+        let tables = match &hub {
+            Some(hub) => mapg_obs::with_ambient_hub(hub.clone(), run),
+            None => run(),
+        };
         let elapsed = started.elapsed();
         let mut rendered = String::new();
         for table in &tables {
@@ -138,6 +158,7 @@ fn main() -> ExitCode {
             id: experiment.id.to_owned(),
             title: experiment.title.to_owned(),
             wall_ms: elapsed.as_secs_f64() * 1e3,
+            metrics: hub.as_ref().map(mapg_obs::MetricsHub::snapshot),
             tables: tables.iter().map(TableSummary::of).collect(),
         };
         (experiment.id, rendered, elapsed, entry)
@@ -151,6 +172,23 @@ fn main() -> ExitCode {
         entries.push(entry);
     }
     eprintln!("[total: {total_wall:.2?} with {jobs} job(s)]");
+
+    if let Some(path) = metrics_path {
+        // The aggregate is a pure merge over per-experiment registries in
+        // registry order — no wall times, no job count — so the file is
+        // byte-identical across `--jobs` values.
+        let mut combined = mapg_obs::MetricsRegistry::new();
+        for entry in &entries {
+            if let Some(metrics) = &entry.metrics {
+                combined.merge(metrics);
+            }
+        }
+        if let Err(error) = std::fs::write(&path, combined.to_json()) {
+            eprintln!("cannot write metrics '{path}': {error}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[metrics written to {path}]");
+    }
 
     if let Some(path) = manifest_path {
         let manifest = Manifest {

@@ -167,8 +167,18 @@ pub(crate) fn suite_for(scale: Scale) -> WorkloadSuite {
 }
 
 /// The base simulation configuration at `scale`.
+///
+/// When an ambient [`mapg_obs::MetricsHub`] is installed (the
+/// `experiments` binary does this per experiment for `--metrics` and
+/// `--manifest` runs), every simulation built on this base merges its
+/// metrics into the hub; otherwise observability stays disabled and
+/// costs one branch per would-be event.
 pub(crate) fn base_config(scale: Scale) -> SimConfig {
-    SimConfig::default().with_instructions(scale.instructions())
+    let config = SimConfig::default().with_instructions(scale.instructions());
+    match mapg_obs::ambient_hub() {
+        Some(hub) => config.with_metrics_hub(hub),
+        None => config,
+    }
 }
 
 #[cfg(test)]

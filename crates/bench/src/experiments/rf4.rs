@@ -79,6 +79,8 @@ fn run_with_guard(profile: &WorkloadProfile, instructions: u64, guard: f64) -> R
         degradation: controller.degradation(),
         faults: controller.fault_stats(),
         timeline: None,
+        trace: None,
+        metrics: None,
     }
 }
 

@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "scale": "smoke",
 //!   "jobs": 4,
 //!   "total_wall_ms": 123.456,
@@ -17,17 +17,23 @@
 //!       "id": "R-T1",
 //!       "title": "power-gating circuit design space",
 //!       "wall_ms": 1.234,
+//!       "metrics": {"counters": {"gates": 42}, "histograms": {}},
 //!       "tables": [{"id": "R-T1", "rows": 7}]
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! Schema history: v2 added the optional per-experiment `"metrics"`
+//! object (aggregated observability counters and histograms).
+
+use mapg_obs::MetricsRegistry;
 
 use crate::scale::Scale;
 use crate::table::Table;
 
 /// Schema version stamped into every manifest.
-pub const MANIFEST_SCHEMA: u32 = 1;
+pub const MANIFEST_SCHEMA: u32 = 2;
 
 /// Row counts of one rendered table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +63,9 @@ pub struct ManifestEntry {
     pub title: String,
     /// Wall time of the experiment's `run` call, in milliseconds.
     pub wall_ms: f64,
+    /// Aggregated observability metrics across the experiment's
+    /// simulations, when the run collected them.
+    pub metrics: Option<MetricsRegistry>,
     /// Summaries of the tables the experiment produced.
     pub tables: Vec<TableSummary>,
 }
@@ -105,6 +114,11 @@ impl Manifest {
                 "      \"wall_ms\": {},\n",
                 json_number(entry.wall_ms)
             ));
+            if let Some(metrics) = &entry.metrics {
+                out.push_str("      \"metrics\": {\n");
+                out.push_str(&metrics.to_json_body("        "));
+                out.push_str("      },\n");
+            }
             out.push_str("      \"tables\": [");
             for (j, table) in entry.tables.iter().enumerate() {
                 if j > 0 {
@@ -169,6 +183,7 @@ mod tests {
                     id: "R-T1".to_owned(),
                     title: "power-gating circuit design space".to_owned(),
                     wall_ms: 1.5,
+                    metrics: None,
                     tables: vec![TableSummary {
                         id: "R-T1".to_owned(),
                         rows: 7,
@@ -178,6 +193,7 @@ mod tests {
                     id: "R-F5".to_owned(),
                     title: "wake \"latency\" sweep".to_owned(),
                     wall_ms: 2.25,
+                    metrics: None,
                     tables: vec![
                         TableSummary {
                             id: "R-F5".to_owned(),
@@ -196,7 +212,7 @@ mod tests {
     #[test]
     fn renders_the_documented_schema() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"schema\": 2"), "{json}");
         assert!(json.contains("\"scale\": \"smoke\""), "{json}");
         assert!(json.contains("\"jobs\": 4"), "{json}");
         assert!(json.contains("\"total_wall_ms\": 12.346"), "{json}");
@@ -228,6 +244,21 @@ mod tests {
         assert_eq!(json_number(f64::NAN), "0");
         assert_eq!(json_number(f64::INFINITY), "0");
         assert_eq!(json_number(0.5), "0.500");
+    }
+
+    #[test]
+    fn metrics_embed_under_the_entry() {
+        let mut manifest = sample();
+        let mut registry = MetricsRegistry::new();
+        registry.count("gates", 42);
+        registry.observe("gated_duration", 512);
+        manifest.experiments[0].metrics = Some(registry);
+        let json = manifest.to_json();
+        assert!(json.contains("\"metrics\": {"), "{json}");
+        assert!(json.contains("\"gates\": 42"), "{json}");
+        assert!(json.contains("\"gated_duration\""), "{json}");
+        // The entry without metrics stays metrics-free.
+        assert_eq!(json.matches("\"metrics\": {").count(), 1, "{json}");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! End-to-end tests of the `experiments` binary: argument validation,
 //! duplicate-id dedup, and `--jobs` byte-equality of stdout.
 
+#![deny(unused)]
+
 use std::process::{Command, Output};
 
 fn run(args: &[&str]) -> Output {
@@ -15,7 +17,15 @@ fn help_mentions_every_flag_and_the_full_alias() {
     let out = run(&["--help"]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for needle in ["--scale", "full", "--csv", "--jobs", "--manifest", "--list"] {
+    for needle in [
+        "--scale",
+        "full",
+        "--csv",
+        "--jobs",
+        "--manifest",
+        "--metrics",
+        "--list",
+    ] {
         assert!(text.contains(needle), "help is missing '{needle}': {text}");
     }
 }
@@ -123,7 +133,10 @@ fn manifest_records_the_run() {
     let json = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
     for needle in [
-        "\"schema\": 1",
+        "\"schema\": 2",
+        "\"metrics\": {",
+        "\"counters\": {",
+        "\"gates\":",
         "\"scale\": \"smoke\"",
         "\"jobs\": 2",
         "\"id\": \"R-T1\"",
@@ -147,4 +160,97 @@ fn manifest_write_failure_is_a_clean_error() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot write manifest"), "{err}");
+}
+
+#[test]
+fn metrics_file_records_aggregated_counters() {
+    let dir = std::env::temp_dir().join("mapg-experiments-metrics-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let out = run(&[
+        "--scale",
+        "smoke",
+        "--csv",
+        "--metrics",
+        path.to_str().unwrap(),
+        "rt3",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    for needle in [
+        "\"counters\": {",
+        "\"histograms\": {",
+        "\"gates\":",
+        "\"core_stalls\":",
+        "\"gated_duration\":",
+        "\"wake_latency\":",
+    ] {
+        assert!(json.contains(needle), "metrics missing '{needle}': {json}");
+    }
+    // The aggregate records neither wall times nor the job count — it must
+    // stay byte-stable across runs.
+    assert!(!json.contains("wall_ms"), "{json}");
+    assert!(!json.contains("jobs"), "{json}");
+}
+
+#[test]
+fn metrics_file_is_byte_identical_across_job_counts() {
+    let dir = std::env::temp_dir().join("mapg-experiments-metrics-jobs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let serial_path = dir.join("serial.json");
+    let parallel_path = dir.join("parallel.json");
+    let ids = ["rt3", "rf8"];
+    let serial = run(&[
+        &[
+            "--scale",
+            "smoke",
+            "--csv",
+            "--jobs",
+            "1",
+            "--metrics",
+            serial_path.to_str().unwrap(),
+        ][..],
+        &ids,
+    ]
+    .concat());
+    let parallel = run(&[
+        &[
+            "--scale",
+            "smoke",
+            "--csv",
+            "--jobs",
+            "8",
+            "--metrics",
+            parallel_path.to_str().unwrap(),
+        ][..],
+        &ids,
+    ]
+    .concat());
+    assert!(serial.status.success() && parallel.status.success());
+    let a = std::fs::read(&serial_path).unwrap();
+    let b = std::fs::read(&parallel_path).unwrap();
+    std::fs::remove_file(&serial_path).ok();
+    std::fs::remove_file(&parallel_path).ok();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "--jobs 8 metrics diverged from --jobs 1");
+}
+
+#[test]
+fn metrics_flag_requires_a_path_and_a_writable_target() {
+    let out = run(&["--metrics"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--metrics needs an output path"), "{err}");
+
+    let out = run(&[
+        "--scale",
+        "smoke",
+        "--metrics",
+        "/nonexistent-dir/metrics.json",
+        "rt1",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot write metrics"), "{err}");
 }

@@ -4,6 +4,8 @@
 //! CSV whether its inner suite fan-out runs on one worker or many — the
 //! acceptance bar for the parallel engine (DESIGN.md §7).
 
+#![deny(unused)]
+
 use mapg_bench::{experiments, Scale};
 
 /// Renders every table of every experiment with the ambient job count

@@ -66,6 +66,9 @@ fn usage() {
          \x20 --safe-mode          arm the safe-mode watchdog (degrades to clock\n\
          \x20                      gating when wake-ups misbehave)\n\
          \x20 --compare            also run the no-gating baseline and print deltas\n\
+         \x20 --trace PATH         write a Chrome trace_event JSON (Perfetto-loadable)\n\
+         \x20                      of the run's power-gating events\n\
+         \x20 --metrics PATH       write the run's counters and histograms as JSON\n\
          \x20 --list-workloads     print available workload names\n\
          \x20 --list-policies     print available policy names"
     );
@@ -104,6 +107,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut fault_plan = FaultPlan::none();
     let mut safe_mode = false;
     let mut compare = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -153,10 +158,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--safe-mode" => safe_mode = true,
             "--compare" => compare = true,
+            "--trace" => {
+                trace_path = Some(parse_value(arg, "path", iter.next())?);
+            }
+            "--metrics" => {
+                metrics_path = Some(parse_value(arg, "path", iter.next())?);
+            }
             other => {
                 return Err(format!("unknown option '{other}' (try --help)"));
             }
         }
+    }
+
+    if compare && (trace_path.is_some() || metrics_path.is_some()) {
+        return Err(
+            "--trace/--metrics capture exactly one run; drop --compare or the capture flags"
+                .to_owned(),
+        );
     }
 
     let profile = find_workload(&workload)
@@ -183,9 +201,34 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if safe_mode {
         config = config.with_safe_mode_default();
     }
+    if trace_path.is_some() {
+        config = config.with_trace();
+    }
+    if metrics_path.is_some() {
+        config = config.with_metrics();
+    }
 
     let report = Simulation::new(config.clone(), policy).run();
     print!("{report}");
+
+    if let Some(path) = &trace_path {
+        let trace = report.trace.as_ref().expect("tracing was enabled");
+        if trace.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring wrapped; oldest {} event(s) dropped",
+                trace.dropped()
+            );
+        }
+        std::fs::write(path, trace.to_chrome_trace())
+            .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+        println!("trace written to {path} ({} events)", trace.len());
+    }
+    if let Some(path) = &metrics_path {
+        let metrics = report.metrics.as_ref().expect("metrics were enabled");
+        std::fs::write(path, metrics.to_json())
+            .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
+        println!("metrics written to {path}");
+    }
 
     if compare && policy != PolicyKind::NoGating {
         let baseline = Simulation::new(config, PolicyKind::NoGating).run();

@@ -2,6 +2,7 @@
 //! drives the per-core FSMs, and reports resume times to the cores.
 
 use mapg_cpu::{StallHandler, StallInfo};
+use mapg_obs::{EventKind, FaultKind, ObsHandle, Scope};
 use mapg_power::{EnergyAccount, EnergyCategory, PgCircuitDesign, TechnologyParams};
 use mapg_units::{Cycle, Cycles, Hertz, Watts};
 
@@ -152,6 +153,10 @@ pub struct Controller {
     brownout_until: Cycle,
     /// Last event time seen per core, for the monotonic-time invariant.
     last_event: Vec<Cycle>,
+    obs: ObsHandle,
+    /// Mirror of the watchdog's mode, for emitting strictly balanced
+    /// safe-mode enter/exit trace events.
+    safe_mode_active: bool,
 }
 
 impl fmt::Debug for Controller {
@@ -195,7 +200,43 @@ impl Controller {
             invariants: InvariantChecker::new(),
             brownout_until: Cycle::ZERO,
             last_event: Vec::new(),
+            obs: ObsHandle::disabled(),
+            safe_mode_active: false,
             config,
+        }
+    }
+
+    /// Attaches an observability handle to the controller and its
+    /// subsystems (token manager, watchdog). Gate/wake/token/safe-mode
+    /// trace events and gating metrics flow through it from now on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        if let Some(tokens) = self.tokens.as_mut() {
+            tokens.set_obs(obs.clone());
+        }
+        if let Some(watchdog) = self.watchdog.as_mut() {
+            watchdog.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// Emits a safe-mode enter/exit trace event when the watchdog's mode
+    /// changed since the last sync. Called wherever the mode can flip
+    /// (poll on stall arrival, record after a gated stall), so the global
+    /// event stream stays strictly balanced and time-ordered.
+    fn sync_safe_mode(&mut self, at: Cycle) {
+        let active = self
+            .watchdog
+            .as_ref()
+            .map(Watchdog::in_safe_mode)
+            .unwrap_or(false);
+        if active != self.safe_mode_active {
+            self.safe_mode_active = active;
+            let kind = if active {
+                EventKind::SafeModeEnter
+            } else {
+                EventKind::SafeModeExit
+            };
+            self.obs.emit(at.raw(), Scope::Global, kind);
         }
     }
 
@@ -280,6 +321,18 @@ impl Controller {
         for (core, &at) in final_times.iter().enumerate().take(cores) {
             let result = self.fsms[core].try_finish(at);
             self.note_fsm(result, core, at);
+        }
+        // Close an open safe-mode span at the end of the run so the trace
+        // stays strictly balanced even when the backoff outlives the run.
+        if self.safe_mode_active {
+            let end = final_times.iter().copied().max().unwrap_or(Cycle::ZERO);
+            self.safe_mode_active = false;
+            self.obs
+                .emit(end.raw(), Scope::Global, EventKind::SafeModeExit);
+        }
+        let obs = self.obs.clone();
+        for fsm in &self.fsms {
+            fsm.residency().record_metrics(&obs);
         }
         self.audit_books();
     }
@@ -441,6 +494,7 @@ impl StallHandler for Controller {
             Some(watchdog) => watchdog.poll(info.start),
             None => false,
         };
+        self.sync_safe_mode(info.start);
 
         let mut action = self.policy.decide(info, &self.ctx);
         if safe_mode {
@@ -490,12 +544,22 @@ impl StallHandler for Controller {
         );
         self.last_event[core] = self.last_event[core].max(resume);
 
+        // The watchdog may have tripped while recording this gated stall.
+        self.sync_safe_mode(resume);
+
         // The predictor trains on the observed stall duration; a corrupted
         // sensor sample poisons it without touching the ground truth.
         let observed = match self.faults.as_mut() {
             Some(faults) => faults.observed_latency(natural),
             None => natural,
         };
+        if observed != natural {
+            self.obs.emit(
+                resume.raw(),
+                Scope::Core(core as u32),
+                EventKind::FaultInjected(FaultKind::SensorNoise),
+            );
+        }
         self.policy.observe(info, observed);
         resume
     }
@@ -510,6 +574,9 @@ impl Controller {
         let gated_power = self.config.circuit.gated_power(&self.config.tech);
         let gate_at = gate_at.max(info.start);
         let entry_done = gate_at + entry;
+        let scope = Scope::Core(info.core.0 as u32);
+        self.obs
+            .emit(entry_done.raw(), scope, EventKind::SleepEnter);
         // A stuck-slow sleep switch inflates this ramp's wake latency.
         let mut wake_failed = false;
         let wakeup = match self.faults.as_mut() {
@@ -520,6 +587,7 @@ impl Controller {
             }
             None => nominal_wakeup,
         };
+        let slow_wake = wakeup > nominal_wakeup;
         // The wake ramp begins at the scheduled time or when the memory
         // response arrives, whichever is first: the data-return signal is
         // observable by the PG controller and always triggers a (reactive)
@@ -529,6 +597,11 @@ impl Controller {
         let mut wake_start = wake_at.min(info.data_ready).max(entry_done);
         // An open brownout window vetoes wake ramps until it closes.
         if wake_start < self.brownout_until {
+            self.obs.emit(
+                wake_start.raw(),
+                scope,
+                EventKind::FaultInjected(FaultKind::BrownoutVeto),
+            );
             wake_start = self.brownout_until;
             if let Some(faults) = self.faults.as_mut() {
                 faults.note_brownout_delay();
@@ -541,14 +614,21 @@ impl Controller {
             let mut granted = tokens.acquire(wake_start, wakeup);
             if let Some(faults) = self.faults.as_mut() {
                 if faults.drop_token_grant() {
+                    self.obs.emit(
+                        wake_start.raw(),
+                        scope,
+                        EventKind::FaultInjected(FaultKind::TokenDrop),
+                    );
                     granted = tokens.acquire(granted + faults.token_retry(), wakeup);
                     wake_failed = true;
                 }
             }
             if granted > wake_start {
+                self.obs.emit(wake_start.raw(), scope, EventKind::TokenDeny);
                 self.stats.token_delayed += 1;
                 self.stats.token_delay_cycles += (granted - wake_start).raw();
             }
+            self.obs.emit(granted.raw(), scope, EventKind::TokenGrant);
             wake_start = granted;
         }
         let wake_done = wake_start + wakeup;
@@ -557,8 +637,23 @@ impl Controller {
         if let Some(faults) = self.faults.as_mut() {
             if let Some(hold) = faults.brownout() {
                 self.brownout_until = self.brownout_until.max(wake_start + hold);
+                self.obs.emit(
+                    wake_start.raw(),
+                    scope,
+                    EventKind::FaultInjected(FaultKind::Brownout),
+                );
             }
         }
+        if slow_wake {
+            self.obs.emit(
+                wake_start.raw(),
+                scope,
+                EventKind::FaultInjected(FaultKind::SlowWake),
+            );
+        }
+        self.obs.emit(wake_start.raw(), scope, EventKind::SleepExit);
+        self.obs.emit(wake_start.raw(), scope, EventKind::WakeStart);
+        self.obs.emit(wake_done.raw(), scope, EventKind::WakeDone);
 
         // --- primary sleep: energy, stats, FSM ---------------------------
         // Wait before gating (timeout policies): clock-gated, leakage only.
@@ -579,6 +674,14 @@ impl Controller {
         );
         self.stats.gated += 1;
         self.stats.gated_cycles += sleeping.raw();
+        self.obs.count("gates", 1);
+        self.obs.observe("gated_duration", sleeping.raw());
+        self.obs.observe("wake_latency", wakeup.raw());
+        if sleeping < self.ctx.break_even {
+            self.obs.count("bet_misses", 1);
+            self.obs
+                .observe("bet_shortfall", (self.ctx.break_even - sleeping).raw());
+        }
         self.record_pg_cycle(info.core, gate_at, entry_done, wake_start, wake_done);
 
         // --- nap chaining -------------------------------------------------
@@ -592,6 +695,8 @@ impl Controller {
             && info.data_ready.saturating_since(wake_done) > regate_threshold
         {
             let nap_entry_done = wake_done + entry;
+            self.obs
+                .emit(nap_entry_done.raw(), scope, EventKind::SleepEnter);
             // The nap's ramp rolls its own stuck-slow fault.
             let nap_wakeup = match self.faults.as_mut() {
                 Some(faults) => {
@@ -601,11 +706,17 @@ impl Controller {
                 }
                 None => nominal_wakeup,
             };
+            let nap_slow = nap_wakeup > nominal_wakeup;
             // The nap's reactive wake draws the same inrush as any other:
             // it must hold a token too, which may delay it past the
             // response (more penalty, but the di/dt bound stays honest).
             let mut nap_wake_start = info.data_ready;
             if nap_wake_start < self.brownout_until {
+                self.obs.emit(
+                    nap_wake_start.raw(),
+                    scope,
+                    EventKind::FaultInjected(FaultKind::BrownoutVeto),
+                );
                 nap_wake_start = self.brownout_until;
                 if let Some(faults) = self.faults.as_mut() {
                     faults.note_brownout_delay();
@@ -616,18 +727,39 @@ impl Controller {
                 let mut granted = tokens.acquire(nap_wake_start, nap_wakeup);
                 if let Some(faults) = self.faults.as_mut() {
                     if faults.drop_token_grant() {
+                        self.obs.emit(
+                            nap_wake_start.raw(),
+                            scope,
+                            EventKind::FaultInjected(FaultKind::TokenDrop),
+                        );
                         granted = tokens.acquire(granted + faults.token_retry(), nap_wakeup);
                         wake_failed = true;
                     }
                 }
                 if granted > nap_wake_start {
+                    self.obs
+                        .emit(nap_wake_start.raw(), scope, EventKind::TokenDeny);
                     self.stats.token_delayed += 1;
                     self.stats.token_delay_cycles += (granted - nap_wake_start).raw();
                 }
+                self.obs.emit(granted.raw(), scope, EventKind::TokenGrant);
                 nap_wake_start = granted;
             }
             let nap_wake_done = nap_wake_start + nap_wakeup;
             let nap_span = nap_wake_start - nap_entry_done;
+            if nap_slow {
+                self.obs.emit(
+                    nap_wake_start.raw(),
+                    scope,
+                    EventKind::FaultInjected(FaultKind::SlowWake),
+                );
+            }
+            self.obs
+                .emit(nap_wake_start.raw(), scope, EventKind::SleepExit);
+            self.obs
+                .emit(nap_wake_start.raw(), scope, EventKind::WakeStart);
+            self.obs
+                .emit(nap_wake_done.raw(), scope, EventKind::WakeDone);
 
             self.charge(EnergyCategory::IdleStall, leak, entry);
             self.charge(EnergyCategory::IdleStall, leak, nap_wakeup);
@@ -638,6 +770,14 @@ impl Controller {
             );
             self.stats.regates += 1;
             self.stats.gated_cycles += nap_span.raw();
+            self.obs.count("regates", 1);
+            self.obs.observe("gated_duration", nap_span.raw());
+            self.obs.observe("wake_latency", nap_wakeup.raw());
+            if nap_span < self.ctx.break_even {
+                self.obs.count("bet_misses", 1);
+                self.obs
+                    .observe("bet_shortfall", (self.ctx.break_even - nap_span).raw());
+            }
             self.record_pg_cycle(
                 info.core,
                 wake_done,

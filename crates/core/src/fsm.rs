@@ -52,6 +52,16 @@ impl StateResidency {
     pub fn total(&self) -> Cycles {
         self.active + self.entering + self.sleeping + self.waking
     }
+
+    /// Dumps the residency into an observability registry as
+    /// `fsm_*_cycles` counters. Summed over all cores these reconcile
+    /// with the trace-derived sleep spans and the gating statistics.
+    pub fn record_metrics(&self, obs: &mapg_obs::ObsHandle) {
+        obs.count("fsm_active_cycles", self.active.raw());
+        obs.count("fsm_entering_cycles", self.entering.raw());
+        obs.count("fsm_sleeping_cycles", self.sleeping.raw());
+        obs.count("fsm_waking_cycles", self.waking.raw());
+    }
 }
 
 /// The state machine. Legal transitions:

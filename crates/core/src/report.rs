@@ -2,6 +2,7 @@
 
 use mapg_cpu::CoreStats;
 use mapg_mem::HierarchyStats;
+use mapg_obs::{MetricsRegistry, TraceBuffer};
 use mapg_power::EnergyAccount;
 use mapg_units::{Joules, Seconds};
 
@@ -52,6 +53,14 @@ pub struct RunReport {
     /// Power-state transition record, when requested via
     /// [`SimConfig::with_timeline`](crate::SimConfig::with_timeline).
     pub timeline: Option<Timeline>,
+    /// Structured event trace, when requested via
+    /// [`SimConfig::with_trace`](crate::SimConfig::with_trace). Per-core
+    /// sleep spans in the trace reconcile exactly with
+    /// [`gating`](RunReport::gating)'s `gated_cycles`.
+    pub trace: Option<TraceBuffer>,
+    /// Metrics-registry snapshot, when requested via
+    /// [`SimConfig::with_metrics`](crate::SimConfig::with_metrics).
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl RunReport {
@@ -237,6 +246,8 @@ mod tests {
             degradation: DegradationStats::default(),
             faults: FaultStats::default(),
             timeline: None,
+            trace: None,
+            metrics: None,
         }
     }
 

@@ -3,6 +3,7 @@
 
 use mapg_cpu::{Cluster, CoreConfig};
 use mapg_mem::HierarchyConfig;
+use mapg_obs::{MetricsHub, ObsHandle};
 use mapg_power::{
     DramEnergyModel, EnergyCategory, PgCircuitDesign, RetentionStyle, TechnologyParams,
 };
@@ -48,6 +49,9 @@ pub struct SimConfig {
     dram_energy: DramEnergyModel,
     fault_plan: FaultPlan,
     watchdog: Option<WatchdogConfig>,
+    trace_capacity: Option<usize>,
+    metrics: bool,
+    metrics_hub: Option<MetricsHub>,
 }
 
 impl SimConfig {
@@ -265,6 +269,42 @@ impl SimConfig {
         self
     }
 
+    /// Records a structured event trace into
+    /// [`RunReport::trace`](crate::RunReport) using the default ring
+    /// capacity ([`mapg_obs::DEFAULT_TRACE_CAPACITY`]).
+    pub fn with_trace(self) -> Self {
+        self.with_trace_capacity(mapg_obs::DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Records a structured event trace into a bounded ring of `capacity`
+    /// records; when full, the oldest records are dropped (and counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Collects counters and histograms into
+    /// [`RunReport::metrics`](crate::RunReport).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Additionally merges this run's metrics into `hub` at the end of the
+    /// run (implies [`SimConfig::with_metrics`]). Merging is commutative
+    /// and associative, so aggregation across concurrently executing runs
+    /// is deterministic regardless of completion order.
+    pub fn with_metrics_hub(mut self, hub: MetricsHub) -> Self {
+        self.metrics = true;
+        self.metrics_hub = Some(hub);
+        self
+    }
+
     /// Disables nap chaining (re-gating after an early wake) — the
     /// mechanism ablation knob. Enabled by default.
     pub fn without_regate(mut self) -> Self {
@@ -329,6 +369,9 @@ impl Default for SimConfig {
             dram_energy: DramEnergyModel::ddr3(),
             fault_plan: FaultPlan::none(),
             watchdog: None,
+            trace_capacity: None,
+            metrics: false,
+            metrics_hub: None,
         }
     }
 }
@@ -368,6 +411,15 @@ impl Simulation {
         if config.record_timeline {
             controller.enable_timeline();
         }
+        // One observability handle per run, shared by every component via
+        // cheap clones. Built here — inside the (single-threaded) run — so
+        // emission order is simulation order and the trace stays
+        // deterministic at any outer parallelism.
+        let obs = ObsHandle::enabled(
+            config.trace_capacity,
+            config.metrics || config.metrics_hub.is_some(),
+        );
+        controller.set_obs(obs.clone());
 
         let sources: Vec<SyntheticWorkload> = (0..config.cores)
             .map(|i| {
@@ -383,6 +435,7 @@ impl Simulation {
             memory.dram_faults = config.fault_plan.dram_faults(config.seed);
         }
         let mut cluster = Cluster::new(config.core, memory, sources);
+        cluster.set_obs(obs.clone());
         cluster.run(config.instructions_per_core, &mut controller);
 
         let cluster_stats = cluster.stats();
@@ -419,6 +472,7 @@ impl Simulation {
             EnergyCategory::DramBackground,
             config.dram_energy.background_power * runtime,
         );
+        energy.record_metrics(&obs);
 
         let peak_concurrent_wakes = controller
             .token_manager()
@@ -458,6 +512,11 @@ impl Simulation {
             }
         }
 
+        let (trace, metrics) = obs.collect();
+        if let (Some(hub), Some(metrics)) = (&config.metrics_hub, &metrics) {
+            hub.merge(metrics);
+        }
+
         let timeline = controller.take_timeline();
         RunReport {
             timeline,
@@ -476,6 +535,8 @@ impl Simulation {
             invariants: controller.invariants(),
             degradation: controller.degradation(),
             faults: controller.fault_stats(),
+            trace,
+            metrics,
         }
     }
 }

@@ -33,6 +33,7 @@ pub struct TokenManager {
     delay_cycles: u64,
     /// Every granted interval, for exact peak-concurrency computation.
     intervals: Vec<(u64, u64)>,
+    obs: mapg_obs::ObsHandle,
 }
 
 impl TokenManager {
@@ -64,7 +65,14 @@ impl TokenManager {
             delayed_grants: 0,
             delay_cycles: 0,
             intervals: Vec::new(),
+            obs: mapg_obs::ObsHandle::disabled(),
         })
+    }
+
+    /// Attaches an observability handle; grant counts and token-wait
+    /// distributions flow through it.
+    pub fn set_obs(&mut self, obs: mapg_obs::ObsHandle) {
+        self.obs = obs;
     }
 
     /// Token capacity.
@@ -87,6 +95,8 @@ impl TokenManager {
         let start = ready.max(self.slots[slot]);
         self.slots[slot] = start + duration;
         self.grants += 1;
+        self.obs.count("token_grants", 1);
+        self.obs.observe("token_wait", (start - ready).raw());
         if start > ready {
             self.delayed_grants += 1;
             self.delay_cycles += (start - ready).raw();

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `mapgsim` binary's observability flags:
+//! `--trace`/`--metrics` happy paths, unwritable targets, and rejected
+//! flag combinations. Follows the style of `crates/bench/tests/cli.rs`.
+
+#![deny(unused)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mapgsim"))
+        .args(args)
+        .output()
+        .expect("mapgsim binary should spawn")
+}
+
+fn temp_file(dir: &str, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn help_mentions_the_observability_flags() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("--trace"), "{text}");
+    assert!(text.contains("--metrics"), "{text}");
+}
+
+#[test]
+fn trace_and_metrics_write_valid_artifacts() {
+    let trace_path = temp_file("mapgsim-cli-test", "trace.json");
+    let metrics_path = temp_file("mapgsim-cli-test", "metrics.json");
+    let out = run(&[
+        "--instructions",
+        "20000",
+        "--cores",
+        "2",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("trace written to"), "{stdout}");
+    assert!(stdout.contains("metrics written to"), "{stdout}");
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    std::fs::remove_file(&trace_path).ok();
+    assert!(
+        trace.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["),
+        "not a Chrome trace: {}",
+        &trace[..trace.len().min(120)]
+    );
+    assert!(trace.ends_with("]}\n"), "trace not terminated");
+    for needle in [
+        "\"ph\": \"M\"", // metadata naming the core/dram/controller rows
+        "\"ph\": \"B\"", // span opens…
+        "\"ph\": \"E\"", // …and closes
+        "\"name\": \"stall\"",
+        "\"name\": \"gated\"",
+        "\"name\": \"wake\"",
+    ] {
+        assert!(trace.contains(needle), "trace missing '{needle}'");
+    }
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    std::fs::remove_file(&metrics_path).ok();
+    for needle in [
+        "\"counters\": {",
+        "\"histograms\": {",
+        "\"gates\":",
+        "\"stall_length\":",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "metrics missing '{needle}': {metrics}"
+        );
+    }
+}
+
+#[test]
+fn capture_runs_print_the_same_report_as_plain_runs() {
+    let trace_path = temp_file("mapgsim-cli-report-test", "trace.json");
+    let plain = run(&["--instructions", "20000"]);
+    let traced = run(&[
+        "--instructions",
+        "20000",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&trace_path).ok();
+    assert!(plain.status.success() && traced.status.success());
+    let plain = String::from_utf8(plain.stdout).unwrap();
+    let traced = String::from_utf8(traced.stdout).unwrap();
+    // Everything except the trailing "trace written" line is identical:
+    // observation must not perturb the simulation.
+    assert!(traced.starts_with(&plain), "tracing changed the report");
+}
+
+#[test]
+fn unwritable_trace_path_is_a_clean_error() {
+    let out = run(&[
+        "--instructions",
+        "5000",
+        "--trace",
+        "/nonexistent-dir/trace.json",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error: cannot write trace"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn unwritable_metrics_path_is_a_clean_error() {
+    let out = run(&[
+        "--instructions",
+        "5000",
+        "--metrics",
+        "/nonexistent-dir/metrics.json",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error: cannot write metrics"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn capture_flags_reject_compare() {
+    for flag in ["--trace", "--metrics"] {
+        let out = run(&[flag, "/tmp/out.json", "--compare"]);
+        assert!(!out.status.success(), "{flag} with --compare should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("exactly one run"), "{err}");
+    }
+}
+
+#[test]
+fn capture_flags_need_values() {
+    for flag in ["--trace", "--metrics"] {
+        let out = run(&[flag]);
+        assert!(!out.status.success(), "bare {flag} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("needs a path"), "{err}");
+    }
+}

@@ -1,6 +1,8 @@
 //! Property tests over the fault-injection harness: determinism under
 //! arbitrary fault plans, and cleanliness of fault-free runs.
 
+#![deny(unused)]
+
 use proptest::prelude::*;
 
 use mapg::{FaultPlan, PolicyKind, SimConfig, Simulation};

@@ -1,6 +1,8 @@
 //! Property tests over the gating mechanism: FSM residency conservation,
 //! token-manager guarantees, controller contracts.
 
+#![deny(unused)]
+
 use proptest::prelude::*;
 
 use mapg::{Controller, ControllerConfig, GatingFsm, MapgPolicy, PolicyKind, TokenManager};

@@ -3,6 +3,8 @@
 //! job count, for any configuration — determinism is enforced, not
 //! assumed (DESIGN.md §7).
 
+#![deny(unused)]
+
 use proptest::prelude::*;
 
 use mapg::{PolicyKind, SimConfig, SuiteRunner};

@@ -94,6 +94,16 @@ impl<S: EventSource> Cluster<S> {
         }
     }
 
+    /// Attaches an observability handle to every core and to the shared
+    /// memory hierarchy. Stall spans then carry per-core scopes and DRAM
+    /// fault events per-bank scopes.
+    pub fn set_obs(&mut self, obs: mapg_obs::ObsHandle) {
+        for core in &mut self.cores {
+            core.set_obs(obs.clone());
+        }
+        self.memory.set_obs(obs);
+    }
+
     /// Number of cores.
     pub fn len(&self) -> usize {
         self.cores.len()

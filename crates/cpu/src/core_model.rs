@@ -1,6 +1,7 @@
 //! The bounded-MLP core.
 
 use mapg_mem::{LatencyHistogram, MemoryHierarchy, ServiceLevel};
+use mapg_obs::{EventKind, ObsHandle, Scope};
 use mapg_trace::{AccessKind, EventSource, TraceEvent};
 use mapg_units::{Cycle, Cycles, Hertz};
 
@@ -150,6 +151,7 @@ pub struct Core<S> {
     /// Completion of the most recently issued DRAM load (dependency target).
     last_miss_completion: Cycle,
     stats: CoreStats,
+    obs: ObsHandle,
 }
 
 impl<S: EventSource> Core<S> {
@@ -174,7 +176,14 @@ impl<S: EventSource> Core<S> {
             outstanding: Vec::with_capacity(config.mlp_limit),
             last_miss_completion: Cycle::ZERO,
             stats: CoreStats::new(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; stall begin/end events and
+    /// stall-length metrics flow through it from now on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// This core's id.
@@ -303,6 +312,11 @@ impl<S: EventSource> Core<S> {
             outstanding: self.outstanding.len(),
             cause,
         };
+        let scope = Scope::Core(self.id.0 as u32);
+        self.obs.emit(self.now.raw(), scope, EventKind::StallBegin);
+        self.obs.count("core_stalls", 1);
+        self.obs
+            .observe("stall_length", info.natural_duration().raw());
         let resume = handler.on_stall(&info);
         debug_assert!(
             resume >= data_ready,
@@ -321,6 +335,7 @@ impl<S: EventSource> Core<S> {
         }
         self.stats.penalty_cycles += (resume - data_ready).raw();
         self.stats.stall_durations.record(info.natural_duration());
+        self.obs.emit(resume.raw(), scope, EventKind::StallEnd);
         self.now = resume;
         self.prune();
     }

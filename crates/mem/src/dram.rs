@@ -197,6 +197,7 @@ pub struct Dram {
     banks: Vec<Bank>,
     bus_free: Cycle,
     stats: DramStats,
+    obs: mapg_obs::ObsHandle,
 }
 
 impl Dram {
@@ -227,7 +228,14 @@ impl Dram {
             stats: DramStats::default(),
             faults,
             config,
+            obs: mapg_obs::ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; access counters and injected
+    /// latency-spike events (per-bank scope) flow through it.
+    pub fn set_obs(&mut self, obs: mapg_obs::ObsHandle) {
+        self.obs = obs;
     }
 
     /// The device configuration.
@@ -280,7 +288,14 @@ impl Dram {
         if self.faults.spikes(bank_index, start.raw()) {
             array_latency += self.faults.spike_cycles;
             self.stats.fault_spikes += 1;
+            self.obs.emit(
+                start.raw(),
+                mapg_obs::Scope::Bank(bank_index as u32),
+                mapg_obs::EventKind::FaultInjected(mapg_obs::FaultKind::DramSpike),
+            );
+            self.obs.count("dram_fault_spikes", 1);
         }
+        self.obs.count("dram_accesses", 1);
 
         // Data leaves the array, then must win the shared channel.
         let data_ready = start + array_latency;

@@ -136,6 +136,7 @@ pub struct MemoryHierarchy {
     pending_prefetches: Vec<(Cycle, u64)>,
     miss_latency: LatencyHistogram,
     mshr_stalls: u64,
+    obs: mapg_obs::ObsHandle,
 }
 
 impl MemoryHierarchy {
@@ -156,12 +157,20 @@ impl MemoryHierarchy {
             miss_latency: LatencyHistogram::new(),
             mshr_stalls: 0,
             config,
+            obs: mapg_obs::ObsHandle::disabled(),
         }
     }
 
     /// The hierarchy configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// Attaches an observability handle to the hierarchy and its DRAM:
+    /// LLC-miss metrics and per-bank fault events flow through it.
+    pub fn set_obs(&mut self, obs: mapg_obs::ObsHandle) {
+        self.dram.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Serves one reference issued at `now`.
@@ -246,6 +255,9 @@ impl MemoryHierarchy {
                     self.mshrs.commit(line, completion);
                     self.miss_latency
                         .record(completion.saturating_since(issued));
+                    self.obs.count("llc_misses", 1);
+                    self.obs
+                        .observe("miss_latency", completion.saturating_since(issued).raw());
                     self.issue_prefetches(line, completion);
                     return AccessResponse {
                         completion,

@@ -1,0 +1,189 @@
+//! The typed event vocabulary of the simulation trace.
+
+use core::fmt;
+
+/// Which injected fault a [`EventKind::FaultInjected`] record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A DRAM bank served an access with an injected latency spike.
+    DramSpike,
+    /// A sleep switch woke slower than its nominal ramp.
+    SlowWake,
+    /// A granted wake token was dropped and had to be re-acquired.
+    TokenDrop,
+    /// A wake was pushed back because it fell inside a brownout window.
+    BrownoutVeto,
+    /// A brownout window opened (subsequent wakes may be vetoed).
+    Brownout,
+    /// The miss-latency predictor observed a corrupted sample.
+    SensorNoise,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used in trace JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DramSpike => "dram-spike",
+            FaultKind::SlowWake => "slow-wake",
+            FaultKind::TokenDrop => "token-drop",
+            FaultKind::BrownoutVeto => "brownout-veto",
+            FaultKind::Brownout => "brownout",
+            FaultKind::SensorNoise => "sensor-noise",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where an event happened: a CPU core, a DRAM bank, or the controller as
+/// a whole (safe-mode transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    /// Per-core event; the id is the core index.
+    Core(u32),
+    /// Per-DRAM-bank event; the id is the bank index.
+    Bank(u32),
+    /// Controller-global event.
+    Global,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Core(id) => write!(f, "core{id}"),
+            Scope::Bank(id) => write!(f, "bank{id}"),
+            Scope::Global => f.write_str("global"),
+        }
+    }
+}
+
+/// What happened. Span events come in strictly balanced begin/end pairs
+/// per scope; the rest are instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A core stalled on a long-latency memory access.
+    StallBegin,
+    /// The stalled core resumed execution.
+    StallEnd,
+    /// The core's sleep-transistor entry completed: it is now power-gated.
+    SleepEnter,
+    /// The core left the gated state (wake ramp is about to start).
+    SleepExit,
+    /// The wake ramp started.
+    WakeStart,
+    /// The wake ramp completed; the core is active again.
+    WakeDone,
+    /// The token manager granted a wake slot.
+    TokenGrant,
+    /// The token manager could not grant immediately; the wake was queued.
+    TokenDeny,
+    /// The watchdog degraded the controller to safe mode.
+    SafeModeEnter,
+    /// The watchdog re-armed out of safe mode.
+    SafeModeExit,
+    /// A fault-injection site fired.
+    FaultInjected(FaultKind),
+}
+
+impl EventKind {
+    /// Stable name used in trace JSON (the span name for begin/end pairs).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::StallBegin | EventKind::StallEnd => "stall",
+            EventKind::SleepEnter | EventKind::SleepExit => "gated",
+            EventKind::WakeStart | EventKind::WakeDone => "wake",
+            EventKind::SafeModeEnter | EventKind::SafeModeExit => "safe-mode",
+            EventKind::TokenGrant => "token-grant",
+            EventKind::TokenDeny => "token-deny",
+            EventKind::FaultInjected(kind) => kind.name(),
+        }
+    }
+
+    /// True for the opening half of a span pair.
+    pub fn is_span_begin(self) -> bool {
+        matches!(
+            self,
+            EventKind::StallBegin
+                | EventKind::SleepEnter
+                | EventKind::WakeStart
+                | EventKind::SafeModeEnter
+        )
+    }
+
+    /// True for the closing half of a span pair.
+    pub fn is_span_end(self) -> bool {
+        matches!(
+            self,
+            EventKind::StallEnd
+                | EventKind::SleepExit
+                | EventKind::WakeDone
+                | EventKind::SafeModeExit
+        )
+    }
+
+    /// The closing kind matching this opening kind, if it is one.
+    pub fn matching_end(self) -> Option<EventKind> {
+        match self {
+            EventKind::StallBegin => Some(EventKind::StallEnd),
+            EventKind::SleepEnter => Some(EventKind::SleepExit),
+            EventKind::WakeStart => Some(EventKind::WakeDone),
+            EventKind::SafeModeEnter => Some(EventKind::SafeModeExit),
+            _ => None,
+        }
+    }
+}
+
+/// One trace entry: a cycle timestamp, a scope, and an event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Cycle timestamp.
+    pub at: u64,
+    /// Where it happened.
+    pub scope: Scope,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_pairs_are_consistent() {
+        for begin in [
+            EventKind::StallBegin,
+            EventKind::SleepEnter,
+            EventKind::WakeStart,
+            EventKind::SafeModeEnter,
+        ] {
+            let end = begin.matching_end().expect("span begin has an end");
+            assert!(begin.is_span_begin());
+            assert!(end.is_span_end());
+            assert_eq!(begin.name(), end.name(), "pair must share a span name");
+        }
+        for instant in [
+            EventKind::TokenGrant,
+            EventKind::TokenDeny,
+            EventKind::FaultInjected(FaultKind::DramSpike),
+        ] {
+            assert!(!instant.is_span_begin() && !instant.is_span_end());
+            assert!(instant.matching_end().is_none());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventKind::SleepEnter.name(), "gated");
+        assert_eq!(
+            EventKind::FaultInjected(FaultKind::SlowWake).name(),
+            "slow-wake"
+        );
+        assert_eq!(Scope::Core(3).to_string(), "core3");
+        assert_eq!(Scope::Bank(1).to_string(), "bank1");
+        assert_eq!(Scope::Global.to_string(), "global");
+    }
+}

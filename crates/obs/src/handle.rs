@@ -1,0 +1,152 @@
+//! The zero-cost-when-disabled instrumentation handle.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::{EventKind, Scope, TraceRecord};
+use crate::metrics::MetricsRegistry;
+use crate::trace::TraceBuffer;
+
+/// The mutable observability state one simulation writes into.
+#[derive(Debug)]
+struct Observer {
+    trace: Option<TraceBuffer>,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// The handle components hold to emit events and record metrics.
+///
+/// A handle is either **disabled** (the default: every call is one branch
+/// on a `None`, no allocation, no locking) or **enabled**, in which case
+/// clones share a single per-simulation [`Observer`] via `Rc<RefCell<_>>`.
+/// Simulations are single-threaded, so the shared state never crosses a
+/// thread boundary; cross-thread aggregation goes through
+/// [`MetricsHub`](crate::MetricsHub) instead.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle {
+    inner: Option<Rc<RefCell<Observer>>>,
+}
+
+impl ObsHandle {
+    /// The no-op handle: all emit/count/observe calls do nothing.
+    pub fn disabled() -> Self {
+        ObsHandle::default()
+    }
+
+    /// An enabled handle tracing into a ring of `trace_capacity` records
+    /// (if `Some`) and/or recording metrics (if `metrics`). With neither
+    /// requested this degenerates to [`ObsHandle::disabled`].
+    pub fn enabled(trace_capacity: Option<usize>, metrics: bool) -> Self {
+        if trace_capacity.is_none() && !metrics {
+            return ObsHandle::disabled();
+        }
+        ObsHandle {
+            inner: Some(Rc::new(RefCell::new(Observer {
+                trace: trace_capacity.map(TraceBuffer::new),
+                metrics: metrics.then(MetricsRegistry::new),
+            }))),
+        }
+    }
+
+    /// True when any sink (trace or metrics) is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Appends an event to the trace, if tracing is enabled.
+    #[inline]
+    pub fn emit(&self, at: u64, scope: Scope, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            if let Some(trace) = &mut inner.borrow_mut().trace {
+                trace.push(TraceRecord { at, scope, kind });
+            }
+        }
+    }
+
+    /// Adds `n` to a named counter, if metrics are enabled.
+    #[inline]
+    pub fn count(&self, name: &'static str, n: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(metrics) = &mut inner.borrow_mut().metrics {
+                metrics.count(name, n);
+            }
+        }
+    }
+
+    /// Records a histogram sample, if metrics are enabled.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(metrics) = &mut inner.borrow_mut().metrics {
+                metrics.observe(name, value);
+            }
+        }
+    }
+
+    /// Copies out the accumulated trace and metrics (either is `None`
+    /// when that sink was not enabled). Callable while clones of the
+    /// handle are still live in the simulated components.
+    pub fn collect(&self) -> (Option<TraceBuffer>, Option<MetricsRegistry>) {
+        match &self.inner {
+            None => (None, None),
+            Some(inner) => {
+                let observer = inner.borrow();
+                (observer.trace.clone(), observer.metrics.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = ObsHandle::disabled();
+        assert!(!obs.is_enabled());
+        obs.emit(1, Scope::Core(0), EventKind::StallBegin);
+        obs.count("x", 1);
+        obs.observe("h", 1);
+        assert_eq!(obs.collect(), (None, None));
+        // Requesting nothing is the same as disabling.
+        assert!(!ObsHandle::enabled(None, false).is_enabled());
+    }
+
+    #[test]
+    fn clones_share_one_observer() {
+        let obs = ObsHandle::enabled(Some(16), true);
+        let clone = obs.clone();
+        obs.emit(1, Scope::Core(0), EventKind::StallBegin);
+        clone.emit(2, Scope::Core(0), EventKind::StallEnd);
+        clone.count("stalls", 1);
+        obs.count("stalls", 2);
+        obs.observe("len", 9);
+        let (trace, metrics) = obs.collect();
+        let trace = trace.unwrap();
+        let metrics = metrics.unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(metrics.counter("stalls"), 3);
+        assert_eq!(metrics.histogram("len").unwrap().count(), 1);
+        // Collect is a copy, not a drain.
+        assert_eq!(obs.collect().0.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn trace_only_and_metrics_only_modes() {
+        let trace_only = ObsHandle::enabled(Some(4), false);
+        trace_only.emit(1, Scope::Global, EventKind::SafeModeEnter);
+        trace_only.count("ignored", 1);
+        let (trace, metrics) = trace_only.collect();
+        assert_eq!(trace.unwrap().len(), 1);
+        assert!(metrics.is_none());
+
+        let metrics_only = ObsHandle::enabled(None, true);
+        metrics_only.emit(1, Scope::Global, EventKind::SafeModeEnter);
+        metrics_only.count("seen", 1);
+        let (trace, metrics) = metrics_only.collect();
+        assert!(trace.is_none());
+        assert_eq!(metrics.unwrap().counter("seen"), 1);
+    }
+}

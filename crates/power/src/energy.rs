@@ -73,6 +73,21 @@ impl fmt::Display for EnergyCategory {
     }
 }
 
+impl EnergyCategory {
+    /// Stable metric name (`energy_nj_*`) for the observability registry.
+    fn metric_name(self) -> &'static str {
+        match self {
+            EnergyCategory::ActiveDynamic => "energy_nj_active_dynamic",
+            EnergyCategory::ActiveLeakage => "energy_nj_active_leakage",
+            EnergyCategory::IdleStall => "energy_nj_idle_stall",
+            EnergyCategory::GatedResidual => "energy_nj_gated_residual",
+            EnergyCategory::Transition => "energy_nj_transition",
+            EnergyCategory::DramAccess => "energy_nj_dram_access",
+            EnergyCategory::DramBackground => "energy_nj_dram_background",
+        }
+    }
+}
+
 /// Accumulates energy by category over a run.
 ///
 /// ```
@@ -134,6 +149,18 @@ impl EnergyAccount {
         self.get(EnergyCategory::ActiveLeakage)
             + self.get(EnergyCategory::IdleStall)
             + self.get(EnergyCategory::GatedResidual)
+    }
+
+    /// Dumps the ledger into an observability registry as `energy_nj_*`
+    /// counters (whole nanojoules, rounded). Deterministic: a pure
+    /// function of the bucket contents.
+    pub fn record_metrics(&self, obs: &mapg_obs::ObsHandle) {
+        for category in EnergyCategory::ALL {
+            let nanojoules = (self.get(category).as_joules() * 1e9).round();
+            if nanojoules.is_finite() && nanojoules >= 0.0 {
+                obs.count(category.metric_name(), nanojoules as u64);
+            }
+        }
     }
 
     /// Merges another account into this one.

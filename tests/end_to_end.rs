@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full pipeline from workload profile
 //! to run report, exercised the way a downstream user would.
 
+#![deny(unused)]
+
 use mapg::{PolicyKind, PredictorKind, SimConfig, Simulation};
 use mapg_repro::prelude::*;
 

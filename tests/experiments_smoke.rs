@@ -2,6 +2,8 @@
 //! qualitative claims each reconstructed table/figure must exhibit,
 //! regardless of scale.
 
+#![deny(unused)]
+
 use mapg_bench::{experiments, Scale};
 
 #[test]

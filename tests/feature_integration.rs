@@ -4,6 +4,8 @@
 //! replication, idle injection, prefetching, and substrate design-space
 //! options.
 
+#![deny(unused)]
+
 use mapg::{PolicyKind, Replication, SimConfig, Simulation};
 use mapg_cpu::{Core, CoreConfig, CoreId, PassiveHandler};
 use mapg_mem::{DramConfig, HierarchyConfig, MemoryHierarchy, PagePolicy, ReplacementPolicy};

@@ -2,6 +2,8 @@
 //! workload/configuration point, the core invariants of the report must
 //! hold.
 
+#![deny(unused)]
+
 use proptest::prelude::*;
 
 use mapg::{PolicyKind, SimConfig, Simulation};
