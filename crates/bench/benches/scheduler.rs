@@ -1,0 +1,77 @@
+//! Criterion bench: cluster stepping cost, event-wheel vs reference.
+//!
+//! Replays identical basic-block-granularity recordings (the pintool-style
+//! trace shape `Core::step_batched` folds hardest) through the live
+//! [`Cluster`] and the retained seed [`ReferenceCluster`] at 1/4/16/64
+//! cores. The live-vs-reference pairing at each width isolates the
+//! scheduler + batching + flattened-cache overhaul from workload cost;
+//! the width sweep shows how the O(log N) wheel scales where the
+//! reference's O(N) min-scan does not.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mapg_cpu::{Cluster, CoreConfig, PassiveHandler, ReferenceCluster};
+use mapg_mem::HierarchyConfig;
+use mapg_trace::{RecordedTrace, WorkloadProfile};
+
+const CORE_COUNTS: [usize; 4] = [1, 4, 16, 64];
+const INSTRUCTIONS_PER_CORE: u64 = 20_000;
+const BLOCK_QUANTUM: u64 = 4;
+
+fn record_traces(cores: usize) -> Vec<RecordedTrace> {
+    let profile = WorkloadProfile::mixed("bench_sched");
+    (0..cores)
+        .map(|i| {
+            let mut workload = mapg_trace::SyntheticWorkload::new(&profile, 9_000 + i as u64);
+            RecordedTrace::record(&mut workload, INSTRUCTIONS_PER_CORE)
+                .quantize_compute(BLOCK_QUANTUM)
+        })
+        .collect()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for cores in CORE_COUNTS {
+        let traces = record_traces(cores);
+        group.bench_with_input(
+            BenchmarkId::new("event_wheel", cores),
+            &traces,
+            |b, traces| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(
+                        CoreConfig::baseline(),
+                        HierarchyConfig::baseline(),
+                        traces.iter().map(|t| t.replay()).collect(),
+                    );
+                    cluster.run(INSTRUCTIONS_PER_CORE, &mut PassiveHandler);
+                    black_box(cluster.stats().makespan_cycles())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", cores),
+            &traces,
+            |b, traces| {
+                b.iter(|| {
+                    let mut cluster = ReferenceCluster::new(
+                        CoreConfig::baseline(),
+                        HierarchyConfig::baseline(),
+                        traces.iter().map(|t| t.replay()).collect(),
+                    );
+                    cluster.run(INSTRUCTIONS_PER_CORE, &mut PassiveHandler);
+                    black_box(cluster.stats().makespan_cycles())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -21,11 +21,16 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mapg_bench::experiments::Experiment;
-use mapg_bench::{experiments, Manifest, ManifestEntry, Scale, TableSummary};
+use mapg_bench::{
+    experiments, Manifest, ManifestEntry, Scale, TableSummary, ThroughputReport,
+    THROUGHPUT_TOLERANCE,
+};
 use mapg_pool::Pool;
 
 const USAGE: &str = "usage: experiments [--scale smoke|quick|paper|full] [--csv] [--jobs N] \
-     [--manifest FILE] [--metrics FILE] [--list] [IDS...]";
+     [--manifest FILE] [--metrics FILE] [--list] [IDS...]\n\
+       experiments --bench-throughput FILE [--throughput-baseline FILE] [--repeats N] \
+     [--scale ...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +39,9 @@ fn main() -> ExitCode {
     let mut jobs = mapg_pool::default_jobs();
     let mut manifest_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut throughput_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut repeats: usize = 3;
     let mut selected: Vec<String> = Vec::new();
 
     let mut iter = args.iter();
@@ -84,6 +92,33 @@ fn main() -> ExitCode {
                 };
                 metrics_path = Some(path.to_owned());
             }
+            "--bench-throughput" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--bench-throughput needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                throughput_path = Some(path.to_owned());
+            }
+            "--throughput-baseline" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--throughput-baseline needs a baseline path");
+                    return ExitCode::FAILURE;
+                };
+                baseline_path = Some(path.to_owned());
+            }
+            "--repeats" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--repeats needs a value (a repeat count >= 1)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => repeats = n,
+                    _ => {
+                        eprintln!("invalid repeat count '{value}' (need an integer >= 1)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -94,6 +129,14 @@ fn main() -> ExitCode {
             }
             id => selected.push(id.to_owned()),
         }
+    }
+
+    if let Some(path) = throughput_path {
+        return bench_throughput(&path, baseline_path.as_deref(), scale, repeats);
+    }
+    if baseline_path.is_some() {
+        eprintln!("--throughput-baseline only makes sense with --bench-throughput");
+        return ExitCode::FAILURE;
     }
 
     let to_run: Vec<Experiment> = if selected.is_empty() {
@@ -204,4 +247,90 @@ fn main() -> ExitCode {
         eprintln!("[manifest written to {path}]");
     }
     ExitCode::SUCCESS
+}
+
+/// The `--bench-throughput` mode: measure, print, write the JSON record,
+/// and (when a committed baseline is given) gate on speedup regressions.
+fn bench_throughput(
+    out_path: &str,
+    baseline_path: Option<&str>,
+    scale: Scale,
+    repeats: usize,
+) -> ExitCode {
+    println!(
+        "# MAPG throughput — event-wheel vs reference scheduler, {} scale, best of {repeats}\n",
+        scale.name()
+    );
+    let report = ThroughputReport::measure(scale, repeats);
+    println!(
+        "{:<14} {:>6} {:>12} {:>16} {:>16} {:>8}",
+        "case", "cores", "sim events", "wheel evt/s", "reference evt/s", "speedup"
+    );
+    for case in &report.cases {
+        println!(
+            "{:<14} {:>6} {:>12} {:>16.3e} {:>16.3e} {:>7.2}x",
+            case.name,
+            case.cores,
+            case.simulated_events,
+            case.heap_events_per_sec(),
+            case.reference_events_per_sec(),
+            case.speedup()
+        );
+    }
+    println!(
+        "\nheadline (geomean of largest-cluster speedups): {:.2}x",
+        report.headline_speedup()
+    );
+    if let Err(error) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write throughput record '{out_path}': {error}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("\n[throughput record written to {out_path}]");
+
+    let Some(baseline_path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(contents) => contents,
+        Err(error) => {
+            eprintln!("cannot read throughput baseline '{baseline_path}': {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_speedups = ThroughputReport::parse_speedups(&baseline);
+    if baseline_speedups.is_empty() {
+        eprintln!("baseline '{baseline_path}' holds no speedup records");
+        return ExitCode::FAILURE;
+    }
+    // Compare speedup ratios, not absolute rates: the ratio comes from one
+    // process on one machine, so it transfers to whatever hardware CI runs
+    // on, where the committed cycles/sec would not.
+    let mut failed = false;
+    for (name, baseline_speedup) in &baseline_speedups {
+        let measured = if name == "headline" {
+            report.headline_speedup()
+        } else if let Some(case) = report.cases.iter().find(|c| &c.name == name) {
+            case.speedup()
+        } else {
+            eprintln!("baseline case '{name}' was not measured in this run");
+            failed = true;
+            continue;
+        };
+        let floor = baseline_speedup * (1.0 - THROUGHPUT_TOLERANCE);
+        if measured < floor {
+            eprintln!(
+                "regression: {name} speedup {measured:.2}x fell below {floor:.2}x \
+                 (baseline {baseline_speedup:.2}x - {:.0}% tolerance)",
+                THROUGHPUT_TOLERANCE * 100.0
+            );
+            failed = true;
+        } else {
+            eprintln!("[{name}: {measured:.2}x vs baseline {baseline_speedup:.2}x — ok]");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

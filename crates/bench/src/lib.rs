@@ -6,7 +6,9 @@
 //! - [`Scale`] — smoke / quick / paper instruction budgets;
 //! - [`Table`] — the text/CSV result format;
 //! - [`experiments`] — one module per reconstructed table/figure, plus the
-//!   [`experiments::all`] registry.
+//!   [`experiments::all`] registry;
+//! - [`ThroughputReport`] — the `--bench-throughput` harness measuring
+//!   simulated-cycles-per-second (event-wheel vs reference scheduler).
 //!
 //! # Regenerating the paper's evaluation
 //!
@@ -33,7 +35,11 @@ pub mod experiments;
 mod manifest;
 mod scale;
 mod table;
+mod throughput;
 
 pub use manifest::{Manifest, ManifestEntry, TableSummary, MANIFEST_SCHEMA};
 pub use scale::Scale;
 pub use table::{pct, ratio, Table};
+pub use throughput::{
+    ThroughputCase, ThroughputReport, CORE_COUNTS, THROUGHPUT_SCHEMA, THROUGHPUT_TOLERANCE,
+};

@@ -1,0 +1,420 @@
+//! The committed throughput baseline: simulated-events-per-second for the
+//! cluster hot path, optimized stack vs the retained seed stack.
+//!
+//! `experiments --bench-throughput BENCH_4.json` measures the canonical
+//! workload suite (memory-bound / mixed / compute-bound) at each cluster
+//! size twice — once with the optimized stack ([`mapg_cpu::Cluster::run`]:
+//! event-wheel scheduler, compute batching, flattened caches) and once
+//! with the frozen seed stack ([`mapg_cpu::ReferenceCluster`]: per-event
+//! linear scan over the seed memory hierarchy) — and records both rates
+//! plus their ratio. The headline number is the geometric mean of the
+//! 16-core speedups across the suite.
+//!
+//! # Methodology
+//!
+//! - Workloads are **basic-block-granularity recordings**: each core's
+//!   synthetic workload is recorded once, then
+//!   [`quantize_compute(4)`](mapg_trace::RecordedTrace::quantize_compute)
+//!   splits the coarse compute gaps into ~4-instruction quanta — the
+//!   trace shape pintool-style frontends emit (one compute event per
+//!   basic block) and the shape the scheduler + batching hot path is
+//!   designed for. Both stacks replay the *identical* recording, so they
+//!   simulate the identical cycle-level history (the equivalence oracle
+//!   proves the interleavings match event for event).
+//! - The suite spans the three canonical profiles because the win is
+//!   workload-dependent: memory-bound runs are dominated by the (shared)
+//!   cache/DRAM model, while compute-lean runs expose the per-event
+//!   scheduling overhead the tentpole removes. The geometric mean over
+//!   the suite is the honest single number.
+//! - Each `(case, scheduler)` pair runs `repeats` times on a fresh
+//!   cluster and keeps the **minimum** wall time — the standard noise
+//!   filter for single-threaded microbenchmarks (anything above the
+//!   minimum is interference, not work).
+//! - "Simulated events" is the number of trace events the cluster
+//!   consumed (instruction-weighted work would double-count folded
+//!   batches); rates are events over wall seconds.
+//! - Regression checking compares **speedup ratios** (reference wall /
+//!   heap wall), never absolute rates: both measurements come from the
+//!   same process on the same machine, so the ratio transfers across CI
+//!   hardware where raw events/sec would not.
+
+use std::time::Instant;
+
+use mapg_cpu::{Cluster, CoreConfig, PassiveHandler, ReferenceCluster};
+use mapg_mem::HierarchyConfig;
+use mapg_trace::{RecordedTrace, SyntheticWorkload, WorkloadProfile};
+
+use crate::scale::Scale;
+
+/// Schema version stamped into every `BENCH_4.json`.
+pub const THROUGHPUT_SCHEMA: u32 = 2;
+
+/// Core counts measured per run; the last one is the headline size.
+pub const CORE_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Basic-block quantum (instructions) the suite recordings are split to.
+pub const BLOCK_QUANTUM: u64 = 4;
+
+/// Fraction of the baseline speedup a fresh run must retain (the CI gate
+/// fails below `baseline * (1 - THROUGHPUT_TOLERANCE)`).
+pub const THROUGHPUT_TOLERANCE: f64 = 0.20;
+
+/// The canonical workload suite, one profile constructor per entry.
+fn suite() -> Vec<(&'static str, WorkloadProfile)> {
+    vec![
+        ("mem", WorkloadProfile::mem_bound("throughput_mem")),
+        ("mixed", WorkloadProfile::mixed("throughput_mixed")),
+        ("cpu", WorkloadProfile::compute_bound("throughput_cpu")),
+    ]
+}
+
+/// One measured `(profile, cluster size)` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputCase {
+    /// Case name (`"mem_cores16"` etc.), the key baselines are matched on.
+    pub name: String,
+    /// Workload profile key (`"mem"`, `"mixed"`, `"cpu"`).
+    pub profile: String,
+    /// Number of cores in the cluster.
+    pub cores: usize,
+    /// Trace events consumed across all cores (identical for both stacks).
+    pub simulated_events: u64,
+    /// Best-of-`repeats` wall time of the event-wheel stack, seconds.
+    pub heap_wall_s: f64,
+    /// Best-of-`repeats` wall time of the seed reference stack, seconds.
+    pub reference_wall_s: f64,
+}
+
+impl ThroughputCase {
+    /// Simulated events per wall second with the event-wheel stack.
+    pub fn heap_events_per_sec(&self) -> f64 {
+        if self.heap_wall_s > 0.0 {
+            self.simulated_events as f64 / self.heap_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated events per wall second with the reference stack.
+    pub fn reference_events_per_sec(&self) -> f64 {
+        if self.reference_wall_s > 0.0 {
+            self.simulated_events as f64 / self.reference_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Event-wheel speedup over the reference (>1 means faster).
+    pub fn speedup(&self) -> f64 {
+        if self.heap_wall_s > 0.0 {
+            self.reference_wall_s / self.heap_wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full throughput measurement: the suite at one scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Scale the clusters ran at.
+    pub scale: Scale,
+    /// Timing repeats per `(case, scheduler)` pair.
+    pub repeats: usize,
+    /// Per-configuration measurements, profile-major in [`CORE_COUNTS`]
+    /// order.
+    pub cases: Vec<ThroughputCase>,
+}
+
+/// Records one basic-block-granularity trace per core.
+fn record_suite_traces(
+    profile: &WorkloadProfile,
+    cores: usize,
+    instructions: u64,
+) -> Vec<RecordedTrace> {
+    (0..cores)
+        .map(|i| {
+            let mut workload = SyntheticWorkload::new(profile, 1_000 + i as u64);
+            RecordedTrace::record(&mut workload, instructions).quantize_compute(BLOCK_QUANTUM)
+        })
+        .collect()
+}
+
+fn time_run(traces: &[RecordedTrace], instructions: u64, repeats: usize, reference: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let sources: Vec<_> = traces.iter().map(|t| t.replay()).collect();
+        let wall = if reference {
+            let mut cluster =
+                ReferenceCluster::new(CoreConfig::baseline(), HierarchyConfig::baseline(), sources);
+            let started = Instant::now();
+            cluster.run(instructions, &mut PassiveHandler);
+            started.elapsed()
+        } else {
+            let mut cluster =
+                Cluster::new(CoreConfig::baseline(), HierarchyConfig::baseline(), sources);
+            let started = Instant::now();
+            cluster.run(instructions, &mut PassiveHandler);
+            started.elapsed()
+        };
+        best = best.min(wall.as_secs_f64());
+    }
+    best
+}
+
+impl ThroughputReport {
+    /// Measures every suite case at `scale`, `repeats` timings per
+    /// scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats` is zero.
+    pub fn measure(scale: Scale, repeats: usize) -> Self {
+        assert!(repeats > 0, "need at least one timing repeat");
+        let instructions = scale.instructions();
+        let mut cases = Vec::new();
+        for (key, profile) in suite() {
+            for &cores in &CORE_COUNTS {
+                let traces = record_suite_traces(&profile, cores, instructions);
+                // The recordings cover >= `instructions` per core and the
+                // replay wraps, so event consumption is deterministic and
+                // identical across stacks; count one full pass per core.
+                let simulated_events = traces.iter().map(|t| t.events().len() as u64).sum();
+                let heap_wall_s = time_run(&traces, instructions, repeats, false);
+                let reference_wall_s = time_run(&traces, instructions, repeats, true);
+                cases.push(ThroughputCase {
+                    name: format!("{key}_cores{cores}"),
+                    profile: key.to_owned(),
+                    cores,
+                    simulated_events,
+                    heap_wall_s,
+                    reference_wall_s,
+                });
+            }
+        }
+        ThroughputReport {
+            scale,
+            repeats,
+            cases,
+        }
+    }
+
+    /// The headline number: geometric mean of the largest-cluster
+    /// speedups across the suite (0 when nothing was measured).
+    pub fn headline_speedup(&self) -> f64 {
+        let largest = self.cases.iter().map(|c| c.cores).max();
+        let Some(largest) = largest else { return 0.0 };
+        let speedups: Vec<f64> = self
+            .cases
+            .iter()
+            .filter(|c| c.cores == largest && c.speedup() > 0.0)
+            .map(|c| c.speedup())
+            .collect();
+        if speedups.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+        (log_sum / speedups.len() as f64).exp()
+    }
+
+    /// Renders the report as pretty-printed JSON (trailing newline
+    /// included); the format `BENCH_4.json` is committed in.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", THROUGHPUT_SCHEMA));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"block_quantum\": {},\n", BLOCK_QUANTUM));
+        out.push_str(&format!(
+            "  \"headline_speedup\": {},\n",
+            json_float(self.headline_speedup())
+        ));
+        out.push_str("  \"cases\": [");
+        for (i, case) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", case.name));
+            out.push_str(&format!("      \"profile\": \"{}\",\n", case.profile));
+            out.push_str(&format!("      \"cores\": {},\n", case.cores));
+            out.push_str(&format!(
+                "      \"simulated_events\": {},\n",
+                case.simulated_events
+            ));
+            out.push_str(&format!(
+                "      \"heap_wall_s\": {},\n",
+                json_float(case.heap_wall_s)
+            ));
+            out.push_str(&format!(
+                "      \"reference_wall_s\": {},\n",
+                json_float(case.reference_wall_s)
+            ));
+            out.push_str(&format!(
+                "      \"heap_events_per_sec\": {},\n",
+                json_float(case.heap_events_per_sec())
+            ));
+            out.push_str(&format!(
+                "      \"reference_events_per_sec\": {},\n",
+                json_float(case.reference_events_per_sec())
+            ));
+            out.push_str(&format!(
+                "      \"speedup\": {}\n",
+                json_float(case.speedup())
+            ));
+            out.push_str("    }");
+        }
+        if !self.cases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Extracts `(name, speedup)` pairs from a rendered report — the only
+    /// fields the regression gate needs, so the committed baseline stays
+    /// readable by this crate without a JSON dependency. The top-level
+    /// `headline_speedup` is reported under the name `"headline"`.
+    /// Tolerates any field order as long as `"name"` precedes its case's
+    /// `"speedup"` (which [`ThroughputReport::to_json`] guarantees).
+    pub fn parse_speedups(json: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut name: Option<String> = None;
+        for line in json.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("\"headline_speedup\": ") {
+                if let Ok(v) = rest.trim_end_matches(',').parse() {
+                    out.push(("headline".to_owned(), v));
+                }
+            } else if let Some(rest) = line.strip_prefix("\"name\": \"") {
+                if let Some(end) = rest.find('"') {
+                    name = Some(rest[..end].to_owned());
+                }
+            } else if let Some(rest) = line.strip_prefix("\"speedup\": ") {
+                if let (Some(n), Ok(v)) = (name.take(), rest.trim_end_matches(',').parse()) {
+                    out.push((n, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a finite float with enough digits for sub-microsecond walls;
+/// non-finite values degrade to `0`.
+fn json_float(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ThroughputReport {
+        ThroughputReport {
+            scale: Scale::Smoke,
+            repeats: 2,
+            cases: vec![
+                ThroughputCase {
+                    name: "mem_cores1".to_owned(),
+                    profile: "mem".to_owned(),
+                    cores: 1,
+                    simulated_events: 1_000_000,
+                    heap_wall_s: 0.5,
+                    reference_wall_s: 0.75,
+                },
+                ThroughputCase {
+                    name: "mem_cores16".to_owned(),
+                    profile: "mem".to_owned(),
+                    cores: 16,
+                    simulated_events: 16_000_000,
+                    heap_wall_s: 0.25,
+                    reference_wall_s: 1.0,
+                },
+                ThroughputCase {
+                    name: "cpu_cores16".to_owned(),
+                    profile: "cpu".to_owned(),
+                    cores: 16,
+                    simulated_events: 4_000_000,
+                    heap_wall_s: 0.1,
+                    reference_wall_s: 0.9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_rates_and_speedup() {
+        let case = &sample().cases[1];
+        assert!((case.speedup() - 4.0).abs() < 1e-12);
+        assert!((case.heap_events_per_sec() - 64e6).abs() < 1e-3);
+        assert!((case.reference_events_per_sec() - 16e6).abs() < 1e-3);
+        let degenerate = ThroughputCase {
+            heap_wall_s: 0.0,
+            reference_wall_s: 0.0,
+            ..case.clone()
+        };
+        assert_eq!(degenerate.speedup(), 0.0);
+        assert_eq!(degenerate.heap_events_per_sec(), 0.0);
+        assert_eq!(degenerate.reference_events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn headline_is_geomean_of_largest_cluster() {
+        let report = sample();
+        // 16-core speedups: 4.0 (mem) and 9.0 (cpu); geomean = 6.0.
+        assert!((report.headline_speedup() - 6.0).abs() < 1e-9);
+        let empty = ThroughputReport {
+            cases: Vec::new(),
+            ..report
+        };
+        assert_eq!(empty.headline_speedup(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_speedups() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": 2"), "{json}");
+        assert!(json.contains("\"scale\": \"smoke\""), "{json}");
+        assert!(json.contains("\"block_quantum\": 4"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+        let speedups = ThroughputReport::parse_speedups(&json);
+        assert_eq!(speedups.len(), 4);
+        assert_eq!(speedups[0].0, "headline");
+        assert!((speedups[0].1 - 6.0).abs() < 1e-6);
+        assert_eq!(speedups[1].0, "mem_cores1");
+        assert!((speedups[1].1 - 1.5).abs() < 1e-6);
+        assert_eq!(speedups[2].0, "mem_cores16");
+        assert!((speedups[2].1 - 4.0).abs() < 1e-6);
+        assert_eq!(speedups[3].0, "cpu_cores16");
+        assert!((speedups[3].1 - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_ignores_garbage() {
+        assert!(ThroughputReport::parse_speedups("not json at all").is_empty());
+        // A speedup with no preceding name is dropped.
+        assert!(ThroughputReport::parse_speedups("\"speedup\": 2.0\n").is_empty());
+    }
+
+    #[test]
+    fn measure_produces_consistent_cases() {
+        // Tiny repeats at smoke scale: this is a correctness test of the
+        // harness plumbing, not a benchmark.
+        let report = ThroughputReport::measure(Scale::Smoke, 1);
+        assert_eq!(report.cases.len(), 3 * CORE_COUNTS.len());
+        for case in &report.cases {
+            assert_eq!(case.name, format!("{}_cores{}", case.profile, case.cores));
+            assert!(case.simulated_events > 0);
+            assert!(case.heap_wall_s > 0.0);
+            assert!(case.reference_wall_s > 0.0);
+        }
+        assert!(report.headline_speedup() > 0.0);
+    }
+}

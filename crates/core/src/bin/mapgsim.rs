@@ -208,11 +208,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         config = config.with_metrics();
     }
 
-    let report = Simulation::new(config.clone(), policy).run();
+    let report = Simulation::new(config.clone(), policy)
+        .try_run()
+        .map_err(|e| e.to_string())?;
     print!("{report}");
 
     if let Some(path) = &trace_path {
-        let trace = report.trace.as_ref().expect("tracing was enabled");
+        let trace = report
+            .trace
+            .as_ref()
+            .ok_or_else(|| "internal: report carries no trace despite --trace".to_owned())?;
         if trace.dropped() > 0 {
             eprintln!(
                 "warning: trace ring wrapped; oldest {} event(s) dropped",
@@ -224,14 +229,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         println!("trace written to {path} ({} events)", trace.len());
     }
     if let Some(path) = &metrics_path {
-        let metrics = report.metrics.as_ref().expect("metrics were enabled");
+        let metrics = report
+            .metrics
+            .as_ref()
+            .ok_or_else(|| "internal: report carries no metrics despite --metrics".to_owned())?;
         std::fs::write(path, metrics.to_json())
             .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
         println!("metrics written to {path}");
     }
 
     if compare && policy != PolicyKind::NoGating {
-        let baseline = Simulation::new(config, PolicyKind::NoGating).run();
+        let baseline = Simulation::new(config, PolicyKind::NoGating)
+            .try_run()
+            .map_err(|e| e.to_string())?;
         println!("--- vs no-gating ---");
         println!(
             "core energy savings : {:+.1}%",

@@ -45,9 +45,24 @@ impl fmt::Display for MapgError {
 
 impl std::error::Error for MapgError {}
 
+impl From<mapg_cpu::RunError> for MapgError {
+    /// Cluster/core run rejections surface as configuration errors: every
+    /// one of them (zero instructions, no cores) is a bad user-supplied
+    /// value, phrased with the same message the panicking path would use.
+    fn from(e: mapg_cpu::RunError) -> Self {
+        MapgError::invalid(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_errors_convert_to_invalid_config() {
+        let e = MapgError::from(mapg_cpu::RunError::ZeroInstructions);
+        assert_eq!(e, MapgError::invalid("must run at least one instruction"));
+    }
 
     #[test]
     fn display_preserves_message() {

@@ -52,6 +52,7 @@ pub struct SimConfig {
     trace_capacity: Option<usize>,
     metrics: bool,
     metrics_hub: Option<MetricsHub>,
+    reference_scheduler: bool,
 }
 
 impl SimConfig {
@@ -312,6 +313,19 @@ impl SimConfig {
         self
     }
 
+    /// Runs on the frozen seed stack ([`mapg_cpu::ReferenceCluster`]: the
+    /// retained per-event linear-scan scheduler over the seed memory
+    /// hierarchy) instead of the optimized one.
+    ///
+    /// Reports must be identical either way — that is the equivalence the
+    /// proptest oracle enforces. The knob exists for those oracle tests
+    /// and for the `bench-throughput` harness, which measures the
+    /// optimized stack's speedup against this reference.
+    pub fn with_reference_scheduler(mut self) -> Self {
+        self.reference_scheduler = true;
+        self
+    }
+
     /// The first configured profile (the only one outside mix mode).
     pub fn profile(&self) -> &WorkloadProfile {
         &self.profiles[0]
@@ -372,6 +386,7 @@ impl Default for SimConfig {
             trace_capacity: None,
             metrics: false,
             metrics_hub: None,
+            reference_scheduler: false,
         }
     }
 }
@@ -394,7 +409,27 @@ impl Simulation {
     ///
     /// Deterministic: identical `(config, policy)` produce identical
     /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero cores or instructions)
+    /// — unreachable through the checked `SimConfig` builders; use
+    /// [`Simulation::try_run`] on front-end paths that assemble configs
+    /// from user input.
     pub fn run(self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Simulation::run`] for CLI front-ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if the cluster rejects the
+    /// configuration (zero cores or a zero instruction budget).
+    pub fn try_run(self) -> Result<RunReport, MapgError> {
         let config = self.config;
         let circuit = config.circuit();
         let controller_config = ControllerConfig {
@@ -434,11 +469,17 @@ impl Simulation {
         if !config.fault_plan.is_nop() {
             memory.dram_faults = config.fault_plan.dram_faults(config.seed);
         }
-        let mut cluster = Cluster::new(config.core, memory, sources);
-        cluster.set_obs(obs.clone());
-        cluster.run(config.instructions_per_core, &mut controller);
-
-        let cluster_stats = cluster.stats();
+        let cluster_stats = if config.reference_scheduler {
+            let mut cluster = mapg_cpu::ReferenceCluster::try_new(config.core, memory, sources)?;
+            cluster.set_obs(obs.clone());
+            cluster.try_run(config.instructions_per_core, &mut controller)?;
+            cluster.stats()
+        } else {
+            let mut cluster = Cluster::try_new(config.core, memory, sources)?;
+            cluster.set_obs(obs.clone());
+            cluster.try_run(config.instructions_per_core, &mut controller)?;
+            cluster.stats()
+        };
         let final_times: Vec<Cycle> = cluster_stats
             .per_core
             .iter()
@@ -518,7 +559,7 @@ impl Simulation {
         }
 
         let timeline = controller.take_timeline();
-        RunReport {
+        Ok(RunReport {
             timeline,
             policy: controller.policy_name(),
             workload: config.workload_name(),
@@ -537,7 +578,7 @@ impl Simulation {
             faults: controller.fault_stats(),
             trace,
             metrics,
-        }
+        })
     }
 }
 
@@ -556,6 +597,16 @@ mod tests {
         assert_eq!(a.makespan_cycles, b.makespan_cycles);
         assert_eq!(a.gating, b.gating);
         assert_eq!(a.total_energy(), b.total_energy());
+    }
+
+    #[test]
+    fn heap_and_reference_schedulers_agree() {
+        // The event-wheel must reproduce the linear-scan reference's
+        // report exactly — field for field, including energy floats.
+        let config = quick().with_cores(3).with_instructions(30_000).with_seed(9);
+        let heap = Simulation::new(config.clone(), PolicyKind::Mapg).run();
+        let reference = Simulation::new(config.with_reference_scheduler(), PolicyKind::Mapg).run();
+        assert_eq!(heap, reference);
     }
 
     #[test]

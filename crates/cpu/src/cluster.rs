@@ -5,6 +5,8 @@ use mapg_trace::EventSource;
 use mapg_units::Cycle;
 
 use crate::core_model::{Core, CoreConfig, CoreStats};
+use crate::error::RunError;
+use crate::sched::{CoreKey, SchedHeap};
 use crate::stall::{CoreId, StallHandler};
 
 /// N cores in front of one shared [`MemoryHierarchy`].
@@ -13,6 +15,14 @@ use crate::stall::{CoreId, StallHandler};
 /// smallest local timestamp advances next), so contention at the shared
 /// DRAM — extra queueing when many cores miss together — emerges naturally
 /// from the bank/bus free times rather than being modelled analytically.
+///
+/// Scheduling uses a binary min-heap keyed by `(local_time, core_index)`
+/// — O(log N) per decision instead of the O(N) re-scan the original
+/// implementation paid — plus a *run-ahead* loop: the minimum core keeps
+/// stepping without any heap traffic for as long as it remains the global
+/// minimum. Ties in local time deterministically resolve to the lowest
+/// core index, so the interleaving is bit-identical to the retained
+/// linear-scan seed stack ([`ReferenceCluster`](crate::ReferenceCluster)).
 ///
 /// ```
 /// use mapg_cpu::{Cluster, CoreConfig, PassiveHandler};
@@ -39,7 +49,7 @@ pub struct Cluster<S> {
 }
 
 /// Statistics snapshot for a whole cluster.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterStats {
     /// Per-core execution statistics, indexed by [`CoreId`].
     pub per_core: Vec<CoreStats>,
@@ -81,17 +91,35 @@ impl<S: EventSource> Cluster<S> {
     ///
     /// Panics if `sources` is empty.
     pub fn new(core_config: CoreConfig, memory_config: HierarchyConfig, sources: Vec<S>) -> Self {
-        assert!(!sources.is_empty(), "a cluster needs at least one core");
+        match Cluster::try_new(core_config, memory_config, sources) {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Cluster::new`] for user-supplied configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::NoCores`] if `sources` is empty.
+    pub fn try_new(
+        core_config: CoreConfig,
+        memory_config: HierarchyConfig,
+        sources: Vec<S>,
+    ) -> Result<Self, RunError> {
+        if sources.is_empty() {
+            return Err(RunError::NoCores);
+        }
         let cores = sources
             .into_iter()
             .enumerate()
             .map(|(i, source)| Core::with_id(CoreId(i), core_config, source))
             .collect();
-        Cluster {
+        Ok(Cluster {
             cores,
             memory: MemoryHierarchy::new(memory_config),
             target: 0,
-        }
+        })
     }
 
     /// Attaches an observability handle to every core and to the shared
@@ -125,19 +153,65 @@ impl<S: EventSource> Cluster<S> {
             instructions_per_core > 0,
             "must run at least one instruction per core"
         );
-        self.target += instructions_per_core;
-        loop {
-            // Pick the unfinished core with the smallest local time.
-            let next = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.stats().instructions < self.target)
-                .min_by_key(|(_, c)| c.now())
-                .map(|(i, _)| i);
-            let Some(index) = next else { break };
-            self.cores[index].step(&mut self.memory, handler);
+        self.try_run(instructions_per_core, handler)
+            .expect("instruction count validated above");
+    }
+
+    /// Fallible form of [`Cluster::run`] for user-supplied budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ZeroInstructions`] if `instructions_per_core`
+    /// is zero.
+    pub fn try_run<H: StallHandler>(
+        &mut self,
+        instructions_per_core: u64,
+        handler: &mut H,
+    ) -> Result<(), RunError> {
+        if instructions_per_core == 0 {
+            return Err(RunError::ZeroInstructions);
         }
+        self.target += instructions_per_core;
+        let target = self.target;
+
+        // Heap of unfinished cores keyed by (local time, index); rebuilt
+        // per call so incremental runs re-admit previously finished cores.
+        let mut heap = SchedHeap::with_capacity(self.cores.len());
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.stats().instructions < target {
+                heap.push(CoreKey {
+                    at: core.now(),
+                    index: i as u32,
+                });
+            }
+        }
+
+        let mut next = heap.pop();
+        while let Some(CoreKey { index, .. }) = next {
+            let core = &mut self.cores[index as usize];
+            // Run-ahead: the popped core is the global minimum; keep
+            // stepping it — one batched event per iteration, zero heap
+            // traffic — until it either finishes or falls behind another
+            // core. Only then does its key re-enter the heap, fused with
+            // the extraction of the new minimum in a single sift.
+            loop {
+                core.step_batched(target, &mut self.memory, handler);
+                if core.stats().instructions >= target {
+                    next = heap.pop();
+                    break;
+                }
+                let key = CoreKey {
+                    at: core.now(),
+                    index,
+                };
+                let min = heap.replace_min(key);
+                if min.index != index {
+                    next = Some(min);
+                    break;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Per-core and shared-memory statistics.

@@ -5,6 +5,7 @@ use mapg_obs::{EventKind, ObsHandle, Scope};
 use mapg_trace::{AccessKind, EventSource, TraceEvent};
 use mapg_units::{Cycle, Cycles, Hertz};
 
+use crate::error::RunError;
 use crate::stall::{CoreId, StallCause, StallHandler, StallInfo};
 
 /// Static core parameters.
@@ -69,7 +70,7 @@ pub struct CoreStats {
 }
 
 impl CoreStats {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         CoreStats {
             instructions: 0,
             total_cycles: 0,
@@ -148,8 +149,17 @@ pub struct Core<S> {
     now: Cycle,
     /// Completion times of in-flight DRAM loads, unordered.
     outstanding: Vec<Cycle>,
+    /// Exact minimum of `outstanding`, `u64::MAX` when empty. `prune` runs
+    /// after every time hop, so the nothing-completed-yet case must be one
+    /// compare instead of a `retain` sweep.
+    earliest_outstanding: Cycle,
     /// Completion of the most recently issued DRAM load (dependency target).
     last_miss_completion: Cycle,
+    /// One-event lookahead used by compute batching: when
+    /// [`Core::step_batched`] folds a run of consecutive `Compute` events,
+    /// the first non-compute event it pulls is parked here and consumed by
+    /// the next step.
+    pending: Option<TraceEvent>,
     stats: CoreStats,
     obs: ObsHandle,
 }
@@ -174,7 +184,9 @@ impl<S: EventSource> Core<S> {
             source,
             now: Cycle::ZERO,
             outstanding: Vec::with_capacity(config.mlp_limit),
+            earliest_outstanding: Cycle::new(u64::MAX),
             last_miss_completion: Cycle::ZERO,
+            pending: None,
             stats: CoreStats::new(),
             obs: ObsHandle::disabled(),
         }
@@ -218,17 +230,101 @@ impl<S: EventSource> Core<S> {
         handler: &mut H,
     ) {
         assert!(instructions > 0, "must run at least one instruction");
+        self.try_run(instructions, memory, handler)
+            .expect("instruction count validated above");
+    }
+
+    /// Fallible form of [`Core::run`] for user-supplied budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ZeroInstructions`] if `instructions` is zero.
+    pub fn try_run<H: StallHandler>(
+        &mut self,
+        instructions: u64,
+        memory: &mut MemoryHierarchy,
+        handler: &mut H,
+    ) -> Result<(), RunError> {
+        if instructions == 0 {
+            return Err(RunError::ZeroInstructions);
+        }
         let target = self.stats.instructions + instructions;
         while self.stats.instructions < target {
-            self.step(memory, handler);
+            self.step_batched(target, memory, handler);
         }
         self.stats.total_cycles = self.now.raw();
+        Ok(())
+    }
+
+    /// The next event to execute: the parked lookahead if batching stashed
+    /// one, otherwise a fresh event from the source.
+    fn next_event(&mut self) -> TraceEvent {
+        self.pending
+            .take()
+            .unwrap_or_else(|| self.source.next_event())
     }
 
     /// Processes exactly one trace event. Exposed so clusters can interleave
     /// cores in global time order.
     pub fn step<H: StallHandler>(&mut self, memory: &mut MemoryHierarchy, handler: &mut H) {
-        let event = self.source.next_event();
+        let event = self.next_event();
+        self.process(event, memory, handler);
+    }
+
+    /// Processes one *batched* step: a run of consecutive `Compute` events
+    /// is folded into a single time hop, stopping at the first non-compute
+    /// event (which is parked in `pending`) or once the folded batch reaches
+    /// `target` retired instructions.
+    ///
+    /// Equivalent to calling [`Core::step`] per event: compute events touch
+    /// no shared state (no memory access, no stall callback, no obs
+    /// events), so only their summed `cycles`/`instructions` are
+    /// observable, and the target bound makes the batch consume exactly
+    /// the events a per-event loop bounded by `target` would. In
+    /// particular batching can never skip a stall boundary — the event
+    /// that *would* stall ends the batch and runs on the next step.
+    pub fn step_batched<H: StallHandler>(
+        &mut self,
+        target: u64,
+        memory: &mut MemoryHierarchy,
+        handler: &mut H,
+    ) {
+        let mut event = self.next_event();
+        if let TraceEvent::Compute {
+            mut cycles,
+            mut instructions,
+        } = event
+        {
+            while self.stats.instructions + instructions < target {
+                match self.source.next_event() {
+                    TraceEvent::Compute {
+                        cycles: c,
+                        instructions: i,
+                    } => {
+                        cycles += c;
+                        instructions += i;
+                    }
+                    other => {
+                        self.pending = Some(other);
+                        break;
+                    }
+                }
+            }
+            event = TraceEvent::Compute {
+                cycles,
+                instructions,
+            };
+        }
+        self.process(event, memory, handler);
+    }
+
+    /// Executes one (possibly folded) trace event against the hierarchy.
+    fn process<H: StallHandler>(
+        &mut self,
+        event: TraceEvent,
+        memory: &mut MemoryHierarchy,
+        handler: &mut H,
+    ) {
         self.stats.instructions += event.instructions();
         match event {
             TraceEvent::Compute { cycles, .. } => {
@@ -273,19 +369,21 @@ impl<S: EventSource> Core<S> {
                     (AccessKind::Load, ServiceLevel::Dram) => {
                         self.stats.dram_loads += 1;
                         self.outstanding.push(response.completion);
+                        self.earliest_outstanding =
+                            self.earliest_outstanding.min(response.completion);
                         self.last_miss_completion = response.completion;
                         self.now += Cycles::new(1);
                         self.prune();
                         if self.outstanding.len() >= self.config.mlp_limit {
-                            // Unreachable expect: a completion was pushed
-                            // onto `outstanding` a few lines above.
-                            let oldest = self
-                                .outstanding
-                                .iter()
-                                .copied()
-                                .min()
-                                .expect("outstanding non-empty at MLP limit");
-                            self.stall(StallCause::MlpLimit, oldest, access.pc, handler);
+                            // `earliest_outstanding` is exact (push
+                            // min-folds it, prune recomputes it), so it is
+                            // the oldest in-flight completion.
+                            self.stall(
+                                StallCause::MlpLimit,
+                                self.earliest_outstanding,
+                                access.pc,
+                                handler,
+                            );
                         }
                     }
                 }
@@ -343,7 +441,19 @@ impl<S: EventSource> Core<S> {
     /// Retires outstanding misses that have completed.
     fn prune(&mut self) {
         let now = self.now;
-        self.outstanding.retain(|&c| c > now);
+        if self.earliest_outstanding > now {
+            return;
+        }
+        let mut earliest = Cycle::new(u64::MAX);
+        self.outstanding.retain(|&c| {
+            if c > now {
+                earliest = earliest.min(c);
+                true
+            } else {
+                false
+            }
+        });
+        self.earliest_outstanding = earliest;
     }
 }
 
@@ -527,6 +637,88 @@ mod tests {
         let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
         let mut core = Core::new(CoreConfig::baseline(), script);
         core.run(0, &mut memory, &mut PassiveHandler);
+    }
+
+    #[test]
+    fn zero_instruction_try_run_errors() {
+        let script = Script::new(vec![]);
+        let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let mut core = Core::new(CoreConfig::baseline(), script);
+        assert_eq!(
+            core.try_run(0, &mut memory, &mut PassiveHandler),
+            Err(crate::error::RunError::ZeroInstructions)
+        );
+    }
+
+    #[test]
+    fn batching_stops_at_stall_boundary() {
+        // Two computes, then a dependent-load pair that must stall: the
+        // batch may fold the computes but must not swallow the loads.
+        let script = Script::new(vec![
+            TraceEvent::Compute {
+                cycles: 10,
+                instructions: 10,
+            },
+            TraceEvent::Compute {
+                cycles: 20,
+                instructions: 10,
+            },
+            dep_load(0x10_0000),
+            dep_load(0x20_0000),
+        ]);
+        let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let mut core = Core::new(CoreConfig::baseline(), script);
+        core.run(22, &mut memory, &mut PassiveHandler);
+        assert_eq!(core.stats().instructions, 22);
+        assert_eq!(core.stats().stall_count, 1, "the second load must stall");
+        assert_eq!(core.stats().dram_loads, 2);
+    }
+
+    #[test]
+    fn batching_respects_instruction_target() {
+        // An endless compute stream (the Script fallback): the batch must
+        // stop folding exactly at the target, not run away.
+        let script = Script::new(vec![]);
+        let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let mut core = Core::new(CoreConfig::baseline(), script);
+        core.run(1_000, &mut memory, &mut PassiveHandler);
+        assert_eq!(core.stats().instructions, 1_000);
+        assert_eq!(core.stats().total_cycles, 1_000);
+    }
+
+    #[test]
+    fn batched_and_single_stepping_agree() {
+        let events = vec![
+            TraceEvent::Compute {
+                cycles: 5,
+                instructions: 8,
+            },
+            TraceEvent::Compute {
+                cycles: 7,
+                instructions: 4,
+            },
+            load(0x10_0000),
+            TraceEvent::Compute {
+                cycles: 3,
+                instructions: 6,
+            },
+            dep_load(0x20_0000),
+            TraceEvent::Idle { cycles: 50 },
+        ];
+        let run = |batched: bool| {
+            let mut memory = MemoryHierarchy::new(HierarchyConfig::baseline());
+            let mut core = Core::new(CoreConfig::baseline(), Script::new(events.clone()));
+            let target = 40;
+            while core.stats().instructions < target {
+                if batched {
+                    core.step_batched(target, &mut memory, &mut PassiveHandler);
+                } else {
+                    core.step(&mut memory, &mut PassiveHandler);
+                }
+            }
+            core.stats().clone()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

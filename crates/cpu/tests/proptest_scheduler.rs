@@ -1,0 +1,161 @@
+//! The scheduler equivalence oracle: the event-wheel [`Cluster`] must be
+//! observationally identical to the retained seed stack
+//! ([`ReferenceCluster`]: linear min-scan, per-event stepping, seed
+//! memory hierarchy) for arbitrary core counts, workload mixes, seeds,
+//! and budgets.
+//!
+//! "Identical" is checked at two levels:
+//!
+//! - **Interleaving**: every stall callback (which core, at what time,
+//!   waiting on what) is logged in order by a recording handler; the two
+//!   stacks must produce byte-for-byte the same sequence. Stalls are the
+//!   points where cores interact through the shared hierarchy, so an
+//!   identical stall log pins the global event order.
+//! - **End state**: full [`ClusterStats`] equality — per-core instruction
+//!   counts, timestamps, stall breakdowns, histograms, and every shared
+//!   hierarchy counter (cache hits, writebacks, DRAM row hits, refresh
+//!   stalls, MSHR stalls, miss-latency histogram).
+
+use proptest::prelude::*;
+
+use mapg_cpu::{Cluster, CoreConfig, PassiveHandler, ReferenceCluster, StallHandler, StallInfo};
+use mapg_mem::HierarchyConfig;
+use mapg_trace::{RecordedTrace, SyntheticWorkload, WorkloadProfile};
+use mapg_units::Cycle;
+
+/// Logs every stall decision; resumes passively (at data arrival), so the
+/// log is purely observational.
+#[derive(Default)]
+struct InterleavingLog {
+    entries: Vec<(usize, u64, u64, usize)>,
+}
+
+impl StallHandler for InterleavingLog {
+    fn on_stall(&mut self, info: &StallInfo) -> Cycle {
+        self.entries.push((
+            info.core.0,
+            info.start.raw(),
+            info.data_ready.raw(),
+            info.outstanding,
+        ));
+        info.data_ready
+    }
+}
+
+fn profile_for(mix: u8, name: &str) -> WorkloadProfile {
+    match mix % 3 {
+        0 => WorkloadProfile::mem_bound(name),
+        1 => WorkloadProfile::mixed(name),
+        _ => WorkloadProfile::compute_bound(name),
+    }
+}
+
+fn sources(mixes: &[u8], seed_base: u64) -> Vec<SyntheticWorkload> {
+    mixes
+        .iter()
+        .enumerate()
+        .map(|(i, &mix)| SyntheticWorkload::new(&profile_for(mix, "oracle"), seed_base + i as u64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random clusters of synthetic workloads: identical interleaving and
+    /// identical end-state statistics.
+    #[test]
+    fn heap_cluster_matches_reference_cluster(
+        mixes in prop::collection::vec(0u8..3, 1..6),
+        seed_base in 0u64..1_000,
+        budget in 500u64..4_000,
+    ) {
+        let mut live = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            sources(&mixes, seed_base),
+        );
+        let mut live_log = InterleavingLog::default();
+        live.run(budget, &mut live_log);
+
+        let mut reference = ReferenceCluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            sources(&mixes, seed_base),
+        );
+        let mut reference_log = InterleavingLog::default();
+        reference.run(budget, &mut reference_log);
+
+        prop_assert_eq!(live_log.entries, reference_log.entries);
+        prop_assert_eq!(live.stats(), reference.stats());
+    }
+
+    /// Incremental budgets must accumulate identically: running the heap
+    /// cluster in two chunks (which rebuilds the heap and re-admits
+    /// finished cores) equals the reference's single run of the total.
+    #[test]
+    fn incremental_runs_match_one_shot_reference(
+        mixes in prop::collection::vec(0u8..3, 1..5),
+        seed_base in 0u64..1_000,
+        first in 300u64..1_500,
+        second in 300u64..1_500,
+    ) {
+        let mut live = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            sources(&mixes, seed_base),
+        );
+        live.run(first, &mut PassiveHandler);
+        live.run(second, &mut PassiveHandler);
+
+        let mut reference = ReferenceCluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            sources(&mixes, seed_base),
+        );
+        reference.run(first, &mut PassiveHandler);
+        reference.run(second, &mut PassiveHandler);
+
+        prop_assert_eq!(live.stats(), reference.stats());
+    }
+
+    /// Replayed basic-block-granularity recordings (the throughput
+    /// benchmark's workload shape, where compute batching folds the most
+    /// events) must also interleave identically.
+    #[test]
+    fn quantized_replay_matches_reference(
+        mixes in prop::collection::vec(0u8..3, 1..5),
+        seed_base in 0u64..1_000,
+        quantum in 1u64..8,
+        budget in 500u64..3_000,
+    ) {
+        let traces: Vec<RecordedTrace> = mixes
+            .iter()
+            .enumerate()
+            .map(|(i, &mix)| {
+                let profile = profile_for(mix, "oracle_replay");
+                let mut workload =
+                    SyntheticWorkload::new(&profile, seed_base + i as u64);
+                RecordedTrace::record(&mut workload, budget).quantize_compute(quantum)
+            })
+            .collect();
+
+        let mut live = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            traces.iter().map(|t| t.replay()).collect(),
+        );
+        let mut live_log = InterleavingLog::default();
+        live.run(budget, &mut live_log);
+
+        let mut reference = ReferenceCluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            traces.iter().map(|t| t.replay()).collect(),
+        );
+        let mut reference_log = InterleavingLog::default();
+        reference.run(budget, &mut reference_log);
+
+        prop_assert_eq!(live_log.entries, reference_log.entries);
+        prop_assert_eq!(live.stats(), reference.stats());
+    }
+}

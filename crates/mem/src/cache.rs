@@ -148,19 +148,6 @@ impl fmt::Display for CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Filled by a prefetch and not yet demand-touched.
-    prefetched: bool,
-    /// Monotonic use stamp for true LRU.
-    last_use: u64,
-    /// Monotonic fill stamp for FIFO.
-    filled_at: u64,
-}
-
 /// One cache level.
 ///
 /// ```
@@ -174,7 +161,42 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All per-way state, one contiguous *block per set*:
+    ///
+    /// ```text
+    /// [ tags: assoc × u64 | stamps: assoc × u64 | valid/dirty/prefetched
+    ///                                             bitmasks: 3 × mask_words ]
+    /// ```
+    ///
+    /// The tag scan is the hottest loop in the simulator and a set probe
+    /// lands on an effectively random set, so the layout is chosen for
+    /// *host*-cache behaviour: everything one access touches — tags, the
+    /// victim's LRU/FIFO stamps, the state bits — sits in a handful of
+    /// **consecutive** cache lines that the host's adjacent-line prefetcher
+    /// streams in together. Structure-of-arrays (separate tag/stamp/flag
+    /// vectors) costs one independent host miss per array; the seed's
+    /// `Vec<Vec<Way>>` additionally paid a pointer chase and dragged 32 B
+    /// of way record through the cache per tag compared.
+    data: Vec<u64>,
+    /// `u64`s per set block: `2 * assoc + 3 * mask_words`.
+    block: usize,
+    /// `u64` bitmask words per way-mask (`assoc.div_ceil(64)`, so 1 for
+    /// any real associativity).
+    mask_words: usize,
+    /// Number of sets (cached from the geometry).
+    set_count: u64,
+    /// Ways per set (cached from `config.associativity`).
+    assoc: usize,
+    /// `line_bytes.trailing_zeros()` when the line size is a power of two
+    /// (the overwhelmingly common case): `addr >> line_shift` replaces a
+    /// 64-bit division on every access.
+    line_shift: u32,
+    line_pow2: bool,
+    /// `set_count - 1` / `set_count.trailing_zeros()` when the set count
+    /// is a power of two: mask-and-shift replaces the `%` / `/` pair.
+    set_mask: u64,
+    set_shift: u32,
+    set_pow2: bool,
     stats: CacheStats,
     use_clock: u64,
     /// Xorshift state for [`ReplacementPolicy::Random`].
@@ -188,10 +210,22 @@ impl Cache {
     ///
     /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
     pub fn new(config: CacheConfig) -> Self {
-        let sets = config.sets();
+        let set_count = config.sets();
+        let assoc = config.associativity as usize;
+        let mask_words = assoc.div_ceil(64);
+        let block = 2 * assoc + 3 * mask_words;
         Cache {
             config,
-            sets: vec![vec![Way::default(); config.associativity as usize]; sets as usize],
+            data: vec![0; set_count as usize * block],
+            block,
+            mask_words,
+            set_count,
+            assoc,
+            line_shift: config.line_bytes.trailing_zeros(),
+            line_pow2: config.line_bytes.is_power_of_two(),
+            set_mask: set_count - 1,
+            set_shift: set_count.trailing_zeros(),
+            set_pow2: set_count.is_power_of_two(),
             stats: CacheStats::default(),
             use_clock: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
@@ -208,80 +242,100 @@ impl Cache {
         &self.stats
     }
 
+    /// The line address (not byte address) containing `addr`.
+    #[inline]
+    pub(crate) fn line_of(&self, addr: u64) -> u64 {
+        if self.line_pow2 {
+            addr >> self.line_shift
+        } else {
+            addr / self.config.line_bytes
+        }
+    }
+
+    /// Splits a line address into `(set_index, tag)`. For power-of-two set
+    /// counts the mask/shift pair is bit-identical to the `%` / `/` pair.
+    #[inline]
+    fn split(&self, line: u64) -> (usize, u64) {
+        if self.set_pow2 {
+            ((line & self.set_mask) as usize, line >> self.set_shift)
+        } else {
+            ((line % self.set_count) as usize, line / self.set_count)
+        }
+    }
+
     /// Accesses byte address `addr`; on a miss the line is allocated
     /// (write-allocate for stores, fill for loads) and the LRU victim
     /// evicted.
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
         self.stats.accesses += 1;
         self.use_clock += 1;
-        let line = addr / self.config.line_bytes;
-        let set_count = self.sets.len() as u64;
-        let set_index = (line % set_count) as usize;
-        let tag = line / set_count;
+        let (set_index, tag) = self.split(self.line_of(addr));
         let stamp = self.use_clock;
+        let assoc = self.assoc;
+        let mw = self.mask_words;
+        let base = set_index * self.block;
+        let set = &mut self.data[base..base + self.block];
+        let (tags, rest) = set.split_at_mut(assoc);
+        let (stamps, masks) = rest.split_at_mut(assoc);
 
-        let set = &mut self.sets[set_index];
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.last_use = stamp;
-            way.dirty |= is_write;
-            let prefetched = way.prefetched;
-            way.prefetched = false;
-            self.stats.hits += 1;
-            return CacheOutcome::Hit { prefetched };
+        // Hit scan: a branchless fixed-trip match mask per 64-way group.
+        // An early-exit compare loop mispredicts on every probe (the hit
+        // way position is effectively random); accumulating equality bits
+        // lets the compiler vectorize the compares and leaves exactly one
+        // hit/miss branch.
+        for word in 0..mw {
+            let lo = word * 64;
+            let ways_here = (assoc - lo).min(64);
+            let matches = match_mask(&tags[lo..lo + ways_here], tag) & masks[word];
+            if matches != 0 {
+                // At most one valid way holds a given tag.
+                let way = lo + matches.trailing_zeros() as usize;
+                // The merged stamp is last-use for LRU (and, vacuously,
+                // Random); FIFO keeps it frozen at fill time.
+                if !matches!(self.config.replacement, ReplacementPolicy::Fifo) {
+                    stamps[way] = stamp;
+                }
+                let bit = 1u64 << (way % 64);
+                if is_write {
+                    masks[mw + word] |= bit;
+                }
+                let prefetched = masks[2 * mw + word] & bit != 0;
+                if prefetched {
+                    masks[2 * mw + word] &= !bit;
+                }
+                self.stats.hits += 1;
+                return CacheOutcome::Hit { prefetched };
+            }
         }
 
         // Miss: pick invalid way if any, else the policy's victim.
-        let victim_index = Self::select_victim(set, self.config.replacement, &mut self.rng_state);
-        let victim = &mut set[victim_index];
-        let writeback = if victim.valid && victim.dirty {
+        let victim = pick_victim(
+            self.config.replacement,
+            assoc,
+            stamps,
+            &masks[..mw],
+            &mut self.rng_state,
+        );
+        let word = victim / 64;
+        let bit = 1u64 << (victim % 64);
+        let writeback = if masks[word] & bit != 0 && masks[mw + word] & bit != 0 {
             // Reconstruct the victim's line address from its tag.
-            let victim_line = victim.tag * set_count + set_index as u64;
+            let victim_line = tags[victim] * self.set_count + set_index as u64;
             self.stats.writebacks += 1;
             Some(victim_line)
         } else {
             None
         };
-        *victim = Way {
-            tag,
-            valid: true,
-            dirty: is_write,
-            prefetched: false,
-            last_use: stamp,
-            filled_at: stamp,
-        };
+        tags[victim] = tag;
+        stamps[victim] = stamp;
+        masks[word] |= bit;
+        if is_write {
+            masks[mw + word] |= bit;
+        } else {
+            masks[mw + word] &= !bit;
+        }
+        masks[2 * mw + word] &= !bit;
         CacheOutcome::Miss { writeback }
-    }
-
-    /// Picks the way to evict: any invalid way first, else per policy.
-    fn select_victim(set: &[Way], policy: ReplacementPolicy, rng_state: &mut u64) -> usize {
-        if let Some(invalid) = set.iter().position(|w| !w.valid) {
-            return invalid;
-        }
-        // The expects below are unreachable: validate() rejects
-        // associativity == 0, so every set holds at least one way.
-        match policy {
-            ReplacementPolicy::Lru => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("sets are never empty"),
-            ReplacementPolicy::Fifo => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.filled_at)
-                .map(|(i, _)| i)
-                .expect("sets are never empty"),
-            ReplacementPolicy::Random => {
-                // Xorshift64: deterministic per cache instance.
-                let mut x = *rng_state;
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                *rng_state = x;
-                (x % set.len() as u64) as usize
-            }
-        }
     }
 
     /// Installs `addr`'s line as a *prefetch* fill: does not count toward
@@ -292,56 +346,184 @@ impl Cache {
     /// Filling an already-resident line is a no-op (returns `None`).
     pub fn fill_prefetch(&mut self, addr: u64) -> Option<u64> {
         self.use_clock += 1;
-        let line = addr / self.config.line_bytes;
-        let set_count = self.sets.len() as u64;
-        let set_index = (line % set_count) as usize;
-        let tag = line / set_count;
+        let (set_index, tag) = self.split(self.line_of(addr));
         let stamp = self.use_clock;
-        let set = &mut self.sets[set_index];
-        if set.iter().any(|w| w.valid && w.tag == tag) {
+        if self.resident(set_index, tag) {
             return None;
         }
-        let victim_index = Self::select_victim(set, self.config.replacement, &mut self.rng_state);
-        let victim = &mut set[victim_index];
-        let writeback = if victim.valid && victim.dirty {
-            let victim_line = victim.tag * set_count + set_index as u64;
+        let assoc = self.assoc;
+        let mw = self.mask_words;
+        let base = set_index * self.block;
+        let set = &mut self.data[base..base + self.block];
+        let (tags, rest) = set.split_at_mut(assoc);
+        let (stamps, masks) = rest.split_at_mut(assoc);
+        let victim = pick_victim(
+            self.config.replacement,
+            assoc,
+            stamps,
+            &masks[..mw],
+            &mut self.rng_state,
+        );
+        let word = victim / 64;
+        let bit = 1u64 << (victim % 64);
+        let writeback = if masks[word] & bit != 0 && masks[mw + word] & bit != 0 {
+            let victim_line = tags[victim] * self.set_count + set_index as u64;
             self.stats.writebacks += 1;
             Some(victim_line)
         } else {
             None
         };
-        *victim = Way {
-            tag,
-            valid: true,
-            dirty: false,
-            prefetched: true,
-            last_use: stamp,
-            filled_at: stamp,
-        };
+        tags[victim] = tag;
+        stamps[victim] = stamp;
+        masks[word] |= bit;
+        masks[mw + word] &= !bit;
+        masks[2 * mw + word] |= bit;
         writeback
+    }
+
+    /// Whether `tag` is resident in `set_index`'s set.
+    #[inline]
+    fn resident(&self, set_index: usize, tag: u64) -> bool {
+        let base = set_index * self.block;
+        let tags = &self.data[base..base + self.assoc];
+        let valid = &self.data[base + 2 * self.assoc..base + 2 * self.assoc + self.mask_words];
+        for (word, &valid_word) in valid.iter().enumerate() {
+            let lo = word * 64;
+            let ways_here = (self.assoc - lo).min(64);
+            if match_mask(&tags[lo..lo + ways_here], tag) & valid_word != 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// Whether `addr`'s line is currently resident (no LRU update, no
     /// stats). Used by tests and by the hierarchy's inclusive-fill checks.
     pub fn probe(&self, addr: u64) -> bool {
-        let line = addr / self.config.line_bytes;
-        let set_count = self.sets.len() as u64;
-        let set_index = (line % set_count) as usize;
-        let tag = line / set_count;
-        self.sets[set_index].iter().any(|w| w.valid && w.tag == tag)
+        let (set_index, tag) = self.split(self.line_of(addr));
+        self.resident(set_index, tag)
     }
 
     /// Invalidates all lines and forgets statistics; used between
     /// measurement phases.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                *way = Way::default();
-            }
-        }
+        self.data.fill(0);
         self.stats = CacheStats::default();
         self.use_clock = 0;
         self.rng_state = 0x9E37_79B9_7F4A_7C15;
+    }
+}
+
+/// Picks the way to evict from one set: the first invalid way if any, else
+/// per policy. First-minimum tie-breaks match `min_by_key`, and the RNG is
+/// only consumed when every way is valid, so victim choice is identical to
+/// the seed implementation's.
+#[inline]
+fn pick_victim(
+    policy: ReplacementPolicy,
+    assoc: usize,
+    stamps: &[u64],
+    valid: &[u64],
+    rng_state: &mut u64,
+) -> usize {
+    for (word, &v) in valid.iter().enumerate() {
+        let ways_here = (assoc - word * 64).min(64);
+        // Force bits past the associativity to "valid" so they are never
+        // picked; `trailing_zeros` then yields the lowest invalid way,
+        // matching the seed's first-invalid scan order.
+        let live = if ways_here == 64 {
+            v
+        } else {
+            v | !((1u64 << ways_here) - 1)
+        };
+        if live != u64::MAX {
+            return word * 64 + (!live).trailing_zeros() as usize;
+        }
+    }
+    match policy {
+        // LRU keys on last use, FIFO on fill time — both live in the
+        // merged stamp array (hits only refresh it under LRU).
+        ReplacementPolicy::Lru | ReplacementPolicy::Fifo => first_min(stamps),
+        ReplacementPolicy::Random => {
+            // Xorshift64: deterministic per cache instance.
+            let mut x = *rng_state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *rng_state = x;
+            (x % assoc as u64) as usize
+        }
+    }
+}
+
+/// Bitmask of ways whose tag equals `tag` (bit `i` set iff `tags[i]`
+/// matches). Dispatching on the common associativities gives LLVM a
+/// fixed-trip loop it fully unrolls and vectorizes; the generic fallback
+/// keeps the model correct for arbitrary geometries.
+#[inline]
+fn match_mask(tags: &[u64], tag: u64) -> u64 {
+    #[inline]
+    fn fixed<const W: usize>(tags: &[u64], tag: u64) -> u64 {
+        let tags: &[u64; W] = tags.try_into().expect("dispatched on length");
+        let mut matches = 0u64;
+        let mut i = 0;
+        while i < W {
+            matches |= u64::from(tags[i] == tag) << i;
+            i += 1;
+        }
+        matches
+    }
+    match tags.len() {
+        1 => fixed::<1>(tags, tag),
+        2 => fixed::<2>(tags, tag),
+        4 => fixed::<4>(tags, tag),
+        8 => fixed::<8>(tags, tag),
+        16 => fixed::<16>(tags, tag),
+        _ => {
+            let mut matches = 0u64;
+            for (i, &t) in tags.iter().enumerate() {
+                matches |= u64::from(t == tag) << i;
+            }
+            matches
+        }
+    }
+}
+
+/// Index of the first minimum of `keys` — the same element `min_by_key`
+/// returns. Computed as a (vectorizable) min reduction followed by an
+/// equality mask, so random stamp orders cost no branch mispredicts.
+#[inline]
+fn first_min(keys: &[u64]) -> usize {
+    #[inline]
+    fn fixed<const W: usize>(keys: &[u64]) -> usize {
+        let keys: &[u64; W] = keys.try_into().expect("dispatched on length");
+        let mut min = u64::MAX;
+        for &key in keys {
+            min = min.min(key);
+        }
+        let mut mask = 0u64;
+        let mut i = 0;
+        while i < W {
+            mask |= u64::from(keys[i] == min) << i;
+            i += 1;
+        }
+        mask.trailing_zeros() as usize
+    }
+    match keys.len() {
+        2 => fixed::<2>(keys),
+        4 => fixed::<4>(keys),
+        8 => fixed::<8>(keys),
+        16 => fixed::<16>(keys),
+        _ => {
+            let mut best = 0usize;
+            let mut best_key = keys[0];
+            for (i, &key) in keys.iter().enumerate().skip(1) {
+                let better = key < best_key;
+                best = if better { i } else { best };
+                best_key = if better { key } else { best_key };
+            }
+            best
+        }
     }
 }
 

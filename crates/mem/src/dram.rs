@@ -196,6 +196,15 @@ pub struct Dram {
     faults: DramFaultConfig,
     banks: Vec<Bank>,
     bus_free: Cycle,
+    /// `row_bytes.trailing_zeros()` when the row size is a power of two:
+    /// `addr >> row_shift` replaces a 64-bit division per access.
+    row_shift: u32,
+    row_pow2: bool,
+    /// `banks - 1` / `banks.trailing_zeros()` when the bank count is a
+    /// power of two: mask-and-shift replaces the `%` / `/` pair.
+    bank_mask: u64,
+    bank_shift: u32,
+    bank_pow2: bool,
     stats: DramStats,
     obs: mapg_obs::ObsHandle,
 }
@@ -222,13 +231,41 @@ impl Dram {
         if let Err(message) = faults.validate() {
             panic!("{message}");
         }
+        let bank_count = u64::from(config.banks);
         Dram {
             banks: vec![Bank::default(); config.banks as usize],
             bus_free: Cycle::ZERO,
+            row_shift: config.row_bytes.trailing_zeros(),
+            row_pow2: config.row_bytes.is_power_of_two(),
+            bank_mask: bank_count - 1,
+            bank_shift: bank_count.trailing_zeros(),
+            bank_pow2: bank_count.is_power_of_two(),
             stats: DramStats::default(),
             faults,
             config,
             obs: mapg_obs::ObsHandle::disabled(),
+        }
+    }
+
+    /// The row address containing byte address `addr`.
+    #[inline]
+    fn row_of(&self, addr: u64) -> u64 {
+        if self.row_pow2 {
+            addr >> self.row_shift
+        } else {
+            addr / self.config.row_bytes
+        }
+    }
+
+    /// Splits a row address into `(bank_index, row_id)`. For power-of-two
+    /// bank counts the mask/shift pair is bit-identical to `%` / `/`.
+    #[inline]
+    fn split(&self, row: u64) -> (usize, u64) {
+        if self.bank_pow2 {
+            ((row & self.bank_mask) as usize, row >> self.bank_shift)
+        } else {
+            let bank_count = self.banks.len() as u64;
+            ((row % bank_count) as usize, row / bank_count)
         }
     }
 
@@ -251,10 +288,7 @@ impl Dram {
     /// Serves one line access arriving at the controller at `now`; returns
     /// the completion timestamp and the row-buffer outcome.
     pub fn access(&mut self, now: Cycle, addr: u64, is_write: bool) -> (Cycle, RowBufferOutcome) {
-        let row = addr / self.config.row_bytes;
-        let bank_count = self.banks.len() as u64;
-        let bank_index = (row % bank_count) as usize;
-        let row_id = row / bank_count;
+        let (bank_index, row_id) = self.split(self.row_of(addr));
 
         // The command can issue once the bank is free...
         let mut start = now.max(self.banks[bank_index].next_free);
@@ -354,9 +388,7 @@ impl Dram {
         addr: u64,
         is_write: bool,
     ) -> Option<(Cycle, RowBufferOutcome)> {
-        let row = addr / self.config.row_bytes;
-        let bank_count = self.banks.len() as u64;
-        let bank_index = (row % bank_count) as usize;
+        let (bank_index, _) = self.split(self.row_of(addr));
         let deadline = now + slack;
         if self.banks[bank_index].next_free > deadline || self.bus_free > deadline {
             return None;

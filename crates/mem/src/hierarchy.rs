@@ -209,7 +209,7 @@ impl MemoryHierarchy {
                 if prefetched {
                     // Stream confirmed: keep the runway ahead of the
                     // consumer.
-                    let line = access.addr / self.config.l2.line_bytes;
+                    let line = self.l2.line_of(access.addr);
                     let candidates = self.prefetcher.observe_prefetch_hit(line);
                     self.fetch_prefetch_candidates(candidates, l2_done);
                 }
@@ -234,7 +234,7 @@ impl MemoryHierarchy {
 
     /// Handles the DRAM leg of an LLC miss, including MSHR allocation.
     fn dram_fill(&mut self, issued: Cycle, mut ready: Cycle, access: &MemAccess) -> AccessResponse {
-        let line = access.addr / self.config.l2.line_bytes;
+        let line = self.l2.line_of(access.addr);
         let is_write = access.kind == AccessKind::Store;
         loop {
             match self.mshrs.lookup(ready, line) {

@@ -46,6 +46,7 @@ mod faults;
 mod hierarchy;
 mod mshr;
 mod prefetch;
+mod reference;
 mod stats;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats, ReplacementPolicy};
@@ -56,4 +57,5 @@ pub use hierarchy::{
 };
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetch::{PrefetchConfig, PrefetchStats, StreamPrefetcher};
+pub use reference::ReferenceHierarchy;
 pub use stats::LatencyHistogram;

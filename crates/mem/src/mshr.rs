@@ -48,6 +48,10 @@ struct Entry {
 pub struct MshrFile {
     capacity: usize,
     entries: Vec<Entry>,
+    /// Earliest completion among `entries`, `u64::MAX` when empty. Lazy
+    /// retirement runs on every lookup, so the common no-entry-expired case
+    /// must be one compare instead of a `retain` sweep.
+    earliest: Cycle,
 }
 
 impl MshrFile {
@@ -62,6 +66,7 @@ impl MshrFile {
         MshrFile {
             capacity,
             entries: Vec::with_capacity(capacity),
+            earliest: Cycle::new(u64::MAX),
         }
     }
 
@@ -83,9 +88,16 @@ impl MshrFile {
     /// [`MshrFile::commit`] once it knows the fetch's completion time.
     pub fn lookup(&mut self, now: Cycle, line: u64) -> MshrOutcome {
         self.retire(now);
-        if let Some(entry) = self.entries.iter().find(|e| e.line == line) {
+        // Branchless find: lines are unique, so the last match is the only
+        // match, and the select compiles to a conditional move — an
+        // early-exit `find` mispredicts on effectively random positions.
+        let mut found = usize::MAX;
+        for (i, e) in self.entries.iter().enumerate() {
+            found = if e.line == line { i } else { found };
+        }
+        if found != usize::MAX {
             return MshrOutcome::Merged {
-                completion: entry.completion,
+                completion: self.entries[found].completion,
             };
         }
         if self.entries.len() >= self.capacity {
@@ -107,18 +119,20 @@ impl MshrFile {
     ///
     /// # Panics
     ///
-    /// Panics if the file is already full or the line is already tracked —
-    /// both indicate the caller skipped `lookup`.
+    /// Panics if the file is already full; debug builds additionally panic
+    /// if the line is already tracked — both indicate the caller skipped
+    /// `lookup`.
     pub fn commit(&mut self, line: u64, completion: Cycle) {
         assert!(
             self.entries.len() < self.capacity,
             "commit on a full MSHR file"
         );
-        assert!(
+        debug_assert!(
             self.entries.iter().all(|e| e.line != line),
             "line {line:#x} already has an MSHR entry"
         );
         self.entries.push(Entry { line, completion });
+        self.earliest = self.earliest.min(completion);
     }
 
     /// Earliest completion among in-flight entries, if any.
@@ -132,13 +146,32 @@ impl MshrFile {
     }
 
     /// Drops entries whose fetch completed at or before `now`.
+    ///
+    /// Entry order is irrelevant (`lookup` keys on the unique line and the
+    /// full-file path takes a minimum), so expiry compacts with
+    /// `swap_remove` rather than a shifting `retain`.
     fn retire(&mut self, now: Cycle) {
-        self.entries.retain(|e| e.completion > now);
+        if self.earliest > now {
+            return;
+        }
+        let mut earliest = Cycle::new(u64::MAX);
+        let mut i = 0;
+        while i < self.entries.len() {
+            let completion = self.entries[i].completion;
+            if completion <= now {
+                self.entries.swap_remove(i);
+            } else {
+                earliest = earliest.min(completion);
+                i += 1;
+            }
+        }
+        self.earliest = earliest;
     }
 
     /// Clears all entries.
     pub fn reset(&mut self) {
         self.entries.clear();
+        self.earliest = Cycle::new(u64::MAX);
     }
 }
 

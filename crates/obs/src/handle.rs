@@ -55,12 +55,23 @@ impl ObsHandle {
     }
 
     /// Appends an event to the trace, if tracing is enabled.
+    ///
+    /// When disabled this compiles to a single never-taken test on the
+    /// `Option`'s pointer; the borrow/push machinery lives in an
+    /// out-of-line `#[cold]` body so it never pollutes the simulator's
+    /// hot-loop instruction stream.
     #[inline]
     pub fn emit(&self, at: u64, scope: Scope, kind: EventKind) {
         if let Some(inner) = &self.inner {
-            if let Some(trace) = &mut inner.borrow_mut().trace {
-                trace.push(TraceRecord { at, scope, kind });
-            }
+            Self::emit_slow(inner, at, scope, kind);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_slow(inner: &Rc<RefCell<Observer>>, at: u64, scope: Scope, kind: EventKind) {
+        if let Some(trace) = &mut inner.borrow_mut().trace {
+            trace.push(TraceRecord { at, scope, kind });
         }
     }
 
@@ -68,9 +79,15 @@ impl ObsHandle {
     #[inline]
     pub fn count(&self, name: &'static str, n: u64) {
         if let Some(inner) = &self.inner {
-            if let Some(metrics) = &mut inner.borrow_mut().metrics {
-                metrics.count(name, n);
-            }
+            Self::count_slow(inner, name, n);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn count_slow(inner: &Rc<RefCell<Observer>>, name: &'static str, n: u64) {
+        if let Some(metrics) = &mut inner.borrow_mut().metrics {
+            metrics.count(name, n);
         }
     }
 
@@ -78,9 +95,15 @@ impl ObsHandle {
     #[inline]
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(inner) = &self.inner {
-            if let Some(metrics) = &mut inner.borrow_mut().metrics {
-                metrics.observe(name, value);
-            }
+            Self::observe_slow(inner, name, value);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn observe_slow(inner: &Rc<RefCell<Observer>>, name: &'static str, value: u64) {
+        if let Some(metrics) = &mut inner.borrow_mut().metrics {
+            metrics.observe(name, value);
         }
     }
 

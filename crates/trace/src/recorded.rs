@@ -105,6 +105,95 @@ impl RecordedTrace {
         self.instructions
     }
 
+    /// Returns a copy with every run of consecutive `Compute` events merged
+    /// into one event carrying the summed cycles and instructions.
+    ///
+    /// Compute events touch no shared state, so a coalesced trace drives a
+    /// core through the identical timeline with fewer events — the offline
+    /// complement of the core's online compute batching. Real pintool-style
+    /// recordings are the main beneficiary: they often emit one tiny
+    /// compute quantum per basic block. Stall-relevant events (memory
+    /// accesses, idle periods) are never merged or reordered.
+    pub fn coalesce_compute(&self) -> Self {
+        let mut events: Vec<TraceEvent> = Vec::with_capacity(self.events.len());
+        for &event in &self.events {
+            if let (
+                TraceEvent::Compute {
+                    cycles,
+                    instructions,
+                },
+                Some(TraceEvent::Compute {
+                    cycles: acc_cycles,
+                    instructions: acc_instructions,
+                }),
+            ) = (event, events.last_mut())
+            {
+                *acc_cycles += cycles;
+                *acc_instructions += instructions;
+            } else {
+                events.push(event);
+            }
+        }
+        RecordedTrace {
+            name: self.name.clone(),
+            events,
+            instructions: self.instructions,
+        }
+    }
+
+    /// Returns a copy with every `Compute` event split into quanta of at
+    /// most `quantum` instructions, cycles apportioned proportionally —
+    /// the inverse of [`RecordedTrace::coalesce_compute`].
+    ///
+    /// Pintool/DynamoRIO-style frontends emit one compute quantum per
+    /// basic block (conventionally ~4 instructions), where the synthetic
+    /// generator emits one coarse event per inter-access gap. Quantizing a
+    /// coarse recording reproduces that fine-grained trace shape — the
+    /// workload the cluster's compute batching is designed for — without
+    /// needing a real binary frontend. Totals are preserved exactly: the
+    /// quanta of one event sum to its original cycles and instructions,
+    /// and non-compute events are never moved, so a core driven through
+    /// the quantized trace follows the identical timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn quantize_compute(&self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be at least one instruction");
+        let mut events = Vec::with_capacity(self.events.len());
+        for &event in &self.events {
+            if let TraceEvent::Compute {
+                mut cycles,
+                mut instructions,
+            } = event
+            {
+                while instructions > quantum {
+                    // Proportional share of the remaining cycles, clamped
+                    // so the tail never underflows; any rounding remainder
+                    // lands on the final quantum.
+                    let share = (cycles * quantum / instructions).max(1).min(cycles);
+                    events.push(TraceEvent::Compute {
+                        cycles: share,
+                        instructions: quantum,
+                    });
+                    cycles -= share;
+                    instructions -= quantum;
+                }
+                events.push(TraceEvent::Compute {
+                    cycles,
+                    instructions,
+                });
+            } else {
+                events.push(event);
+            }
+        }
+        RecordedTrace {
+            name: self.name.clone(),
+            events,
+            instructions: self.instructions,
+        }
+    }
+
     /// An [`EventSource`] replaying this trace (cyclically — streams are
     /// unbounded by contract, so the replay wraps around at the end and a
     /// consumer that runs longer than the recording sees it repeated).
@@ -261,9 +350,15 @@ pub struct Replay<'a> {
 }
 
 impl EventSource for Replay<'_> {
+    #[inline]
     fn next_event(&mut self) -> TraceEvent {
         let event = self.trace.events[self.index];
-        self.index = (self.index + 1) % self.trace.events.len();
+        // Wrap with a compare, not `%`: replay feeds the cores' innermost
+        // fetch loop, where a hardware divide per event is measurable.
+        self.index += 1;
+        if self.index == self.trace.events.len() {
+            self.index = 0;
+        }
         event
     }
 
@@ -327,6 +422,75 @@ mod tests {
         let profile = WorkloadProfile::mem_bound("roundtrip");
         let mut workload = SyntheticWorkload::new(&profile, 77);
         RecordedTrace::record(&mut workload, 5_000)
+    }
+
+    #[test]
+    fn quantize_preserves_totals_and_order() {
+        let trace = sample();
+        let quantized = trace.quantize_compute(4);
+        let totals = |t: &RecordedTrace| {
+            t.events().iter().fold((0u64, 0u64), |(c, i), e| match e {
+                TraceEvent::Compute {
+                    cycles,
+                    instructions,
+                } => (c + cycles, i + instructions),
+                _ => (c, i),
+            })
+        };
+        assert_eq!(totals(&trace), totals(&quantized));
+        assert!(quantized.events().len() > trace.events().len());
+        // Every quantum respects the bound and non-compute events keep
+        // their relative order.
+        let non_compute = |t: &RecordedTrace| {
+            t.events()
+                .iter()
+                .filter(|e| !matches!(e, TraceEvent::Compute { .. }))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        for event in quantized.events() {
+            if let TraceEvent::Compute { instructions, .. } = event {
+                assert!(*instructions <= 4);
+            }
+        }
+        assert_eq!(non_compute(&trace), non_compute(&quantized));
+        // Coalescing is the exact inverse up to compute-run merging.
+        assert_eq!(
+            quantized.coalesce_compute().events(),
+            trace.coalesce_compute().events()
+        );
+    }
+
+    #[test]
+    fn quantize_handles_cycle_starved_blocks() {
+        // Fewer cycles than quanta: the tail quanta must absorb zero
+        // cycles rather than underflow.
+        let trace = RecordedTrace::from_events(
+            "starved",
+            vec![TraceEvent::Compute {
+                cycles: 2,
+                instructions: 100,
+            }],
+        );
+        let quantized = trace.quantize_compute(4);
+        let (cycles, instructions) =
+            quantized
+                .events()
+                .iter()
+                .fold((0u64, 0u64), |(c, i), e| match e {
+                    TraceEvent::Compute {
+                        cycles,
+                        instructions,
+                    } => (c + cycles, i + instructions),
+                    _ => (c, i),
+                });
+        assert_eq!((cycles, instructions), (2, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_rejected() {
+        let _ = sample().quantize_compute(0);
     }
 
     #[test]
@@ -441,6 +605,53 @@ mod tests {
         let loaded = RecordedTrace::load(&path).expect("load");
         assert_eq!(loaded, trace);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn coalesce_merges_compute_runs_only() {
+        let load = TraceEvent::MemAccess(MemAccess {
+            addr: 0x40,
+            pc: 0x1000,
+            kind: AccessKind::Load,
+            dependent: false,
+        });
+        let compute = |cycles, instructions| TraceEvent::Compute {
+            cycles,
+            instructions,
+        };
+        let trace = RecordedTrace::from_events(
+            "merge",
+            vec![
+                compute(1, 2),
+                compute(3, 4),
+                compute(5, 6),
+                load,
+                TraceEvent::Idle { cycles: 9 },
+                compute(7, 8),
+                compute(9, 10),
+            ],
+        );
+        let merged = trace.coalesce_compute();
+        assert_eq!(
+            merged.events(),
+            &[
+                compute(9, 12),
+                load,
+                TraceEvent::Idle { cycles: 9 },
+                compute(16, 18),
+            ]
+        );
+        assert_eq!(merged.instructions(), trace.instructions());
+        assert_eq!(merged.name(), trace.name());
+    }
+
+    #[test]
+    fn coalesce_is_identity_without_adjacent_computes() {
+        let trace = sample();
+        let merged = trace.coalesce_compute();
+        // The synthetic generator never emits back-to-back computes, so
+        // coalescing must be a no-op on its recordings.
+        assert_eq!(merged, trace);
     }
 
     #[test]
