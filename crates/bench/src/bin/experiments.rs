@@ -238,6 +238,7 @@ fn main() -> ExitCode {
             scale,
             jobs,
             total_wall_ms: total_wall.as_secs_f64() * 1e3,
+            fuzz: None,
             experiments: entries,
         };
         if let Err(error) = std::fs::write(&path, manifest.to_json()) {

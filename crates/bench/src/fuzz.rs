@@ -1,0 +1,149 @@
+//! The differential fuzz campaign driver.
+//!
+//! Couples the `mapg::fuzz` primitives (scenario generation, the
+//! live-vs-reference differ, shrinking, repro files) with the work-
+//! sharing pool: scenarios fan out across workers, results come back in
+//! index order, and the whole campaign is a pure function of
+//! `(campaign seed, scenario count, shrink budget)` — job count only
+//! changes wall-clock time.
+
+use mapg::fuzz::{run_scenario, shrink, FindingClass, ReproFile, Scenario, ShrinkOutcome};
+use mapg_pool::Pool;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for the scenario stream.
+    pub seed: u64,
+    /// Scenarios to generate and run.
+    pub scenarios: u64,
+    /// Shrink budget per finding (candidate evaluations; each costs one
+    /// live+reference pair).
+    pub shrink_budget: u64,
+    /// Worker threads.
+    pub jobs: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0x4D41_5047, // "MAPG"
+            scenarios: 200,
+            shrink_budget: 150,
+            jobs: mapg_pool::default_jobs(),
+        }
+    }
+}
+
+/// One divergence a campaign surfaced, already shrunk.
+#[derive(Debug, Clone)]
+pub struct CampaignFinding {
+    /// Index of the generated scenario within the campaign.
+    pub index: u64,
+    /// The scenario exactly as generated (before shrinking).
+    pub original: Scenario,
+    /// Shrinking result: minimal scenario + surviving finding.
+    pub outcome: ShrinkOutcome,
+}
+
+impl CampaignFinding {
+    /// Packages the finding as a self-contained repro file.
+    pub fn to_repro(&self, campaign_seed: u64) -> ReproFile {
+        ReproFile {
+            campaign_seed: Some(campaign_seed),
+            scenario_index: Some(self.index),
+            shrink_steps: self.outcome.steps,
+            finding_class: self.outcome.finding.class,
+            finding_detail: self.outcome.finding.detail.clone(),
+            scenario: self.outcome.scenario.clone(),
+        }
+    }
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The seed the scenario stream was generated from.
+    pub seed: u64,
+    /// Scenarios executed.
+    pub scenarios: u64,
+    /// All divergences, in scenario-index order.
+    pub findings: Vec<CampaignFinding>,
+}
+
+impl CampaignReport {
+    /// True when no scenario diverged.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Finding counts per class, most severe class first (zero-count
+    /// classes omitted).
+    pub fn class_counts(&self) -> Vec<(FindingClass, u64)> {
+        FindingClass::ALL
+            .iter()
+            .filter_map(|&class| {
+                let count = self
+                    .findings
+                    .iter()
+                    .filter(|f| f.outcome.finding.class == class)
+                    .count() as u64;
+                (count > 0).then_some((class, count))
+            })
+            .collect()
+    }
+}
+
+/// Runs a campaign: generate, diff, shrink. Scenario `i` is
+/// `Scenario::generate(config.seed, i)`; a scenario that produces a
+/// finding is shrunk immediately on the same worker.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let indices: Vec<u64> = (0..config.scenarios).collect();
+    let shrink_budget = config.shrink_budget;
+    let seed = config.seed;
+    let findings = Pool::new(config.jobs)
+        .map(indices, |index| {
+            let scenario = Scenario::generate(seed, index);
+            // Generated scenarios are valid by construction; an Err here
+            // would itself be a generator bug, surfaced as a panic.
+            let finding = run_scenario(&scenario)
+                .unwrap_or_else(|e| panic!("generated scenario {index} invalid: {e}"));
+            finding.map(|finding| CampaignFinding {
+                index,
+                outcome: shrink(&scenario, &finding, shrink_budget),
+                original: scenario,
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    CampaignReport {
+        seed: config.seed,
+        scenarios: config.scenarios,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let config = CampaignConfig {
+            seed: 0xABCD,
+            scenarios: 4,
+            shrink_budget: 10,
+            jobs: 2,
+        };
+        let a = run_campaign(&config);
+        let b = run_campaign(&CampaignConfig { jobs: 1, ..config });
+        assert_eq!(a.scenarios, b.scenarios);
+        assert_eq!(a.findings.len(), b.findings.len());
+        for (fa, fb) in a.findings.iter().zip(&b.findings) {
+            assert_eq!(fa.index, fb.index);
+            assert_eq!(fa.outcome.scenario, fb.outcome.scenario);
+            assert_eq!(fa.outcome.finding, fb.outcome.finding);
+        }
+    }
+}

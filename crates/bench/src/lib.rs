@@ -32,12 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod fuzz;
 mod manifest;
 mod scale;
 mod table;
 mod throughput;
 
-pub use manifest::{Manifest, ManifestEntry, TableSummary, MANIFEST_SCHEMA};
+pub use fuzz::{run_campaign, CampaignConfig, CampaignFinding, CampaignReport};
+pub use manifest::{
+    FuzzFindingSummary, FuzzProvenance, Manifest, ManifestEntry, TableSummary, MANIFEST_SCHEMA,
+};
 pub use scale::Scale;
 pub use table::{pct, ratio, Table};
 pub use throughput::{

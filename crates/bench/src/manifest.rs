@@ -8,10 +8,17 @@
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
 //!   "scale": "smoke",
 //!   "jobs": 4,
 //!   "total_wall_ms": 123.456,
+//!   "fuzz": {
+//!     "seed": 1,
+//!     "scenarios": 200,
+//!     "findings": [
+//!       {"scenario": 1928, "class": "panic", "shrink_steps": 4}
+//!     ]
+//!   },
 //!   "experiments": [
 //!     {
 //!       "id": "R-T1",
@@ -25,15 +32,20 @@
 //! ```
 //!
 //! Schema history: v2 added the optional per-experiment `"metrics"`
-//! object (aggregated observability counters and histograms).
+//! object (aggregated observability counters and histograms); v3 added
+//! the optional top-level `"fuzz"` object (differential-fuzz campaign
+//! provenance: campaign seed, scenario count, and one
+//! `{scenario, class, shrink_steps}` record per divergence), written by
+//! `mapg-fuzz --manifest`.
 
 use mapg_obs::MetricsRegistry;
 
+use crate::fuzz::CampaignReport;
 use crate::scale::Scale;
 use crate::table::Table;
 
 /// Schema version stamped into every manifest.
-pub const MANIFEST_SCHEMA: u32 = 2;
+pub const MANIFEST_SCHEMA: u32 = 3;
 
 /// Row counts of one rendered table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +82,52 @@ pub struct ManifestEntry {
     pub tables: Vec<TableSummary>,
 }
 
+/// One divergence of a fuzz campaign, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzFindingSummary {
+    /// Index of the diverging scenario within the campaign.
+    pub scenario: u64,
+    /// Finding class tag (e.g. `"panic"`, `"stats-mismatch"`).
+    pub class: String,
+    /// Shrink passes that were applied before the repro was written.
+    pub shrink_steps: u64,
+}
+
+/// Provenance of a differential-fuzz campaign (schema v3).
+///
+/// Everything needed to regenerate the campaign — and to locate each
+/// divergence inside it — without the repro files themselves: re-running
+/// `mapg-fuzz --seed <seed> --scenarios <scenarios>` reproduces every
+/// listed finding bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzProvenance {
+    /// Seed the scenario stream was generated from.
+    pub seed: u64,
+    /// Scenarios executed.
+    pub scenarios: u64,
+    /// Divergences, in scenario-index order (empty for a clean campaign).
+    pub findings: Vec<FuzzFindingSummary>,
+}
+
+impl FuzzProvenance {
+    /// Summarizes a finished campaign.
+    pub fn of(report: &CampaignReport) -> Self {
+        FuzzProvenance {
+            seed: report.seed,
+            scenarios: report.scenarios,
+            findings: report
+                .findings
+                .iter()
+                .map(|f| FuzzFindingSummary {
+                    scenario: f.index,
+                    class: f.outcome.finding.class.tag().to_owned(),
+                    shrink_steps: f.outcome.steps,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// A machine-readable record of one `experiments` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -79,6 +137,12 @@ pub struct Manifest {
     pub jobs: usize,
     /// Wall time of the whole run, in milliseconds.
     pub total_wall_ms: f64,
+    /// Fuzz-campaign provenance, when the run was an `mapg-fuzz`
+    /// campaign. Campaign manifests carry no experiments and tag the
+    /// `smoke` scale (the scale knob is an instruction budget, which
+    /// randomized scenarios override); the authoritative campaign size
+    /// is `fuzz.scenarios`.
+    pub fuzz: Option<FuzzProvenance>,
     /// Per-experiment records, in registry order.
     pub experiments: Vec<ManifestEntry>,
 }
@@ -99,6 +163,27 @@ impl Manifest {
             "  \"total_wall_ms\": {},\n",
             json_number(self.total_wall_ms)
         ));
+        if let Some(fuzz) = &self.fuzz {
+            out.push_str("  \"fuzz\": {\n");
+            out.push_str(&format!("    \"seed\": {},\n", fuzz.seed));
+            out.push_str(&format!("    \"scenarios\": {},\n", fuzz.scenarios));
+            out.push_str("    \"findings\": [");
+            for (i, finding) in fuzz.findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"scenario\": {}, \"class\": {}, \"shrink_steps\": {}}}",
+                    finding.scenario,
+                    json_string(&finding.class),
+                    finding.shrink_steps
+                ));
+            }
+            if !fuzz.findings.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]\n  },\n");
+        }
         out.push_str("  \"experiments\": [");
         for (i, entry) in self.experiments.iter().enumerate() {
             if i > 0 {
@@ -178,6 +263,7 @@ mod tests {
             scale: Scale::Smoke,
             jobs: 4,
             total_wall_ms: 12.3456,
+            fuzz: None,
             experiments: vec![
                 ManifestEntry {
                     id: "R-T1".to_owned(),
@@ -212,7 +298,7 @@ mod tests {
     #[test]
     fn renders_the_documented_schema() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": 2"), "{json}");
+        assert!(json.contains("\"schema\": 3"), "{json}");
         assert!(json.contains("\"scale\": \"smoke\""), "{json}");
         assert!(json.contains("\"jobs\": 4"), "{json}");
         assert!(json.contains("\"total_wall_ms\": 12.346"), "{json}");
@@ -234,9 +320,48 @@ mod tests {
             scale: Scale::Paper,
             jobs: 1,
             total_wall_ms: 0.0,
+            fuzz: None,
             experiments: Vec::new(),
         };
         assert!(manifest.to_json().contains("\"experiments\": []"));
+    }
+
+    /// Schema v3: fuzz provenance renders under `"fuzz"` with one record
+    /// per divergence; manifests without a campaign omit the key.
+    #[test]
+    fn fuzz_provenance_embeds_under_the_manifest() {
+        assert!(!sample().to_json().contains("\"fuzz\""));
+        let mut manifest = sample();
+        manifest.experiments.clear();
+        manifest.fuzz = Some(FuzzProvenance {
+            seed: 1,
+            scenarios: 2000,
+            findings: vec![
+                FuzzFindingSummary {
+                    scenario: 1928,
+                    class: "panic".to_owned(),
+                    shrink_steps: 4,
+                },
+                FuzzFindingSummary {
+                    scenario: 42,
+                    class: "stats-mismatch".to_owned(),
+                    shrink_steps: 0,
+                },
+            ],
+        });
+        let json = manifest.to_json();
+        assert!(json.contains("\"seed\": 1"), "{json}");
+        assert!(json.contains("\"scenarios\": 2000"), "{json}");
+        assert!(
+            json.contains("{\"scenario\": 1928, \"class\": \"panic\", \"shrink_steps\": 4}"),
+            "{json}"
+        );
+        assert!(json.contains("\"stats-mismatch\""), "{json}");
+
+        // A clean campaign still records its provenance.
+        manifest.fuzz.as_mut().unwrap().findings.clear();
+        let json = manifest.to_json();
+        assert!(json.contains("\"findings\": []"), "{json}");
     }
 
     #[test]

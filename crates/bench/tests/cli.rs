@@ -133,7 +133,7 @@ fn manifest_records_the_run() {
     let json = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
     for needle in [
-        "\"schema\": 2",
+        "\"schema\": 3",
         "\"metrics\": {",
         "\"counters\": {",
         "\"gates\":",
@@ -253,4 +253,58 @@ fn metrics_flag_requires_a_path_and_a_writable_target() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot write metrics"), "{err}");
+}
+
+/// `mapg-fuzz` end-to-end: a tiny clean campaign exits 0 and, with
+/// `--manifest`, records schema-3 fuzz provenance (seed, scenario count,
+/// empty findings list) with no experiment entries.
+#[test]
+fn fuzz_campaign_writes_a_provenance_manifest() {
+    let dir = std::env::temp_dir().join("mapg-fuzz-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("manifest.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_mapg-fuzz"))
+        .args([
+            "--scenarios",
+            "3",
+            "--seed",
+            "1",
+            "--jobs",
+            "2",
+            "--manifest",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("mapg-fuzz binary should spawn");
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("clean: 3 scenario(s)"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    for needle in [
+        "\"schema\": 3",
+        "\"fuzz\": {",
+        "\"seed\": 1",
+        "\"scenarios\": 3",
+        "\"findings\": []",
+        "\"experiments\": []",
+    ] {
+        assert!(json.contains(needle), "manifest missing '{needle}': {json}");
+    }
+}
+
+#[test]
+fn fuzz_rejects_bad_arguments() {
+    for args in [
+        &["--scenarios", "0"][..],
+        &["--seed", "not-a-number"],
+        &["--manifest"],
+        &["--frobnicate"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mapg-fuzz"))
+            .args(args)
+            .output()
+            .expect("mapg-fuzz binary should spawn");
+        assert!(!out.status.success(), "{args:?} should be rejected");
+    }
 }

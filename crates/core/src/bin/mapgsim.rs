@@ -4,14 +4,17 @@
 //! mapgsim --workload mcf_like --policy mapg --instructions 1000000
 //! mapgsim --workload mem_bound --policy mapg --compare   # vs no-gating
 //! mapgsim --workload mem_bound --fault-plan moderate --safe-mode
+//! mapgsim --repro fuzz-artifacts/repro-00017.json   # replay a fuzz finding
 //! mapgsim --list-workloads
 //! mapgsim --list-policies
 //! ```
 
 use std::fmt::Display;
+use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
 
+use mapg::fuzz::ReproFile;
 use mapg::{FaultPlan, PolicyKind, PredictorKind, SimConfig, Simulation};
 use mapg_trace::{WorkloadProfile, WorkloadSuite};
 
@@ -69,6 +72,9 @@ fn usage() {
          \x20 --trace PATH         write a Chrome trace_event JSON (Perfetto-loadable)\n\
          \x20                      of the run's power-gating events\n\
          \x20 --metrics PATH       write the run's counters and histograms as JSON\n\
+         \x20 --repro FILE         replay a fuzz repro file through the live and\n\
+         \x20                      reference stacks; exits nonzero if it still\n\
+         \x20                      diverges (conflicts with every run-shaping flag)\n\
          \x20 --list-workloads     print available workload names\n\
          \x20 --list-policies     print available policy names"
     );
@@ -109,9 +115,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut compare = false;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut repro_path: Option<String> = None;
+    // Flags that shape a run, recorded when explicitly given: `--repro`
+    // replays a self-contained scenario, so combining it with any of them
+    // is a contradiction worth rejecting rather than silently ignoring.
+    let mut run_flags: Vec<String> = Vec::new();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        if matches!(
+            arg.as_str(),
+            "--workload"
+                | "--policy"
+                | "--instructions"
+                | "--cores"
+                | "--seed"
+                | "--tokens"
+                | "--switch-width"
+                | "--fault-plan"
+                | "--safe-mode"
+                | "--compare"
+                | "--trace"
+                | "--metrics"
+        ) {
+            run_flags.push(arg.clone());
+        }
         match arg.as_str() {
             "--help" | "-h" => {
                 usage();
@@ -164,10 +192,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--metrics" => {
                 metrics_path = Some(parse_value(arg, "path", iter.next())?);
             }
+            "--repro" => {
+                repro_path = Some(parse_value(arg, "path", iter.next())?);
+            }
             other => {
                 return Err(format!("unknown option '{other}' (try --help)"));
             }
         }
+    }
+
+    if let Some(path) = &repro_path {
+        if !run_flags.is_empty() {
+            return Err(format!(
+                "--repro replays a self-contained recorded scenario; drop {}",
+                run_flags.join(", ")
+            ));
+        }
+        return replay_repro(path);
     }
 
     if compare && (trace_path.is_some() || metrics_path.is_some()) {
@@ -265,4 +306,33 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `--repro` mode: replay a fuzz repro file through the differential
+/// oracle (live vs reference stack plus reconciliation laws) and exit
+/// nonzero when any divergence still reproduces.
+fn replay_repro(path: &str) -> Result<ExitCode, String> {
+    let repro = ReproFile::load(Path::new(path)).map_err(|e| e.to_string())?;
+    println!("repro      : {path}");
+    if let (Some(seed), Some(index)) = (repro.campaign_seed, repro.scenario_index) {
+        println!(
+            "provenance : campaign seed {seed}, scenario {index}, {} shrink step(s)",
+            repro.shrink_steps
+        );
+    }
+    println!(
+        "recorded   : {} — {}",
+        repro.finding_class, repro.finding_detail
+    );
+    match repro.replay().map_err(|e| e.to_string())? {
+        Some(finding) => {
+            println!("replay     : {} — {}", finding.class, finding.detail);
+            eprintln!("error: divergence still reproduces");
+            Ok(ExitCode::FAILURE)
+        }
+        None => {
+            println!("replay     : clean (both stacks agree, all laws hold)");
+            Ok(ExitCode::SUCCESS)
+        }
+    }
 }

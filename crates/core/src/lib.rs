@@ -37,6 +37,7 @@
 //! | mechanism | [`GatingFsm`], [`PgState`], [`TokenManager`], [`Controller`] |
 //! | harness | [`Simulation`], [`SimConfig`], [`RunReport`], [`SuiteRunner`], [`SuiteMatrix`] |
 //! | robustness | [`FaultPlan`], [`FaultStats`], [`InvariantReport`], [`Watchdog`], [`DegradationStats`], [`MapgError`] |
+//! | fuzzing | [`fuzz::Scenario`], [`fuzz::Finding`], [`fuzz::ShrinkOutcome`], [`fuzz::ReproFile`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +46,7 @@ mod controller;
 mod error;
 mod faults;
 mod fsm;
+pub mod fuzz;
 mod invariants;
 mod policy;
 mod predictor;

@@ -7,7 +7,7 @@ use mapg_obs::{MetricsHub, ObsHandle};
 use mapg_power::{
     DramEnergyModel, EnergyCategory, PgCircuitDesign, RetentionStyle, TechnologyParams,
 };
-use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+use mapg_trace::{EventSource, RecordedTrace, SyntheticWorkload, WorkloadProfile};
 use mapg_units::{Cycle, Cycles};
 
 use crate::controller::{Controller, ControllerConfig};
@@ -53,6 +53,7 @@ pub struct SimConfig {
     metrics: bool,
     metrics_hub: Option<MetricsHub>,
     reference_scheduler: bool,
+    compute_quantum: Option<u64>,
 }
 
 impl SimConfig {
@@ -313,6 +314,39 @@ impl SimConfig {
         self
     }
 
+    /// Drives the cluster from **quantized recordings** instead of live
+    /// synthetic generators: each core's workload is recorded to the
+    /// instruction budget, compute runs are re-chunked at basic-block
+    /// granularity (`quantum` instructions — see
+    /// [`mapg_trace::RecordedTrace::quantize_compute`]), and the run
+    /// replays the recording. This is the throughput benchmark's workload
+    /// shape, where compute batching folds the most events; exposing it
+    /// here lets the differential fuzzer drive the full controller stack
+    /// through the replay path too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn with_compute_quantum(self, quantum: u64) -> Self {
+        match self.try_with_compute_quantum(quantum) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::with_compute_quantum`] for user input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapgError::InvalidConfig`] if `quantum` is zero.
+    pub fn try_with_compute_quantum(mut self, quantum: u64) -> Result<Self, MapgError> {
+        if quantum == 0 {
+            return Err(MapgError::invalid("compute quantum must be non-zero"));
+        }
+        self.compute_quantum = Some(quantum);
+        Ok(self)
+    }
+
     /// Runs on the frozen seed stack ([`mapg_cpu::ReferenceCluster`]: the
     /// retained per-event linear-scan scheduler over the seed memory
     /// hierarchy) instead of the optimized one.
@@ -387,7 +421,34 @@ impl Default for SimConfig {
             metrics: false,
             metrics_hub: None,
             reference_scheduler: false,
+            compute_quantum: None,
         }
+    }
+}
+
+/// Builds the selected cluster around `sources`, runs it to the budget,
+/// and returns the end-of-run statistics. Generic over the event source so
+/// the live-synthetic, quantized-replay, and reference paths share one
+/// driving routine (the fuzzer differentially crosses all of them).
+fn drive_cluster<S: EventSource>(
+    reference: bool,
+    core: CoreConfig,
+    memory: HierarchyConfig,
+    sources: Vec<S>,
+    obs: &ObsHandle,
+    controller: &mut Controller,
+    instructions_per_core: u64,
+) -> Result<mapg_cpu::ClusterStats, MapgError> {
+    if reference {
+        let mut cluster = mapg_cpu::ReferenceCluster::try_new(core, memory, sources)?;
+        cluster.set_obs(obs.clone());
+        cluster.try_run(instructions_per_core, controller)?;
+        Ok(cluster.stats())
+    } else {
+        let mut cluster = Cluster::try_new(core, memory, sources)?;
+        cluster.set_obs(obs.clone());
+        cluster.try_run(instructions_per_core, controller)?;
+        Ok(cluster.stats())
     }
 }
 
@@ -469,16 +530,37 @@ impl Simulation {
         if !config.fault_plan.is_nop() {
             memory.dram_faults = config.fault_plan.dram_faults(config.seed);
         }
-        let cluster_stats = if config.reference_scheduler {
-            let mut cluster = mapg_cpu::ReferenceCluster::try_new(config.core, memory, sources)?;
-            cluster.set_obs(obs.clone());
-            cluster.try_run(config.instructions_per_core, &mut controller)?;
-            cluster.stats()
-        } else {
-            let mut cluster = Cluster::try_new(config.core, memory, sources)?;
-            cluster.set_obs(obs.clone());
-            cluster.try_run(config.instructions_per_core, &mut controller)?;
-            cluster.stats()
+        let cluster_stats = match config.compute_quantum {
+            Some(quantum) => {
+                // Record each generator to the budget, re-chunk compute at
+                // the quantum, and drive the cluster from the replays. The
+                // traces must outlive the cluster ([`Replay`] borrows).
+                let traces: Vec<RecordedTrace> = sources
+                    .into_iter()
+                    .map(|mut workload| {
+                        RecordedTrace::record(&mut workload, config.instructions_per_core)
+                            .quantize_compute(quantum)
+                    })
+                    .collect();
+                drive_cluster(
+                    config.reference_scheduler,
+                    config.core,
+                    memory,
+                    traces.iter().map(RecordedTrace::replay).collect(),
+                    &obs,
+                    &mut controller,
+                    config.instructions_per_core,
+                )?
+            }
+            None => drive_cluster(
+                config.reference_scheduler,
+                config.core,
+                memory,
+                sources,
+                &obs,
+                &mut controller,
+                config.instructions_per_core,
+            )?,
         };
         let final_times: Vec<Cycle> = cluster_stats
             .per_core
@@ -817,6 +899,39 @@ mod tests {
             "healthy run tripped the watchdog: {}",
             report.degradation
         );
+    }
+
+    #[test]
+    fn quantized_replay_agrees_across_schedulers() {
+        // The quantized-recording path must preserve the event-wheel ↔
+        // reference equivalence end-to-end (controller included).
+        let config = quick()
+            .with_cores(2)
+            .with_instructions(20_000)
+            .with_seed(11)
+            .with_compute_quantum(4);
+        let live = Simulation::new(config.clone(), PolicyKind::Mapg).run();
+        let reference = Simulation::new(config.with_reference_scheduler(), PolicyKind::Mapg).run();
+        assert_eq!(live, reference);
+    }
+
+    #[test]
+    fn quantized_replay_is_deterministic() {
+        let mk = || {
+            quick()
+                .with_instructions(15_000)
+                .with_compute_quantum(7)
+                .with_seed(3)
+        };
+        let a = Simulation::new(mk(), PolicyKind::Mapg).run();
+        let b = Simulation::new(mk(), PolicyKind::Mapg).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_compute_quantum_rejected() {
+        let err = SimConfig::default().try_with_compute_quantum(0);
+        assert!(err.is_err());
     }
 
     #[test]

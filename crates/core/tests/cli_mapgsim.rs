@@ -141,10 +141,72 @@ fn capture_flags_reject_compare() {
 
 #[test]
 fn capture_flags_need_values() {
-    for flag in ["--trace", "--metrics"] {
+    for flag in ["--trace", "--metrics", "--repro"] {
         let out = run(&[flag]);
         assert!(!out.status.success(), "bare {flag} should fail");
         let err = String::from_utf8(out.stderr).unwrap();
         assert!(err.contains("needs a path"), "{err}");
     }
+}
+
+fn committed_repro() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros/region-starved-panic.json")
+}
+
+/// A committed (fixed) repro replays clean: exit 0 and a provenance line.
+#[test]
+fn repro_replay_of_a_fixed_bug_exits_zero() {
+    let path = committed_repro();
+    let out = run(&["--repro", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("campaign seed 1"), "{stdout}");
+    assert!(stdout.contains("replay     : clean"), "{stdout}");
+}
+
+/// `--repro` is self-contained; every run-shaping flag conflicts with it,
+/// in either order, and the error names the offending flag.
+#[test]
+fn repro_rejects_run_shaping_flags() {
+    let path = committed_repro();
+    let path = path.to_str().unwrap();
+    for extra in [
+        ["--cores", "4"],
+        ["--policy", "mapg"],
+        ["--seed", "7"],
+        ["--fault-plan", "light"],
+        ["--compare", "--safe-mode"],
+    ] {
+        let out = run(&["--repro", path, extra[0], extra[1]]);
+        assert!(!out.status.success(), "{extra:?} should conflict");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error: --repro replays"), "{err}");
+        assert!(err.contains(extra[0]), "{err} should name {}", extra[0]);
+    }
+    // Flag order must not matter.
+    let out = run(&["--workload", "mixed", "--repro", path]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--workload"), "{err}");
+}
+
+#[test]
+fn repro_with_missing_file_is_a_clean_error() {
+    let out = run(&["--repro", "/nonexistent-dir/repro.json"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error: cannot read"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn repro_with_garbage_json_is_a_clean_error() {
+    let path = temp_file("mapgsim-cli-repro-test", "garbage.json");
+    std::fs::write(&path, "{\"schema\": 1, \"truncated").unwrap();
+    let out = run(&["--repro", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
 }

@@ -1,0 +1,93 @@
+//! Committed crash-repro regression suite.
+//!
+//! Every JSON file under `tests/repros/` is a shrunk scenario the
+//! differential fuzzer once flagged (the `finding_class`/`finding_detail`
+//! fields record what it produced at the time). The bugs are fixed, so
+//! replaying each file through the live-vs-reference oracle must come
+//! back clean — if a finding ever reproduces again, the fix regressed.
+//!
+//! To pin a new repro: run `mapg-fuzz --out DIR`, fix the bug, copy the
+//! repro JSON here, and confirm `mapgsim --repro FILE` exits 0.
+
+use std::path::PathBuf;
+
+use mapg::fuzz::ReproFile;
+
+fn repro_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no repro files in {} — the suite must cover at least one fixed bug",
+        dir.display()
+    );
+    files
+}
+
+/// Each committed repro replays bit-for-bit and no longer diverges.
+#[test]
+fn committed_repros_stay_fixed() {
+    for path in repro_files() {
+        let repro = ReproFile::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = repro
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            outcome,
+            None,
+            "{}: recorded bug ({}: {}) reproduced again",
+            path.display(),
+            repro.finding_class,
+            repro.finding_detail
+        );
+    }
+}
+
+/// The committed files round-trip through the writer, so hand edits that
+/// drift from the schema are caught here rather than in a fuzz run.
+#[test]
+fn committed_repros_round_trip() {
+    for path in repro_files() {
+        let text = std::fs::read_to_string(&path).expect("readable repro");
+        let repro =
+            ReproFile::from_json_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let back = ReproFile::from_json_text(&repro.to_json_text())
+            .unwrap_or_else(|e| panic!("{}: re-rendered form unreadable: {e}", path.display()));
+        assert_eq!(repro, back, "{}", path.display());
+    }
+}
+
+/// Provenance check: the recorded `(campaign_seed, scenario_index)` must
+/// regenerate a scenario that the recorded shrink count could have come
+/// from — guarding against hand-edited provenance that points nowhere.
+#[test]
+fn committed_repros_carry_generatable_provenance() {
+    use mapg::fuzz::Scenario;
+    for path in repro_files() {
+        let repro = ReproFile::load(&path).expect("loadable repro");
+        let (Some(seed), Some(index)) = (repro.campaign_seed, repro.scenario_index) else {
+            continue; // hand-written repro without campaign provenance
+        };
+        let original = Scenario::generate(seed, index);
+        if repro.shrink_steps == 0 {
+            assert_eq!(
+                original,
+                repro.scenario,
+                "{}: unshrunk repro does not match its provenance",
+                path.display()
+            );
+        } else {
+            assert_ne!(
+                original,
+                repro.scenario,
+                "{}: shrink steps recorded but scenario is unshrunk",
+                path.display()
+            );
+        }
+    }
+}

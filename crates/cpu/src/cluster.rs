@@ -305,6 +305,38 @@ mod tests {
         assert!(second > first);
     }
 
+    /// Single-core clusters drive the run-ahead loop against an *empty*
+    /// heap for the whole run: `replace_min` must hand the lone core its
+    /// key straight back every iteration, and the run must still hit the
+    /// target exactly as a multi-core run would.
+    #[test]
+    fn single_core_cluster_runs_ahead_to_target() {
+        let mut cluster = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            mem_sources(1),
+        );
+        cluster.run(20_000, &mut PassiveHandler);
+        assert!(cluster.stats().per_core[0].instructions >= 20_000);
+        // And again: re-admission of the lone finished core.
+        cluster.run(20_000, &mut PassiveHandler);
+        assert!(cluster.stats().per_core[0].instructions >= 40_000);
+    }
+
+    /// A zero-instruction budget would admit no cores (an empty heap from
+    /// the start); `run` pins that degenerate case behind an explicit
+    /// assert rather than silently doing nothing.
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn zero_budget_run_is_rejected() {
+        let mut cluster = Cluster::new(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            mem_sources(2),
+        );
+        cluster.run(0, &mut PassiveHandler);
+    }
+
     #[test]
     fn cluster_is_deterministic() {
         let run = || {

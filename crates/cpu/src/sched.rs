@@ -202,6 +202,86 @@ mod tests {
         assert_eq!(solo.len(), 0);
     }
 
+    /// The run-ahead fast path on an empty heap: a lone core must keep
+    /// running (its key comes straight back) and the heap must stay
+    /// untouched — this is every single-core simulation's steady state.
+    #[test]
+    fn replace_min_on_empty_heap_returns_key_unchanged() {
+        let mut heap = SchedHeap::with_capacity(1);
+        for at in [0, 7, u64::MAX] {
+            let k = key(at, 0);
+            assert_eq!(heap.replace_min(k), k);
+            assert_eq!(heap.len(), 0);
+        }
+    }
+
+    /// While the runner still outranks every scheduled core, `replace_min`
+    /// must not move anything: no swap, no sift, heap bit-identical.
+    #[test]
+    fn replace_min_fast_path_leaves_heap_untouched() {
+        let mut heap = SchedHeap::with_capacity(3);
+        heap.push(key(50, 1));
+        heap.push(key(60, 2));
+        let runner = key(49, 0);
+        assert_eq!(heap.replace_min(runner), runner);
+        assert_eq!(heap.peek(), Some(key(50, 1)));
+        assert_eq!(heap.len(), 2);
+    }
+
+    /// Tie-breaking through the fused path, both directions: at equal
+    /// times the lower index must win, whether it is the runner or the
+    /// scheduled core. A `<=` in place of `<` in either comparison would
+    /// flip one of these and diverge from the reference scan.
+    #[test]
+    fn replace_min_resolves_ties_by_index() {
+        // Scheduled core 1 ties the runner (index 2): core 1 preempts.
+        let mut heap = SchedHeap::with_capacity(2);
+        heap.push(key(100, 1));
+        assert_eq!(heap.replace_min(key(100, 2)), key(100, 1));
+        assert_eq!(heap.peek(), Some(key(100, 2)));
+
+        // Runner (index 0) ties scheduled core 1: the runner keeps going.
+        let mut heap = SchedHeap::with_capacity(2);
+        heap.push(key(100, 1));
+        assert_eq!(heap.replace_min(key(100, 0)), key(100, 0));
+        assert_eq!(heap.peek(), Some(key(100, 1)));
+    }
+
+    /// Draining to empty and re-admitting (what incremental `Cluster::run`
+    /// calls do when finished cores rejoin) must behave like a fresh heap.
+    #[test]
+    fn drain_then_readmit_behaves_like_fresh() {
+        let mut heap = SchedHeap::with_capacity(2);
+        heap.push(key(10, 0));
+        assert_eq!(heap.pop(), Some(key(10, 0)));
+        assert_eq!(heap.pop(), None);
+        heap.push(key(5, 1));
+        heap.push(key(3, 0));
+        assert_eq!(heap.replace_min(key(4, 2)), key(3, 0));
+        assert_eq!(heap.pop(), Some(key(4, 2)));
+        assert_eq!(heap.pop(), Some(key(5, 1)));
+        assert_eq!(heap.pop(), None);
+    }
+
+    /// Partial child families at every size around the branching factor:
+    /// the sift-down child scan must clamp at `len` without skipping or
+    /// over-reading (sizes 1..=6 cross the one-level/two-level boundary
+    /// of the 4-ary layout).
+    #[test]
+    fn partial_child_families_sort_correctly() {
+        for n in 1..=6u32 {
+            let mut heap = SchedHeap::with_capacity(n as usize);
+            // Descending pushes force a sift on every insert and leave the
+            // worst-case arrangement for the pops.
+            for index in 0..n {
+                heap.push(key(u64::from(n - index) * 10, index));
+            }
+            let popped: Vec<u32> = std::iter::from_fn(|| heap.pop()).map(|k| k.index).collect();
+            let expected: Vec<u32> = (0..n).rev().collect();
+            assert_eq!(popped, expected, "n = {n}");
+        }
+    }
+
     #[test]
     fn random_workout_matches_sorted_order() {
         // Deterministic xorshift stream of keys; popping must sort them.

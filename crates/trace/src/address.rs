@@ -75,21 +75,31 @@ impl AddressStream {
     /// Creates a stream over `working_set_bytes` bytes split into `regions`
     /// equal hot regions with the given sequential-continuation probability.
     ///
+    /// A working set too small to give every region a full cache line
+    /// degenerates gracefully: the region count is clamped so each region
+    /// holds at least one line (a 64 B working set is always one region,
+    /// whatever was asked for). Differential fuzzing found the old
+    /// panic-on-starved-regions contract reachable through profiles the
+    /// `ProfileBuilder` accepts, which turned `Simulation::run` into a
+    /// crash on tiny working sets.
+    ///
     /// # Panics
     ///
-    /// Panics if the working set is smaller than one line per region, if
-    /// `regions` is zero, or if `spatial_locality` is outside `[0, 1)`.
+    /// Panics if the working set is smaller than one line, if `regions` is
+    /// zero, or if `spatial_locality` is outside `[0, 1)`.
     pub fn new(working_set_bytes: u64, spatial_locality: f64, regions: u32) -> Self {
         assert!(regions > 0, "need at least one region");
         assert!(
             (0.0..1.0).contains(&spatial_locality),
             "locality must be in [0,1), got {spatial_locality}"
         );
-        let region_bytes = working_set_bytes / u64::from(regions);
         assert!(
-            region_bytes >= LINE_BYTES,
-            "working set too small: {working_set_bytes} B across {regions} regions"
+            working_set_bytes >= LINE_BYTES,
+            "working set must hold at least one line, got {working_set_bytes} B"
         );
+        let line_budget = working_set_bytes / LINE_BYTES;
+        let regions = u64::from(regions).min(line_budget).max(1) as u32;
+        let region_bytes = working_set_bytes / u64::from(regions);
         let cursors = (0..u64::from(regions)).map(|r| r * region_bytes).collect();
         AddressStream {
             working_set_bytes,
@@ -169,6 +179,23 @@ mod tests {
         }
     }
 
+    /// Fuzz regression: a working set smaller than one line per requested
+    /// region used to panic from deep inside `Simulation::run`; it must
+    /// degrade to fewer regions instead.
+    #[test]
+    fn starved_regions_clamp_instead_of_panicking() {
+        let mut s = AddressStream::new(64, 0.99, 8);
+        assert_eq!(s.regions(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let (addr, _) = s.next_addr(&mut rng);
+            assert!(addr < 64, "address {addr:#x} escaped working set");
+        }
+        // Enough lines for every requested region: no clamping.
+        let s = AddressStream::new(4 << 10, 0.5, 8);
+        assert_eq!(s.regions(), 8);
+    }
+
     #[test]
     fn locality_mixture_approximates_parameter() {
         let mut s = AddressStream::new(1 << 20, 0.8, 2);
@@ -219,9 +246,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "working set too small")]
+    #[should_panic(expected = "working set must hold at least one line")]
     fn rejects_tiny_working_set() {
-        let _ = AddressStream::new(128, 0.5, 4);
+        let _ = AddressStream::new(32, 0.5, 1);
+    }
+
+    /// 128 B across 4 requested regions used to be rejected; it now clamps
+    /// to the 2 regions the line budget allows.
+    #[test]
+    fn sub_line_regions_clamp() {
+        assert_eq!(AddressStream::new(128, 0.5, 4).regions(), 2);
     }
 
     #[test]
