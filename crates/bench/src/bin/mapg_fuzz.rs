@@ -4,6 +4,9 @@
 //! mapg-fuzz                                  # 200 scenarios, default seed
 //! mapg-fuzz --scenarios 2000 --seed 7        # bigger sweep
 //! mapg-fuzz --out fuzz-artifacts             # write repro JSONs on divergence
+//! mapg-fuzz --max-seconds 60                 # wall-clock budget
+//! mapg-fuzz --journal j.json                 # crash-safe completion journal
+//! mapg-fuzz --resume j.json                  # replay completed scenarios
 //! ```
 //!
 //! Every scenario runs through the live event-wheel stack and the frozen
@@ -11,22 +14,36 @@
 //! ledger non-reconciliation, trace/metrics asymmetry, panic) is shrunk
 //! to a minimal scenario and written as a self-contained repro file that
 //! `mapgsim --repro FILE` replays. Exit status is nonzero when any
-//! scenario diverged, so CI can gate on a clean campaign.
+//! scenario diverged or was quarantined, so CI can gate on a clean
+//! campaign.
+//!
+//! `--max-seconds N` bounds the campaign's wall clock: once elapsed no
+//! new scenario starts, in-flight scenarios finish, and the manifest /
+//! journal stay valid with `executed < scenarios`. `--journal FILE`
+//! records every completed scenario atomically; `--resume FILE` replays
+//! those completions verbatim, producing byte-identical repro files and
+//! manifest without re-executing finished work.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mapg_bench::{run_campaign, CampaignConfig, FuzzProvenance, Manifest, Scale};
+use mapg_bench::{
+    run_campaign_supervised, CampaignConfig, FuzzProvenance, Journal, Manifest, Scale,
+};
 
 const USAGE: &str = "usage: mapg-fuzz [--scenarios N] [--seed S] [--shrink-budget N] \
-     [--jobs N] [--out DIR] [--manifest FILE]";
+     [--jobs N] [--out DIR] [--manifest FILE] [--max-seconds N] \
+     [--journal FILE | --resume FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = CampaignConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut manifest_path: Option<PathBuf> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    let mut resume_path: Option<PathBuf> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -83,6 +100,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--max-seconds" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--max-seconds needs a value (seconds > 0)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<f64>() {
+                    Ok(n) if n > 0.0 && n.is_finite() => config.max_seconds = Some(n),
+                    _ => {
+                        eprintln!("invalid budget '{value}' (need seconds > 0)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--out" => {
                 let Some(path) = iter.next() else {
                     eprintln!("--out needs a directory path");
@@ -97,6 +127,20 @@ fn main() -> ExitCode {
                 };
                 manifest_path = Some(PathBuf::from(path));
             }
+            "--journal" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--journal needs a journal path");
+                    return ExitCode::FAILURE;
+                };
+                journal_path = Some(PathBuf::from(path));
+            }
+            "--resume" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--resume needs a journal path");
+                    return ExitCode::FAILURE;
+                };
+                resume_path = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -107,6 +151,35 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if journal_path.is_some() && resume_path.is_some() {
+        eprintln!("--journal and --resume are exclusive (resume continues its own journal)");
+        return ExitCode::FAILURE;
+    }
+    // The context pins the campaign identity; jobs and wall-clock budget
+    // only change scheduling, never which scenario produces what.
+    let context = format!(
+        "mapg-fuzz seed={} scenarios={} shrink-budget={}",
+        config.seed, config.scenarios, config.shrink_budget
+    );
+    let journal: Option<Arc<Mutex<Journal>>> =
+        match resume_path.as_deref().or(journal_path.as_deref()) {
+            None => None,
+            Some(path) => {
+                if resume_path.is_some() && !path.exists() {
+                    eprintln!("cannot resume: journal '{}' does not exist", path.display());
+                    return ExitCode::FAILURE;
+                }
+                match Journal::open(path, &context) {
+                    Ok(journal) => Some(Arc::new(Mutex::new(journal))),
+                    Err(error) => {
+                        eprintln!("{error}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+    let journaled = journal.is_some();
 
     println!(
         "# MAPG differential fuzz — {} scenario(s), seed {}, {} job(s)",
@@ -119,12 +192,12 @@ fn main() -> ExitCode {
     let quiet_panics = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let started = Instant::now();
-    let report = run_campaign(&config);
+    let report = run_campaign_supervised(&config, journal);
     let elapsed = started.elapsed();
     std::panic::set_hook(quiet_panics);
 
     if let Some(dir) = &out_dir {
-        if !report.is_clean() {
+        if !report.findings.is_empty() {
             if let Err(error) = std::fs::create_dir_all(dir) {
                 eprintln!("cannot create '{}': {error}", dir.display());
                 return ExitCode::FAILURE;
@@ -154,29 +227,48 @@ fn main() -> ExitCode {
             }
         }
     }
+    for failure in &report.failures {
+        println!(
+            "QUARANTINED scenario {:05}: {} after {} attempt(s)",
+            failure.index, failure.outcome, failure.attempts
+        );
+    }
 
     if let Some(path) = &manifest_path {
         // Campaign manifests carry no experiments; the scale tag is
         // nominal (scenarios pick their own instruction budgets) and the
         // authoritative campaign size lives under `fuzz.scenarios`.
+        // Journaled manifests zero the wall time so an interrupted-then-
+        // resumed campaign's manifest is byte-identical to a clean one.
         let manifest = Manifest {
             scale: Scale::Smoke,
             jobs: config.jobs,
-            total_wall_ms: elapsed.as_secs_f64() * 1e3,
+            total_wall_ms: if journaled {
+                0.0
+            } else {
+                elapsed.as_secs_f64() * 1e3
+            },
             fuzz: Some(FuzzProvenance::of(&report)),
             experiments: Vec::new(),
         };
-        if let Err(error) = std::fs::write(path, manifest.to_json()) {
+        if let Err(error) = mapg::write_atomic(Path::new(path), manifest.to_json().as_bytes()) {
             eprintln!("cannot write manifest '{}': {error}", path.display());
             return ExitCode::FAILURE;
         }
         eprintln!("[manifest written to {}]", path.display());
     }
 
+    let skipped = report.scenarios - report.executed - report.failures.len() as u64;
+    if skipped > 0 {
+        println!(
+            "budget: {skipped} of {} scenario(s) not started (--max-seconds reached)",
+            report.scenarios
+        );
+    }
     if report.is_clean() {
         println!(
             "clean: {} scenario(s) agreed across both stacks in {elapsed:.2?}",
-            report.scenarios
+            report.executed
         );
         ExitCode::SUCCESS
     } else {
@@ -184,9 +276,10 @@ fn main() -> ExitCode {
             println!("  {class}: {count}");
         }
         println!(
-            "{} of {} scenario(s) diverged in {elapsed:.2?}",
+            "{} of {} scenario(s) diverged ({} quarantined) in {elapsed:.2?}",
             report.findings.len(),
-            report.scenarios
+            report.executed,
+            report.failures.len()
         );
         ExitCode::FAILURE
     }

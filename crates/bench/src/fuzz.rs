@@ -1,14 +1,27 @@
 //! The differential fuzz campaign driver.
 //!
 //! Couples the `mapg::fuzz` primitives (scenario generation, the
-//! live-vs-reference differ, shrinking, repro files) with the work-
-//! sharing pool: scenarios fan out across workers, results come back in
-//! index order, and the whole campaign is a pure function of
-//! `(campaign seed, scenario count, shrink budget)` — job count only
-//! changes wall-clock time.
+//! live-vs-reference differ, shrinking, repro files) with the
+//! supervised pool: scenarios fan out across workers under optional
+//! per-scenario deadlines and an optional campaign wall-clock budget,
+//! results come back in index order, and an uninterrupted campaign is
+//! a pure function of `(campaign seed, scenario count, shrink budget)`
+//! — job count only changes wall-clock time.
+//!
+//! With a [`Journal`] attached ([`run_campaign_supervised`]), every
+//! completed scenario is appended as it finishes (payload: the repro
+//! JSON for a divergence, empty for a clean scenario). Resuming from
+//! that journal replays completed scenarios verbatim instead of
+//! re-executing them, reproducing the same report — and therefore the
+//! same repro files and manifest — byte for byte.
 
-use mapg::fuzz::{run_scenario, shrink, FindingClass, ReproFile, Scenario, ShrinkOutcome};
-use mapg_pool::Pool;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mapg::fuzz::{run_scenario, shrink, Finding, FindingClass, ReproFile, Scenario, ShrinkOutcome};
+use mapg_pool::{JobOutcome, Supervisor};
+
+use crate::journal::{Journal, JournalEntry};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -22,6 +35,14 @@ pub struct CampaignConfig {
     pub shrink_budget: u64,
     /// Worker threads.
     pub jobs: usize,
+    /// Per-scenario wall-clock deadline. A scenario (including its
+    /// shrink) that exceeds it is quarantined as a
+    /// [`CampaignFailure`] instead of hanging the campaign.
+    pub deadline: Option<Duration>,
+    /// Campaign wall-clock budget (`--max-seconds`). Once elapsed, no
+    /// new scenario starts; in-flight scenarios finish and the report
+    /// stays valid with `executed < scenarios`.
+    pub max_seconds: Option<f64>,
 }
 
 impl Default for CampaignConfig {
@@ -31,6 +52,8 @@ impl Default for CampaignConfig {
             scenarios: 200,
             shrink_budget: 150,
             jobs: mapg_pool::default_jobs(),
+            deadline: None,
+            max_seconds: None,
         }
     }
 }
@@ -58,6 +81,38 @@ impl CampaignFinding {
             scenario: self.outcome.scenario.clone(),
         }
     }
+
+    /// Rebuilds a finding from its journaled repro payload. The
+    /// shrink-run count is not stored in repro files and comes back as
+    /// zero; every field that reaches a deterministic output (repro
+    /// JSON, manifest summary) round-trips exactly.
+    fn from_repro(repro: &ReproFile, campaign_seed: u64) -> Option<CampaignFinding> {
+        let index = repro.scenario_index?;
+        Some(CampaignFinding {
+            index,
+            original: Scenario::generate(campaign_seed, index),
+            outcome: ShrinkOutcome {
+                scenario: repro.scenario.clone(),
+                finding: Finding {
+                    class: repro.finding_class,
+                    detail: repro.finding_detail.clone(),
+                },
+                steps: repro.shrink_steps,
+                runs: 0,
+            },
+        })
+    }
+}
+
+/// A scenario the supervisor quarantined instead of finishing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignFailure {
+    /// Index of the scenario within the campaign.
+    pub index: u64,
+    /// Outcome label: `panicked`, `timed-out`, or `cancelled`.
+    pub outcome: String,
+    /// Attempts the supervisor made.
+    pub attempts: u32,
 }
 
 /// A finished campaign.
@@ -65,16 +120,23 @@ impl CampaignFinding {
 pub struct CampaignReport {
     /// The seed the scenario stream was generated from.
     pub seed: u64,
-    /// Scenarios executed.
+    /// Scenarios the campaign was asked for.
     pub scenarios: u64,
+    /// Scenarios that completed (fresh or replayed from a journal).
+    /// Less than `scenarios` when a `--max-seconds` budget stopped the
+    /// campaign early or the supervisor quarantined jobs.
+    pub executed: u64,
     /// All divergences, in scenario-index order.
     pub findings: Vec<CampaignFinding>,
+    /// Quarantined scenarios (panicked / timed out), in index order.
+    pub failures: Vec<CampaignFailure>,
 }
 
 impl CampaignReport {
-    /// True when no scenario diverged.
+    /// True when every executed scenario completed without divergence
+    /// and nothing was quarantined.
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
+        self.findings.is_empty() && self.failures.is_empty()
     }
 
     /// Finding counts per class, most severe class first (zero-count
@@ -94,33 +156,145 @@ impl CampaignReport {
     }
 }
 
+/// What one supervised scenario job produced.
+enum RunSlot {
+    /// Ran to completion (divergence or clean).
+    Done(Box<Option<CampaignFinding>>),
+    /// Not started: the campaign budget was already exhausted.
+    Skipped,
+}
+
 /// Runs a campaign: generate, diff, shrink. Scenario `i` is
 /// `Scenario::generate(config.seed, i)`; a scenario that produces a
-/// finding is shrunk immediately on the same worker.
+/// finding is shrunk immediately on the same worker. Equivalent to
+/// [`run_campaign_supervised`] without a journal.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let indices: Vec<u64> = (0..config.scenarios).collect();
-    let shrink_budget = config.shrink_budget;
+    run_campaign_supervised(config, None)
+}
+
+/// Runs a campaign under full supervision, optionally journaling every
+/// completed scenario for crash-safe resume.
+///
+/// With `journal`, scenarios already recorded there (digest-verified)
+/// are replayed from their stored payload instead of re-executed, and
+/// every fresh completion is appended as it lands — a SIGKILL at any
+/// instant loses at most the in-flight scenarios. Panics and deadline
+/// overruns are quarantined into [`CampaignReport::failures`]; they
+/// are never journaled, so they re-run on resume.
+pub fn run_campaign_supervised(
+    config: &CampaignConfig,
+    journal: Option<Arc<Mutex<Journal>>>,
+) -> CampaignReport {
     let seed = config.seed;
-    let findings = Pool::new(config.jobs)
-        .map(indices, |index| {
+    let shrink_budget = config.shrink_budget;
+    let mut findings: Vec<CampaignFinding> = Vec::new();
+    let mut failures: Vec<CampaignFailure> = Vec::new();
+    let mut executed: u64 = 0;
+
+    // Replay journaled completions; only the rest run.
+    let mut todo: Vec<u64> = Vec::new();
+    for index in 0..config.scenarios {
+        let entry = journal.as_ref().and_then(|j| {
+            let guard = j.lock().expect("journal lock");
+            guard
+                .completed("scenario", &index.to_string())
+                .map(|e| e.payload.clone())
+        });
+        match entry {
+            Some(payload) => {
+                executed += 1;
+                if !payload.is_empty() {
+                    let repro = ReproFile::from_json_text(&payload).unwrap_or_else(|e| {
+                        panic!("journaled scenario {index} payload invalid: {e}")
+                    });
+                    findings.extend(CampaignFinding::from_repro(&repro, seed));
+                }
+            }
+            None => todo.push(index),
+        }
+    }
+
+    if !todo.is_empty() {
+        let jobs = if config.jobs == 0 {
+            mapg_pool::default_jobs()
+        } else {
+            config.jobs
+        };
+        let budget_end = config
+            .max_seconds
+            .map(|s| Instant::now() + Duration::from_secs_f64(s.max(0.0)));
+        let mut supervisor = Supervisor::new(jobs);
+        if let Some(deadline) = config.deadline {
+            supervisor = supervisor.with_deadline(deadline);
+        }
+        let job_journal = journal.clone();
+        let reports = supervisor.map_supervised(todo.clone(), move |&index, ctx| {
+            if budget_end.is_some_and(|end| Instant::now() >= end) {
+                return RunSlot::Skipped;
+            }
+            let started = Instant::now();
             let scenario = Scenario::generate(seed, index);
             // Generated scenarios are valid by construction; an Err here
             // would itself be a generator bug, surfaced as a panic.
             let finding = run_scenario(&scenario)
                 .unwrap_or_else(|e| panic!("generated scenario {index} invalid: {e}"));
-            finding.map(|finding| CampaignFinding {
+            let finding = finding.map(|finding| CampaignFinding {
                 index,
                 outcome: shrink(&scenario, &finding, shrink_budget),
                 original: scenario,
-            })
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+            });
+            // A worker abandoned by the deadline monitor sees its token
+            // cancelled: its (now unwanted) result must not reach the
+            // journal, or resume would disagree with the report.
+            if !ctx.token.is_cancelled() {
+                if let Some(journal) = &job_journal {
+                    let payload = finding
+                        .as_ref()
+                        .map(|f| f.to_repro(seed).to_json_text())
+                        .unwrap_or_default();
+                    let entry = JournalEntry::new(
+                        "scenario",
+                        index.to_string(),
+                        seed,
+                        ctx.attempt,
+                        started.elapsed().as_secs_f64() * 1e3,
+                        payload,
+                        Vec::new(),
+                    );
+                    journal
+                        .lock()
+                        .expect("journal lock")
+                        .append(entry)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
+            }
+            RunSlot::Done(Box::new(finding))
+        });
+
+        for (index, report) in todo.into_iter().zip(reports) {
+            match report.outcome {
+                JobOutcome::Ok(RunSlot::Done(finding)) => {
+                    executed += 1;
+                    findings.extend(*finding);
+                }
+                JobOutcome::Ok(RunSlot::Skipped) => {}
+                outcome => failures.push(CampaignFailure {
+                    index,
+                    outcome: outcome.label().to_owned(),
+                    attempts: report.attempts,
+                }),
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.index);
+    failures.sort_by_key(|f| f.index);
     CampaignReport {
         seed: config.seed,
         scenarios: config.scenarios,
+        executed,
         findings,
+        failures,
     }
 }
 
@@ -135,15 +309,76 @@ mod tests {
             scenarios: 4,
             shrink_budget: 10,
             jobs: 2,
+            ..CampaignConfig::default()
         };
         let a = run_campaign(&config);
         let b = run_campaign(&CampaignConfig { jobs: 1, ..config });
         assert_eq!(a.scenarios, b.scenarios);
+        assert_eq!(a.executed, b.executed);
         assert_eq!(a.findings.len(), b.findings.len());
+        assert!(a.failures.is_empty() && b.failures.is_empty());
         for (fa, fb) in a.findings.iter().zip(&b.findings) {
             assert_eq!(fa.index, fb.index);
             assert_eq!(fa.outcome.scenario, fb.outcome.scenario);
             assert_eq!(fa.outcome.finding, fb.outcome.finding);
         }
+    }
+
+    #[test]
+    fn zero_second_budget_executes_nothing_but_stays_valid() {
+        let config = CampaignConfig {
+            seed: 0xABCD,
+            scenarios: 6,
+            shrink_budget: 10,
+            jobs: 2,
+            max_seconds: Some(0.0),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&config);
+        assert_eq!(report.scenarios, 6);
+        assert_eq!(report.executed, 0);
+        assert!(report.findings.is_empty());
+        assert!(report.failures.is_empty());
+    }
+
+    /// A resumed campaign replays the journal instead of re-running:
+    /// the reports match and the journal gains no entries.
+    #[test]
+    fn journaled_campaigns_resume_without_reexecution() {
+        let dir = std::env::temp_dir().join(format!("mapg-fuzz-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.json");
+        std::fs::remove_file(&path).ok();
+        let config = CampaignConfig {
+            seed: 0xABCD,
+            scenarios: 4,
+            shrink_budget: 10,
+            jobs: 2,
+            ..CampaignConfig::default()
+        };
+        let context = "fuzz test";
+
+        let journal = Arc::new(Mutex::new(Journal::open(&path, context).unwrap()));
+        let first = run_campaign_supervised(&config, Some(Arc::clone(&journal)));
+        let entries_after_first = journal.lock().unwrap().entries().len();
+        assert_eq!(entries_after_first as u64, first.executed);
+
+        let journal = Arc::new(Mutex::new(Journal::open(&path, context).unwrap()));
+        let second = run_campaign_supervised(&config, Some(Arc::clone(&journal)));
+        assert_eq!(
+            journal.lock().unwrap().entries().len(),
+            entries_after_first,
+            "a full journal must replay, not re-execute"
+        );
+        assert_eq!(first.executed, second.executed);
+        assert_eq!(first.findings.len(), second.findings.len());
+        for (fa, fb) in first.findings.iter().zip(&second.findings) {
+            assert_eq!(
+                fa.to_repro(config.seed).to_json_text(),
+                fb.to_repro(config.seed).to_json_text(),
+                "replayed finding must regenerate the identical repro"
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

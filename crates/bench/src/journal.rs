@@ -1,0 +1,453 @@
+//! Crash-safe completion journals for long campaigns.
+//!
+//! `experiments --journal FILE` and `mapg-fuzz --journal FILE` append
+//! one [`JournalEntry`] per *completed* job (experiment or fuzz
+//! scenario). Every append rewrites the whole journal through
+//! [`mapg::write_atomic`] (staged `*.tmp` + fsync + rename), so a
+//! crash — including SIGKILL — at any instant leaves either the
+//! previous journal or the new one at the final path, never a
+//! truncated JSON. A stale partial `*.tmp` from a killed writer is
+//! ignored (and overwritten) on resume.
+//!
+//! `--resume FILE` replays the journal instead of the work: a
+//! digest-verified entry's payload (the rendered CSV, or a repro JSON)
+//! is emitted verbatim, so the resumed run's CSV/manifest/repro
+//! outputs are byte-identical to an uninterrupted run and no completed
+//! job is re-executed.
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "context": "experiments scale=smoke csv ids=R-T1,R-F5",
+//!   "entries": [
+//!     {
+//!       "kind": "experiment", "id": "R-T1", "seed": 0,
+//!       "digest": 1234567890, "outcome": "ok", "attempts": 1,
+//!       "wall_ms": 12.345, "payload": "...",
+//!       "tables": [{"id": "R-T1", "rows": 7}]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The `context` string pins what the journal belongs to (driver,
+//! scale, selection, seed); resuming with a different configuration is
+//! rejected instead of silently mixing incompatible runs. Entry order
+//! is completion order (nondeterministic under parallelism) — readers
+//! index by `(kind, id)` and re-emit in their own deterministic order.
+
+use std::path::{Path, PathBuf};
+
+use mapg::fuzz::{parse_json, write_json, JsonValue};
+
+use crate::manifest::TableSummary;
+
+/// Journal file schema version.
+pub const JOURNAL_SCHEMA: u32 = 1;
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Job kind: `"experiment"` or `"scenario"`.
+    pub kind: String,
+    /// Job id: an experiment id (`R-T1`) or a scenario index.
+    pub id: String,
+    /// Seed the job ran under (0 when not applicable).
+    pub seed: u64,
+    /// FNV-1a digest of `payload` — verified on resume; a mismatch
+    /// (corruption) re-runs the job instead of trusting the entry.
+    pub digest: u64,
+    /// Outcome label (`ok`; failed jobs are never journaled — they
+    /// re-run on resume).
+    pub outcome: String,
+    /// Attempts the job took (retries included).
+    pub attempts: u32,
+    /// Wall time of the original execution, in milliseconds. Kept for
+    /// observability only; deterministic outputs never include it.
+    pub wall_ms: f64,
+    /// The job's replayable output: the rendered CSV of an experiment,
+    /// a repro JSON for a fuzz finding, or empty for a clean scenario.
+    pub payload: String,
+    /// Table summaries (experiments only; empty otherwise).
+    pub tables: Vec<TableSummary>,
+}
+
+impl JournalEntry {
+    /// Builds an entry, computing the payload digest.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: impl Into<String>,
+        id: impl Into<String>,
+        seed: u64,
+        attempts: u32,
+        wall_ms: f64,
+        payload: impl Into<String>,
+        tables: Vec<TableSummary>,
+    ) -> Self {
+        let payload = payload.into();
+        JournalEntry {
+            kind: kind.into(),
+            id: id.into(),
+            seed,
+            digest: fnv1a64(payload.as_bytes()),
+            outcome: "ok".to_owned(),
+            attempts,
+            wall_ms,
+            payload,
+            tables,
+        }
+    }
+
+    /// True when the stored digest matches the payload (entry is
+    /// trustworthy to replay).
+    pub fn digest_ok(&self) -> bool {
+        self.digest == fnv1a64(self.payload.as_bytes())
+    }
+}
+
+/// A crash-safe completion journal bound to one file and one run
+/// configuration.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    context: String,
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// Opens the journal at `path` for the run described by `context`.
+    ///
+    /// A missing file starts an empty journal. An existing file is
+    /// parsed and validated: its context must equal `context` (a
+    /// journal from a different configuration is an error, not a
+    /// silent skip-list). A sibling `*.tmp` left by a crashed writer
+    /// is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file exists but is unreadable,
+    /// malformed, a different schema, or from a different context.
+    pub fn open(path: impl Into<PathBuf>, context: impl Into<String>) -> Result<Journal, String> {
+        let path = path.into();
+        let context = context.into();
+        if !path.exists() {
+            return Ok(Journal {
+                path,
+                context,
+                entries: Vec::new(),
+            });
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read journal '{}': {e}", path.display()))?;
+        let journal = Journal::from_json_text(&path, &text)?;
+        if journal.context != context {
+            return Err(format!(
+                "journal '{}' was written by a different run configuration\n  journal: {}\n  this run: {context}",
+                path.display(),
+                journal.context
+            ));
+        }
+        Ok(journal)
+    }
+
+    /// The run-configuration string this journal is bound to.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// All entries, in completion order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// The digest-verified entry for `(kind, id)`, if completed.
+    /// Corrupted entries (digest mismatch) are treated as absent so the
+    /// job re-runs.
+    pub fn completed(&self, kind: &str, id: &str) -> Option<&JournalEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind && e.id == id && e.digest_ok())
+    }
+
+    /// Appends `entry` and atomically rewrites the journal file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the write fails; the in-memory entry is
+    /// kept either way (the caller decides whether a journal write
+    /// failure is fatal).
+    pub fn append(&mut self, entry: JournalEntry) -> Result<(), String> {
+        self.entries.push(entry);
+        mapg::write_atomic(&self.path, self.to_json_text().as_bytes())
+            .map_err(|e| format!("cannot write journal '{}': {e}", self.path.display()))
+    }
+
+    /// Renders the journal as JSON (trailing newline included).
+    pub fn to_json_text(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let tables = e
+                    .tables
+                    .iter()
+                    .map(|t| {
+                        JsonValue::Object(vec![
+                            ("id".into(), JsonValue::String(t.id.clone())),
+                            ("rows".into(), JsonValue::Number(t.rows.to_string())),
+                        ])
+                    })
+                    .collect();
+                JsonValue::Object(vec![
+                    ("kind".into(), JsonValue::String(e.kind.clone())),
+                    ("id".into(), JsonValue::String(e.id.clone())),
+                    ("seed".into(), JsonValue::Number(e.seed.to_string())),
+                    ("digest".into(), JsonValue::Number(e.digest.to_string())),
+                    ("outcome".into(), JsonValue::String(e.outcome.clone())),
+                    ("attempts".into(), JsonValue::Number(e.attempts.to_string())),
+                    (
+                        "wall_ms".into(),
+                        JsonValue::Number(format!("{:.3}", e.wall_ms.max(0.0))),
+                    ),
+                    ("payload".into(), JsonValue::String(e.payload.clone())),
+                    ("tables".into(), JsonValue::Array(tables)),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::Object(vec![
+            (
+                "schema".into(),
+                JsonValue::Number(JOURNAL_SCHEMA.to_string()),
+            ),
+            ("context".into(), JsonValue::String(self.context.clone())),
+            ("entries".into(), JsonValue::Array(entries)),
+        ]);
+        let mut text = write_json(&doc);
+        text.push('\n');
+        text
+    }
+
+    /// Parses a journal document.
+    fn from_json_text(path: &Path, text: &str) -> Result<Journal, String> {
+        let fail = |what: &str| format!("journal '{}': {what}", path.display());
+        let doc = parse_json(text).map_err(|e| fail(&format!("malformed JSON ({e})")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_u32)
+            .ok_or_else(|| fail("missing schema"))?;
+        if schema != JOURNAL_SCHEMA {
+            return Err(fail(&format!(
+                "unsupported schema {schema} (this build reads {JOURNAL_SCHEMA})"
+            )));
+        }
+        let context = doc
+            .get("context")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| fail("missing context"))?
+            .to_owned();
+        let entries = match doc.get("entries") {
+            Some(JsonValue::Array(items)) => items,
+            _ => return Err(fail("missing entries array")),
+        };
+        let mut parsed = Vec::with_capacity(entries.len());
+        for (i, item) in entries.iter().enumerate() {
+            let field =
+                |name: &str| fail(&format!("entry {i}: field '{name}' missing or mistyped"));
+            let get_str = |name: &str| {
+                item.get(name)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| field(name))
+            };
+            let get_u64 = |name: &str| {
+                item.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| field(name))
+            };
+            let wall_ms = item
+                .get("wall_ms")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| field("wall_ms"))?;
+            let mut tables = Vec::new();
+            if let Some(JsonValue::Array(summaries)) = item.get("tables") {
+                for summary in summaries {
+                    tables.push(TableSummary {
+                        id: summary
+                            .get("id")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| field("tables.id"))?
+                            .to_owned(),
+                        rows: summary
+                            .get("rows")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| field("tables.rows"))?
+                            as usize,
+                    });
+                }
+            } else {
+                return Err(field("tables"));
+            }
+            parsed.push(JournalEntry {
+                kind: get_str("kind")?,
+                id: get_str("id")?,
+                seed: get_u64("seed")?,
+                digest: get_u64("digest")?,
+                outcome: get_str("outcome")?,
+                attempts: get_u64("attempts")? as u32,
+                wall_ms,
+                payload: get_str("payload")?,
+                tables,
+            });
+        }
+        Ok(Journal {
+            path: path.to_owned(),
+            context,
+            entries: parsed,
+        })
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the journal's payload digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mapg-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn entry(id: &str, payload: &str) -> JournalEntry {
+        JournalEntry::new(
+            "experiment",
+            id,
+            0,
+            1,
+            3.25,
+            payload,
+            vec![TableSummary {
+                id: id.to_owned(),
+                rows: 2,
+            }],
+        )
+    }
+
+    #[test]
+    fn appends_persist_and_reload() {
+        let path = temp_path("roundtrip.json");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, "test ctx").unwrap();
+        journal.append(entry("R-T1", "a,b\n1,2\n")).unwrap();
+        journal.append(entry("R-F5", "c\n3\n")).unwrap();
+
+        let back = Journal::open(&path, "test ctx").unwrap();
+        assert_eq!(back.entries(), journal.entries());
+        assert_eq!(
+            back.completed("experiment", "R-T1").unwrap().payload,
+            "a,b\n1,2\n"
+        );
+        assert!(back.completed("experiment", "R-T9").is_none());
+        assert!(back.completed("scenario", "R-T1").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_context_is_rejected() {
+        let path = temp_path("context.json");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, "scale=smoke").unwrap();
+        journal.append(entry("R-T1", "x")).unwrap();
+        let err = Journal::open(&path, "scale=paper").unwrap_err();
+        assert!(err.contains("different run configuration"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A partial `*.tmp` left by a killed writer must not affect the
+    /// journal: the real file still loads, and the next append
+    /// replaces the temp.
+    #[test]
+    fn partial_tmp_file_is_ignored_on_resume() {
+        let path = temp_path("partial.json");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, "ctx").unwrap();
+        journal.append(entry("R-T1", "payload")).unwrap();
+        // Simulate a crash mid-write of the *next* append.
+        std::fs::write(
+            mapg::fsutil::tmp_path(&path),
+            b"{\"schema\": 1, \"context\": \"ctx\", \"entries\": [{\"kind\": \"exp",
+        )
+        .unwrap();
+
+        let back = Journal::open(&path, "ctx").unwrap();
+        assert_eq!(back.entries().len(), 1, "tmp garbage must be invisible");
+        let mut back = back;
+        back.append(entry("R-F5", "more")).unwrap();
+        assert!(!mapg::fsutil::tmp_path(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_digest_reads_as_not_completed() {
+        let path = temp_path("digest.json");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, "ctx").unwrap();
+        let mut bad = entry("R-T1", "payload");
+        bad.digest ^= 0xFF;
+        journal.append(bad).unwrap();
+        let back = Journal::open(&path, "ctx").unwrap();
+        assert!(
+            back.completed("experiment", "R-T1").is_none(),
+            "corrupted entry must re-run, not replay"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let path = temp_path("never-written.json");
+        std::fs::remove_file(&path).ok();
+        let journal = Journal::open(&path, "ctx").unwrap();
+        assert!(journal.entries().is_empty());
+        assert!(!path.exists(), "open must not create the file");
+    }
+
+    #[test]
+    fn truncated_journal_is_a_clean_error() {
+        let path = temp_path("truncated.json");
+        std::fs::write(&path, "{\"schema\": 1, \"context\": \"ctx\", \"ent").unwrap();
+        let err = Journal::open(&path, "ctx").unwrap_err();
+        assert!(err.contains("malformed JSON"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payloads_with_newlines_and_quotes_round_trip() {
+        let path = temp_path("escaping.json");
+        std::fs::remove_file(&path).ok();
+        let payload = "id,\"quoted\"\nline2\r\n\ttabbed";
+        let mut journal = Journal::open(&path, "ctx").unwrap();
+        journal.append(entry("R-T1", payload)).unwrap();
+        let back = Journal::open(&path, "ctx").unwrap();
+        assert_eq!(
+            back.completed("experiment", "R-T1").unwrap().payload,
+            payload
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

@@ -33,12 +33,17 @@
 
 pub mod experiments;
 mod fuzz;
+mod journal;
 mod manifest;
 mod scale;
 mod table;
 mod throughput;
 
-pub use fuzz::{run_campaign, CampaignConfig, CampaignFinding, CampaignReport};
+pub use fuzz::{
+    run_campaign, run_campaign_supervised, CampaignConfig, CampaignFailure, CampaignFinding,
+    CampaignReport,
+};
+pub use journal::{fnv1a64, Journal, JournalEntry, JOURNAL_SCHEMA};
 pub use manifest::{
     FuzzFindingSummary, FuzzProvenance, Manifest, ManifestEntry, TableSummary, MANIFEST_SCHEMA,
 };

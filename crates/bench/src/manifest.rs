@@ -8,13 +8,14 @@
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "scale": "smoke",
 //!   "jobs": 4,
 //!   "total_wall_ms": 123.456,
 //!   "fuzz": {
 //!     "seed": 1,
 //!     "scenarios": 200,
+//!     "executed": 200,
 //!     "findings": [
 //!       {"scenario": 1928, "class": "panic", "shrink_steps": 4}
 //!     ]
@@ -23,6 +24,8 @@
 //!     {
 //!       "id": "R-T1",
 //!       "title": "power-gating circuit design space",
+//!       "outcome": "ok",
+//!       "attempts": 1,
 //!       "wall_ms": 1.234,
 //!       "metrics": {"counters": {"gates": 42}, "histograms": {}},
 //!       "tables": [{"id": "R-T1", "rows": 7}]
@@ -36,7 +39,13 @@
 //! the optional top-level `"fuzz"` object (differential-fuzz campaign
 //! provenance: campaign seed, scenario count, and one
 //! `{scenario, class, shrink_steps}` record per divergence), written by
-//! `mapg-fuzz --manifest`.
+//! `mapg-fuzz --manifest`; v4 added per-entry supervision fields
+//! (`"outcome"`: `ok`/`panicked`/`timed-out`/`cancelled`, and
+//! `"attempts"`) plus `"executed"` under `"fuzz"` (scenarios actually
+//! run, which a `--max-seconds` budget can cap below `"scenarios"`).
+//! Journaled (checkpoint/resume) runs zero every wall-time field so the
+//! manifest is byte-identical between an uninterrupted run and a
+//! kill-and-resume run; real wall times live in the journal.
 
 use mapg_obs::MetricsRegistry;
 
@@ -45,7 +54,7 @@ use crate::scale::Scale;
 use crate::table::Table;
 
 /// Schema version stamped into every manifest.
-pub const MANIFEST_SCHEMA: u32 = 3;
+pub const MANIFEST_SCHEMA: u32 = 4;
 
 /// Row counts of one rendered table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +82,13 @@ pub struct ManifestEntry {
     pub id: String,
     /// One-line experiment title.
     pub title: String,
-    /// Wall time of the experiment's `run` call, in milliseconds.
+    /// Supervision outcome: `ok`, `panicked`, `timed-out`, or
+    /// `cancelled` (schema v4).
+    pub outcome: String,
+    /// Attempts the supervised run took (1 = no retry; schema v4).
+    pub attempts: u32,
+    /// Wall time of the experiment's `run` call, in milliseconds
+    /// (zeroed in journaled runs for byte-stable resume).
     pub wall_ms: f64,
     /// Aggregated observability metrics across the experiment's
     /// simulations, when the run collected them.
@@ -103,8 +118,11 @@ pub struct FuzzFindingSummary {
 pub struct FuzzProvenance {
     /// Seed the scenario stream was generated from.
     pub seed: u64,
-    /// Scenarios executed.
+    /// Scenarios the campaign was asked for.
     pub scenarios: u64,
+    /// Scenarios actually executed (a `--max-seconds` wall-clock budget
+    /// can stop the campaign short of `scenarios`; schema v4).
+    pub executed: u64,
     /// Divergences, in scenario-index order (empty for a clean campaign).
     pub findings: Vec<FuzzFindingSummary>,
 }
@@ -115,6 +133,7 @@ impl FuzzProvenance {
         FuzzProvenance {
             seed: report.seed,
             scenarios: report.scenarios,
+            executed: report.executed,
             findings: report
                 .findings
                 .iter()
@@ -167,6 +186,7 @@ impl Manifest {
             out.push_str("  \"fuzz\": {\n");
             out.push_str(&format!("    \"seed\": {},\n", fuzz.seed));
             out.push_str(&format!("    \"scenarios\": {},\n", fuzz.scenarios));
+            out.push_str(&format!("    \"executed\": {},\n", fuzz.executed));
             out.push_str("    \"findings\": [");
             for (i, finding) in fuzz.findings.iter().enumerate() {
                 if i > 0 {
@@ -195,6 +215,11 @@ impl Manifest {
                 "      \"title\": {},\n",
                 json_string(&entry.title)
             ));
+            out.push_str(&format!(
+                "      \"outcome\": {},\n",
+                json_string(&entry.outcome)
+            ));
+            out.push_str(&format!("      \"attempts\": {},\n", entry.attempts));
             out.push_str(&format!(
                 "      \"wall_ms\": {},\n",
                 json_number(entry.wall_ms)
@@ -268,6 +293,8 @@ mod tests {
                 ManifestEntry {
                     id: "R-T1".to_owned(),
                     title: "power-gating circuit design space".to_owned(),
+                    outcome: "ok".to_owned(),
+                    attempts: 1,
                     wall_ms: 1.5,
                     metrics: None,
                     tables: vec![TableSummary {
@@ -278,6 +305,8 @@ mod tests {
                 ManifestEntry {
                     id: "R-F5".to_owned(),
                     title: "wake \"latency\" sweep".to_owned(),
+                    outcome: "timed-out".to_owned(),
+                    attempts: 3,
                     wall_ms: 2.25,
                     metrics: None,
                     tables: vec![
@@ -298,11 +327,15 @@ mod tests {
     #[test]
     fn renders_the_documented_schema() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": 3"), "{json}");
+        assert!(json.contains("\"schema\": 4"), "{json}");
         assert!(json.contains("\"scale\": \"smoke\""), "{json}");
         assert!(json.contains("\"jobs\": 4"), "{json}");
         assert!(json.contains("\"total_wall_ms\": 12.346"), "{json}");
         assert!(json.contains("\"id\": \"R-T1\""), "{json}");
+        assert!(json.contains("\"outcome\": \"ok\""), "{json}");
+        assert!(json.contains("\"outcome\": \"timed-out\""), "{json}");
+        assert!(json.contains("\"attempts\": 1"), "{json}");
+        assert!(json.contains("\"attempts\": 3"), "{json}");
         assert!(json.contains("{\"id\": \"R-F5b\", \"rows\": 2}"), "{json}");
         assert!(json.ends_with("}\n"), "{json}");
     }
@@ -336,6 +369,7 @@ mod tests {
         manifest.fuzz = Some(FuzzProvenance {
             seed: 1,
             scenarios: 2000,
+            executed: 1500,
             findings: vec![
                 FuzzFindingSummary {
                     scenario: 1928,

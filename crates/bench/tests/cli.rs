@@ -133,7 +133,9 @@ fn manifest_records_the_run() {
     let json = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
     for needle in [
-        "\"schema\": 3",
+        "\"schema\": 4",
+        "\"outcome\": \"ok\"",
+        "\"attempts\": 1",
         "\"metrics\": {",
         "\"counters\": {",
         "\"gates\":",
@@ -256,8 +258,8 @@ fn metrics_flag_requires_a_path_and_a_writable_target() {
 }
 
 /// `mapg-fuzz` end-to-end: a tiny clean campaign exits 0 and, with
-/// `--manifest`, records schema-3 fuzz provenance (seed, scenario count,
-/// empty findings list) with no experiment entries.
+/// `--manifest`, records schema-4 fuzz provenance (seed, scenario count,
+/// executed count, empty findings list) with no experiment entries.
 #[test]
 fn fuzz_campaign_writes_a_provenance_manifest() {
     let dir = std::env::temp_dir().join("mapg-fuzz-cli-test");
@@ -282,10 +284,11 @@ fn fuzz_campaign_writes_a_provenance_manifest() {
     let json = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
     for needle in [
-        "\"schema\": 3",
+        "\"schema\": 4",
         "\"fuzz\": {",
         "\"seed\": 1",
         "\"scenarios\": 3",
+        "\"executed\": 3",
         "\"findings\": []",
         "\"experiments\": []",
     ] {

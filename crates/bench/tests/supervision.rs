@@ -1,0 +1,512 @@
+//! End-to-end tests of supervised execution and checkpoint/resume in
+//! the `experiments` and `mapg-fuzz` binaries: quarantine of injected
+//! panics and hangs, retry of flaky jobs, SIGKILL + `--resume`
+//! byte-identity, and the journal digest proving completed work is
+//! never re-executed.
+
+#![deny(unused)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+fn run_experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("experiments binary should spawn")
+}
+
+fn run_fuzz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mapg-fuzz"))
+        .args(args)
+        .output()
+        .expect("mapg-fuzz binary should spawn")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mapg-supervision-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// A suite with one injected panicking job and one injected hung job
+/// completes: both are quarantined in the manifest (schema v4), the
+/// exit is nonzero and names the failed entries, and the surviving
+/// experiments' CSV files are byte-identical to a clean run's.
+#[test]
+fn injected_panic_and_hang_are_quarantined_without_poisoning_the_suite() {
+    let dir = temp_dir("quarantine");
+    let clean_out = dir.join("clean");
+    let faulty_out = dir.join("faulty");
+    let manifest = dir.join("manifest.json");
+    let ids = ["rt1", "rf5", "rt3"];
+
+    let clean = run_experiments(
+        &[
+            &[
+                "--scale",
+                "smoke",
+                "--csv",
+                "--jobs",
+                "2",
+                "--out-dir",
+                clean_out.to_str().unwrap(),
+            ][..],
+            &ids,
+        ]
+        .concat(),
+    );
+    assert!(clean.status.success(), "{clean:?}");
+
+    let faulty = run_experiments(
+        &[
+            &[
+                "--scale",
+                "smoke",
+                "--csv",
+                "--jobs",
+                "2",
+                "--out-dir",
+                faulty_out.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--inject-panic",
+                "rt1",
+                "--inject-hang",
+                "rf5",
+                // Generous vs the ~0.1 s the real smoke jobs take, small
+                // enough to keep the test quick.
+                "--deadline-ms",
+                "8000",
+            ][..],
+            &ids,
+        ]
+        .concat(),
+    );
+    assert!(
+        !faulty.status.success(),
+        "a suite with failures must exit nonzero"
+    );
+    let stderr = String::from_utf8(faulty.stderr).unwrap();
+    assert!(stderr.contains("failed entries:"), "{stderr}");
+    assert!(stderr.contains("R-T1 (panicked"), "{stderr}");
+    assert!(stderr.contains("R-F5 (timed-out"), "{stderr}");
+    assert!(stderr.contains("1 ok, 2 failed"), "{stderr}");
+
+    let json = read(&manifest);
+    assert!(json.contains("\"schema\": 4"), "{json}");
+    assert!(json.contains("\"outcome\": \"panicked\""), "{json}");
+    assert!(json.contains("\"outcome\": \"timed-out\""), "{json}");
+    assert!(json.contains("\"outcome\": \"ok\""), "{json}");
+
+    // The survivor is byte-identical to the clean run; the quarantined
+    // jobs left no output files.
+    assert_eq!(
+        read(&clean_out.join("R-T3.csv")),
+        read(&faulty_out.join("R-T3.csv")),
+        "quarantine must not perturb surviving experiments"
+    );
+    assert!(!faulty_out.join("R-T1.csv").exists());
+    assert!(!faulty_out.join("R-F5.csv").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A flaky job (panics on attempt 1 only) succeeds under `--retries 2`
+/// and the manifest records the extra attempt.
+#[test]
+fn flaky_jobs_are_retried_and_attempts_recorded() {
+    let dir = temp_dir("flaky");
+    let manifest = dir.join("manifest.json");
+    let out = run_experiments(&[
+        "--scale",
+        "smoke",
+        "--csv",
+        "--jobs",
+        "2",
+        "--manifest",
+        manifest.to_str().unwrap(),
+        "--inject-flaky",
+        "rt1",
+        "--retries",
+        "2",
+        "rt1",
+        "rf5",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let json = read(&manifest);
+    assert!(json.contains("\"attempts\": 2"), "{json}");
+    assert!(json.contains("\"attempts\": 1"), "{json}");
+    assert!(!json.contains("\"outcome\": \"panicked\""), "{json}");
+
+    // Without the retry budget the same injection fails the suite.
+    let no_retry = run_experiments(&["--scale", "smoke", "--csv", "--inject-flaky", "rt1", "rt1"]);
+    assert!(!no_retry.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn journaled_args<'a>(
+    journal_flag: &'a str,
+    journal: &'a str,
+    out_dir: &'a str,
+    manifest: &'a str,
+    ids: &[&'a str],
+) -> Vec<&'a str> {
+    [
+        &[
+            "--scale",
+            "smoke",
+            "--csv",
+            "--jobs",
+            "2",
+            journal_flag,
+            journal,
+            "--out-dir",
+            out_dir,
+            "--manifest",
+            manifest,
+        ][..],
+        ids,
+    ]
+    .concat()
+}
+
+/// Kill a journaled run mid-suite (SIGKILL, no cleanup), resume from
+/// its journal, and prove the resumed outputs are byte-identical to an
+/// uninterrupted journaled run — CSVs and manifest alike. A stale
+/// partial `*.tmp` next to the journal must not disturb the resume.
+#[test]
+fn sigkill_then_resume_reproduces_byte_identical_outputs() {
+    let dir = temp_dir("kill-resume");
+    let ids = ["rt1", "rf5", "rt3", "rf8"];
+    let ref_journal = dir.join("ref-journal.json");
+    let ref_out = dir.join("ref-out");
+    let ref_manifest = dir.join("ref-manifest.json");
+    let killed_journal = dir.join("killed-journal.json");
+    let killed_out = dir.join("killed-out");
+    let killed_manifest = dir.join("killed-manifest.json");
+
+    // Reference: one uninterrupted journaled run.
+    let reference = run_experiments(&journaled_args(
+        "--journal",
+        ref_journal.to_str().unwrap(),
+        ref_out.to_str().unwrap(),
+        ref_manifest.to_str().unwrap(),
+        &ids,
+    ));
+    assert!(reference.status.success(), "{reference:?}");
+
+    // Victim: same run, SIGKILLed as soon as the journal holds at least
+    // one completion. (If the child wins the race and finishes, the
+    // resume below is a pure replay — the assertions still hold.)
+    let mut child = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(journaled_args(
+            "--journal",
+            killed_journal.to_str().unwrap(),
+            killed_out.to_str().unwrap(),
+            killed_manifest.to_str().unwrap(),
+            &ids,
+        ))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("experiments binary should spawn");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let journaled_entries = std::fs::read_to_string(&killed_journal)
+            .map(|text| text.matches("\"kind\"").count())
+            .unwrap_or(0);
+        if journaled_entries >= 1 {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before we could kill it — still fine
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no journal entry appeared within 120 s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().ok();
+    child.wait().expect("reap child");
+
+    // A crashed writer may leave a partial temp next to the journal;
+    // simulate the worst case explicitly. Resume must ignore it.
+    let tmp = killed_journal.with_extension("json.tmp");
+    std::fs::write(&tmp, b"{\"schema\": 1, \"context\": \"trunc").unwrap();
+
+    let resumed = run_experiments(&journaled_args(
+        "--resume",
+        killed_journal.to_str().unwrap(),
+        killed_out.to_str().unwrap(),
+        killed_manifest.to_str().unwrap(),
+        &ids,
+    ));
+    assert!(resumed.status.success(), "{resumed:?}");
+
+    assert_eq!(
+        read(&ref_manifest),
+        read(&killed_manifest),
+        "resumed manifest must be byte-identical to an uninterrupted run"
+    );
+    for id in ["R-T1", "R-F5", "R-T3", "R-F8"] {
+        assert_eq!(
+            read(&ref_out.join(format!("{id}.csv"))),
+            read(&killed_out.join(format!("{id}.csv"))),
+            "resumed {id}.csv must be byte-identical to an uninterrupted run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The journal digest proves completed work is not re-executed: after a
+/// complete journaled run, resuming with `--inject-panic` on an already
+/// completed experiment still succeeds — the injection never fires
+/// because the job is replayed, not run.
+#[test]
+fn resume_replays_completed_work_instead_of_reexecuting_it() {
+    let dir = temp_dir("no-reexec");
+    let journal = dir.join("journal.json");
+    let out_dir = dir.join("out");
+    let manifest = dir.join("manifest.json");
+    let ids = ["rt1", "rf5"];
+
+    let first = run_experiments(&journaled_args(
+        "--journal",
+        journal.to_str().unwrap(),
+        out_dir.to_str().unwrap(),
+        manifest.to_str().unwrap(),
+        &ids,
+    ));
+    assert!(first.status.success(), "{first:?}");
+    let journal_before = read(&journal);
+    assert!(journal_before.contains("\"digest\":"), "{journal_before}");
+
+    let resumed = run_experiments(
+        &[
+            &journaled_args(
+                "--resume",
+                journal.to_str().unwrap(),
+                out_dir.to_str().unwrap(),
+                manifest.to_str().unwrap(),
+                &ids,
+            )[..],
+            &["--inject-panic", "rt1"][..],
+        ]
+        .concat(),
+    );
+    assert!(
+        resumed.status.success(),
+        "the injected panic must never fire on a replayed job: {resumed:?}"
+    );
+    let stderr = String::from_utf8(resumed.stderr).unwrap();
+    assert!(stderr.contains("2 replayed"), "{stderr}");
+    assert_eq!(
+        read(&journal),
+        journal_before,
+        "a pure replay must not grow the journal"
+    );
+
+    // Corrupting a digest invalidates that entry: the job re-runs. Flip
+    // the first digit in place (same length, so the number still parses
+    // as a u64 — just the wrong one).
+    let start = journal_before.find("\"digest\": ").expect("a digest") + "\"digest\": ".len();
+    let flipped = if journal_before.as_bytes()[start] == b'1' {
+        "2"
+    } else {
+        "1"
+    };
+    let corrupted = format!(
+        "{}{flipped}{}",
+        &journal_before[..start],
+        &journal_before[start + 1..]
+    );
+    assert_ne!(corrupted, journal_before, "corruption must apply");
+    std::fs::write(&journal, corrupted).unwrap();
+    let rerun = run_experiments(
+        &[
+            &journaled_args(
+                "--resume",
+                journal.to_str().unwrap(),
+                out_dir.to_str().unwrap(),
+                manifest.to_str().unwrap(),
+                &ids,
+            )[..],
+            &["--inject-panic", "rt1"][..],
+        ]
+        .concat(),
+    );
+    // Whichever entry was corrupted re-runs; if it was rt1 the injection
+    // fires. Either way the run must not crash the harness.
+    let stderr = String::from_utf8(rerun.stderr).unwrap();
+    assert!(stderr.contains("1 replayed"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming with a different configuration is rejected instead of
+/// silently mixing incompatible runs, and `--resume` without a journal
+/// file is an explicit error.
+#[test]
+fn resume_validates_journal_context_and_existence() {
+    let dir = temp_dir("context");
+    let journal = dir.join("journal.json");
+    let out_dir = dir.join("out");
+    let manifest = dir.join("manifest.json");
+
+    let missing = run_experiments(&["--scale", "smoke", "--resume", journal.to_str().unwrap()]);
+    assert!(!missing.status.success());
+    let stderr = String::from_utf8(missing.stderr).unwrap();
+    assert!(stderr.contains("does not exist"), "{stderr}");
+
+    let first = run_experiments(&journaled_args(
+        "--journal",
+        journal.to_str().unwrap(),
+        out_dir.to_str().unwrap(),
+        manifest.to_str().unwrap(),
+        &["rt1"],
+    ));
+    assert!(first.status.success(), "{first:?}");
+
+    let mismatched = run_experiments(&journaled_args(
+        "--resume",
+        journal.to_str().unwrap(),
+        out_dir.to_str().unwrap(),
+        manifest.to_str().unwrap(),
+        &["rt1", "rf5"],
+    ));
+    assert!(!mismatched.status.success());
+    let stderr = String::from_utf8(mismatched.stderr).unwrap();
+    assert!(stderr.contains("different run configuration"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mapg-fuzz --journal` + `--resume`: the resumed campaign's manifest
+/// is byte-identical to the uninterrupted one and nothing re-runs.
+#[test]
+fn fuzz_journal_resume_reproduces_the_manifest() {
+    let dir = temp_dir("fuzz-resume");
+    let journal = dir.join("journal.json");
+    let first_manifest = dir.join("first.json");
+    let resumed_manifest = dir.join("resumed.json");
+    let base = ["--scenarios", "4", "--seed", "1", "--jobs", "2"];
+
+    let first = run_fuzz(
+        &[
+            &base[..],
+            &[
+                "--journal",
+                journal.to_str().unwrap(),
+                "--manifest",
+                first_manifest.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(first.status.success(), "{first:?}");
+    let journal_before = read(&journal);
+
+    let resumed = run_fuzz(
+        &[
+            &base[..],
+            &[
+                "--resume",
+                journal.to_str().unwrap(),
+                "--manifest",
+                resumed_manifest.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(read(&first_manifest), read(&resumed_manifest));
+    assert_eq!(
+        read(&journal),
+        journal_before,
+        "a pure replay must not grow the journal"
+    );
+
+    // A different seed is a different campaign; its journal must not be
+    // accepted.
+    let mismatched = run_fuzz(&[
+        "--scenarios",
+        "4",
+        "--seed",
+        "2",
+        "--resume",
+        journal.to_str().unwrap(),
+    ]);
+    assert!(!mismatched.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mapg-fuzz --max-seconds`: a tiny wall-clock budget stops the
+/// campaign early; the run still exits cleanly with a valid manifest
+/// recording how many scenarios actually executed.
+#[test]
+fn fuzz_wall_clock_budget_stops_early_with_a_valid_manifest() {
+    let dir = temp_dir("fuzz-budget");
+    let manifest = dir.join("manifest.json");
+    let out = run_fuzz(&[
+        "--scenarios",
+        "500",
+        "--seed",
+        "1",
+        "--jobs",
+        "2",
+        "--max-seconds",
+        "0.000001",
+        "--manifest",
+        manifest.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let json = read(&manifest);
+    assert!(json.contains("\"scenarios\": 500"), "{json}");
+    // The budget is racy by nature; executed is whatever got started
+    // before it elapsed, and everything else is reported as skipped.
+    let executed: u64 = json
+        .split("\"executed\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("manifest records executed");
+    assert!(executed < 500, "budget should stop early: {json}");
+    if executed < 500 {
+        assert!(stdout.contains("budget:"), "{stdout}");
+    }
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bad supervision flag combinations are rejected up front.
+#[test]
+fn supervision_flag_validation() {
+    for args in [
+        &["--journal", "/tmp/a.json", "--resume", "/tmp/b.json"][..],
+        &["--out-dir", "/tmp/d"],         // requires --csv
+        &["--inject-hang", "rt1", "rt1"], // requires --deadline-ms
+        &[
+            "--metrics",
+            "/tmp/m.json",
+            "--journal",
+            "/tmp/j.json",
+            "rt1",
+        ],
+        &["--retries", "0"],
+        &["--deadline-ms", "0"],
+        &["--inject-panic", "nope99"],
+    ] {
+        let out = run_experiments(args);
+        assert!(!out.status.success(), "{args:?} should be rejected");
+    }
+    let out = run_fuzz(&["--max-seconds", "0"]);
+    assert!(!out.status.success());
+    let out = run_fuzz(&["--journal", "/tmp/a.json", "--resume", "/tmp/b.json"]);
+    assert!(!out.status.success());
+}

@@ -13,9 +13,11 @@ use std::fmt::Display;
 use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
+use std::time::Duration;
 
 use mapg::fuzz::ReproFile;
 use mapg::{FaultPlan, PolicyKind, PredictorKind, SimConfig, Simulation};
+use mapg_pool::{JobOutcome, Supervisor};
 use mapg_trace::{WorkloadProfile, WorkloadSuite};
 
 const POLICIES: [(&str, PolicyKind); 11] = [
@@ -72,6 +74,9 @@ fn usage() {
          \x20 --trace PATH         write a Chrome trace_event JSON (Perfetto-loadable)\n\
          \x20                      of the run's power-gating events\n\
          \x20 --metrics PATH       write the run's counters and histograms as JSON\n\
+         \x20 --deadline-ms N      run under supervision with a wall-clock deadline;\n\
+         \x20                      an overrunning simulation is abandoned and the\n\
+         \x20                      exit is nonzero instead of hanging forever\n\
          \x20 --repro FILE         replay a fuzz repro file through the live and\n\
          \x20                      reference stacks; exits nonzero if it still\n\
          \x20                      diverges (conflicts with every run-shaping flag)\n\
@@ -115,6 +120,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut compare = false;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut repro_path: Option<String> = None;
     // Flags that shape a run, recorded when explicitly given: `--repro`
     // replays a self-contained scenario, so combining it with any of them
@@ -137,6 +143,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 | "--compare"
                 | "--trace"
                 | "--metrics"
+                | "--deadline-ms"
         ) {
             run_flags.push(arg.clone());
         }
@@ -191,6 +198,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--metrics" => {
                 metrics_path = Some(parse_value(arg, "path", iter.next())?);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_value(arg, "count", iter.next())?;
+                if ms == 0 {
+                    return Err("--deadline-ms needs a count >= 1".to_owned());
+                }
+                deadline_ms = Some(ms);
             }
             "--repro" => {
                 repro_path = Some(parse_value(arg, "path", iter.next())?);
@@ -249,9 +263,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         config = config.with_metrics();
     }
 
-    let report = Simulation::new(config.clone(), policy)
-        .try_run()
-        .map_err(|e| e.to_string())?;
+    // A plain run executes inline; with a deadline it routes through the
+    // supervised engine, which abandons an overrunning simulation and
+    // reports the overrun instead of hanging the invocation.
+    let report = match deadline_ms {
+        None => Simulation::new(config.clone(), policy)
+            .try_run()
+            .map_err(|e| e.to_string())?,
+        Some(ms) => {
+            let supervisor = Supervisor::new(1).with_deadline(Duration::from_millis(ms));
+            let reports = supervisor
+                .map_supervised(vec![(config.clone(), policy)], |(config, policy), _ctx| {
+                    Simulation::new(config.clone(), *policy).try_run()
+                });
+            match reports.into_iter().next().expect("one job").outcome {
+                JobOutcome::Ok(Ok(report)) => report,
+                JobOutcome::Ok(Err(error)) => return Err(error.to_string()),
+                outcome => {
+                    return Err(format!(
+                        "simulation {} (wall-clock deadline {ms} ms)",
+                        outcome.label()
+                    ))
+                }
+            }
+        }
+    };
     print!("{report}");
 
     if let Some(path) = &trace_path {
@@ -265,7 +301,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 trace.dropped()
             );
         }
-        std::fs::write(path, trace.to_chrome_trace())
+        mapg::write_atomic(Path::new(path), trace.to_chrome_trace().as_bytes())
             .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
         println!("trace written to {path} ({} events)", trace.len());
     }
@@ -274,7 +310,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             .metrics
             .as_ref()
             .ok_or_else(|| "internal: report carries no metrics despite --metrics".to_owned())?;
-        std::fs::write(path, metrics.to_json())
+        mapg::write_atomic(Path::new(path), metrics.to_json().as_bytes())
             .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
         println!("metrics written to {path}");
     }
@@ -312,7 +348,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// oracle (live vs reference stack plus reconciliation laws) and exit
 /// nonzero when any divergence still reproduces.
 fn replay_repro(path: &str) -> Result<ExitCode, String> {
-    let repro = ReproFile::load(Path::new(path)).map_err(|e| e.to_string())?;
+    const REPRO_USAGE: &str =
+        "usage: mapgsim --repro FILE  (FILE is a repro JSON written by `mapg-fuzz --out DIR`)";
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("--repro: cannot read '{path}': {e}\n{REPRO_USAGE}"))?;
+    let repro = ReproFile::from_json_text(&text)
+        .map_err(|e| format!("--repro: '{path}' is not a valid repro file: {e}\n{REPRO_USAGE}"))?;
     println!("repro      : {path}");
     if let (Some(seed), Some(index)) = (repro.campaign_seed, repro.scenario_index) {
         println!(

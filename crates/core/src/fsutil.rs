@@ -1,0 +1,109 @@
+//! Crash-safe file writes.
+//!
+//! Every artifact the harness persists (manifests, journals, repro
+//! files, traces, metrics, bench records) goes through
+//! [`write_atomic`]: the bytes land in a sibling `*.tmp` file which is
+//! fsync'd and then renamed over the target. A crash — including
+//! SIGKILL — mid-write therefore never leaves a truncated JSON at the
+//! final path; at worst it leaves a stale `*.tmp` that the next writer
+//! overwrites and that readers (e.g. journal resume) ignore.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path `write_atomic` stages into: `<file>.tmp` in
+/// the same directory (same filesystem, so the rename is atomic).
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: write `<path>.tmp`, fsync,
+/// rename over `path`, then best-effort fsync the directory.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the temp file cannot be
+/// created, written, synced, or renamed into place.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut file = File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself needs the directory synced; not
+    // all platforms/filesystems support opening a directory for sync,
+    // so failures here are ignored (the rename is still atomic).
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(dir) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mapg-fsutil-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_and_tmp_is_gone() {
+        let dir = temp_dir("basic");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"ok\": true}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\": true}\n");
+        assert!(
+            !tmp_path(&path).exists(),
+            "temp file should be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrites_are_atomic_replacements() {
+        let dir = temp_dir("overwrite");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A stale `*.tmp` left by a crashed writer is simply overwritten
+    /// by the next atomic write and never shadows the real file.
+    #[test]
+    fn stale_tmp_files_are_overwritten() {
+        let dir = temp_dir("stale");
+        let path = dir.join("out.json");
+        std::fs::write(tmp_path(&path), b"{\"truncat").unwrap();
+        write_atomic(&path, b"clean").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"clean");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        let path = Path::new("/nonexistent-dir/out.json");
+        assert!(write_atomic(path, b"x").is_err());
+    }
+
+    #[test]
+    fn tmp_path_is_a_sibling() {
+        assert_eq!(
+            tmp_path(Path::new("/a/b/manifest.json")),
+            PathBuf::from("/a/b/manifest.json.tmp")
+        );
+    }
+}

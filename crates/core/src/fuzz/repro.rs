@@ -114,14 +114,16 @@ impl ReproFile {
         })
     }
 
-    /// Writes the repro to `path`.
+    /// Writes the repro to `path` atomically (staged to `<path>.tmp`,
+    /// fsync'd, renamed), so a crash mid-write never leaves a
+    /// truncated repro.
     ///
     /// # Errors
     ///
     /// Returns [`MapgError::InvalidConfig`] when the file cannot be
     /// written.
     pub fn save(&self, path: &Path) -> Result<(), MapgError> {
-        std::fs::write(path, self.to_json_text())
+        crate::fsutil::write_atomic(path, self.to_json_text().as_bytes())
             .map_err(|e| MapgError::invalid(format!("cannot write {}: {e}", path.display())))
     }
 

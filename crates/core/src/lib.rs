@@ -46,6 +46,7 @@ mod controller;
 mod error;
 mod faults;
 mod fsm;
+pub mod fsutil;
 pub mod fuzz;
 mod invariants;
 mod policy;
@@ -62,6 +63,7 @@ pub use controller::{Controller, ControllerConfig, GatingStats};
 pub use error::MapgError;
 pub use faults::{FaultPlan, FaultStats};
 pub use fsm::{GatingFsm, PgState, StateResidency};
+pub use fsutil::write_atomic;
 pub use invariants::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 pub use policy::{
     ClockGating, DvfsStall, GatingPolicy, MapgPolicy, NaiveOnMiss, NoGating, PolicyContext,

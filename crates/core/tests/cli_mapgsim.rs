@@ -190,23 +190,61 @@ fn repro_rejects_run_shaping_flags() {
     assert!(err.contains("--workload"), "{err}");
 }
 
+/// A missing repro file gets a usage-style diagnostic that names the
+/// offending path, and the exit is nonzero.
 #[test]
 fn repro_with_missing_file_is_a_clean_error() {
     let out = run(&["--repro", "/nonexistent-dir/repro.json"]);
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
-    assert!(err.contains("error: cannot read"), "{err}");
+    assert!(err.contains("error: --repro: cannot read"), "{err}");
+    assert!(err.contains("/nonexistent-dir/repro.json"), "{err}");
+    assert!(err.contains("usage: mapgsim --repro FILE"), "{err}");
     assert!(!err.contains("panicked"), "{err}");
 }
 
+/// An unparsable repro file likewise: nonzero exit, the path, and the
+/// usage hint.
 #[test]
 fn repro_with_garbage_json_is_a_clean_error() {
     let path = temp_file("mapgsim-cli-repro-test", "garbage.json");
     std::fs::write(&path, "{\"schema\": 1, \"truncated").unwrap();
     let out = run(&["--repro", path.to_str().unwrap()]);
-    std::fs::remove_file(&path).ok();
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
-    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("error: --repro:"), "{err}");
+    assert!(err.contains("is not a valid repro file"), "{err}");
+    assert!(err.contains(path.to_str().unwrap()), "{err}");
+    assert!(err.contains("usage: mapgsim --repro FILE"), "{err}");
     assert!(!err.contains("panicked"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// A generous deadline routes the run through the supervised engine and
+/// still prints the normal report; a zero deadline is rejected.
+#[test]
+fn deadline_runs_are_supervised_and_validated() {
+    let supervised = run(&["--instructions", "20000", "--deadline-ms", "600000"]);
+    assert!(supervised.status.success(), "{:?}", supervised);
+    let plain = run(&["--instructions", "20000"]);
+    assert_eq!(
+        String::from_utf8(supervised.stdout).unwrap(),
+        String::from_utf8(plain.stdout).unwrap(),
+        "supervision must not perturb the report"
+    );
+
+    let zero = run(&["--deadline-ms", "0"]);
+    assert!(!zero.status.success());
+    let err = String::from_utf8(zero.stderr).unwrap();
+    assert!(err.contains("--deadline-ms"), "{err}");
+}
+
+/// `--deadline-ms` shapes a run, so it conflicts with `--repro`.
+#[test]
+fn deadline_conflicts_with_repro() {
+    let path = committed_repro();
+    let out = run(&["--repro", path.to_str().unwrap(), "--deadline-ms", "1000"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--deadline-ms"), "{err}");
 }

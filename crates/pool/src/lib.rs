@@ -17,7 +17,13 @@
 //!   payload;
 //! - a **degenerate serial path** — `jobs == 1` (or a single item) runs
 //!   inline on the caller with no threads spawned, which is the baseline
-//!   the determinism tests compare against.
+//!   the determinism tests compare against;
+//! - a **supervised mode** — [`Supervisor::map_supervised`] layers
+//!   hierarchical cancellation ([`CancelToken`]), per-job wall-clock
+//!   deadlines (a monitor thread), panic quarantine (per-job
+//!   [`JobOutcome`]s instead of batch aborts), and bounded
+//!   retry-with-backoff on top, for long campaigns where one bad job
+//!   must not take down the suite.
 //!
 //! ```
 //! use mapg_pool::Pool;
@@ -39,6 +45,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod supervise;
+
+pub use supervise::{
+    CancelToken, JobCtx, JobFailure, JobOutcome, JobReport, Supervisor, POLL_INTERVAL,
+};
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
