@@ -38,7 +38,6 @@ use std::time::{Duration, Instant};
 use mapg_bench::experiments::Experiment;
 use mapg_bench::{
     experiments, Journal, JournalEntry, Manifest, ManifestEntry, Scale, TableSummary,
-    ThroughputReport, THROUGHPUT_TOLERANCE,
 };
 use mapg_pool::{JobOutcome, Supervisor};
 
@@ -547,88 +546,14 @@ fn main() -> ExitCode {
     }
 }
 
-/// The `--bench-throughput` mode: measure, print, write the JSON record,
-/// and (when a committed baseline is given) gate on speedup regressions.
+/// The `--bench-throughput` mode, shared with the dedicated `throughput`
+/// binary (which CI gates on — see `src/bin/throughput.rs` for why the
+/// measurement prefers a binary of its own).
 fn bench_throughput(
     out_path: &str,
     baseline_path: Option<&str>,
     scale: Scale,
     repeats: usize,
 ) -> ExitCode {
-    println!(
-        "# MAPG throughput — event-wheel vs reference scheduler, {} scale, best of {repeats}\n",
-        scale.name()
-    );
-    let report = ThroughputReport::measure(scale, repeats);
-    println!(
-        "{:<14} {:>6} {:>12} {:>16} {:>16} {:>8}",
-        "case", "cores", "sim events", "wheel evt/s", "reference evt/s", "speedup"
-    );
-    for case in &report.cases {
-        println!(
-            "{:<14} {:>6} {:>12} {:>16.3e} {:>16.3e} {:>7.2}x",
-            case.name,
-            case.cores,
-            case.simulated_events,
-            case.heap_events_per_sec(),
-            case.reference_events_per_sec(),
-            case.speedup()
-        );
-    }
-    println!(
-        "\nheadline (geomean of largest-cluster speedups): {:.2}x",
-        report.headline_speedup()
-    );
-    if let Err(error) = mapg::write_atomic(Path::new(out_path), report.to_json().as_bytes()) {
-        eprintln!("cannot write throughput record '{out_path}': {error}");
-        return ExitCode::FAILURE;
-    }
-    eprintln!("\n[throughput record written to {out_path}]");
-
-    let Some(baseline_path) = baseline_path else {
-        return ExitCode::SUCCESS;
-    };
-    let baseline = match std::fs::read_to_string(baseline_path) {
-        Ok(contents) => contents,
-        Err(error) => {
-            eprintln!("cannot read throughput baseline '{baseline_path}': {error}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let baseline_speedups = ThroughputReport::parse_speedups(&baseline);
-    if baseline_speedups.is_empty() {
-        eprintln!("baseline '{baseline_path}' holds no speedup records");
-        return ExitCode::FAILURE;
-    }
-    // Compare speedup ratios, not absolute rates: the ratio comes from one
-    // process on one machine, so it transfers to whatever hardware CI runs
-    // on, where the committed cycles/sec would not.
-    let mut failed = false;
-    for (name, baseline_speedup) in &baseline_speedups {
-        let measured = if name == "headline" {
-            report.headline_speedup()
-        } else if let Some(case) = report.cases.iter().find(|c| &c.name == name) {
-            case.speedup()
-        } else {
-            eprintln!("baseline case '{name}' was not measured in this run");
-            failed = true;
-            continue;
-        };
-        let floor = baseline_speedup * (1.0 - THROUGHPUT_TOLERANCE);
-        if measured < floor {
-            eprintln!(
-                "regression: {name} speedup {measured:.2}x fell below {floor:.2}x \
-                 (baseline {baseline_speedup:.2}x - {:.0}% tolerance)",
-                THROUGHPUT_TOLERANCE * 100.0
-            );
-            failed = true;
-        } else {
-            eprintln!("[{name}: {measured:.2}x vs baseline {baseline_speedup:.2}x — ok]");
-        }
-    }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    mapg_bench::run_throughput_cli(out_path, baseline_path, scale, repeats)
 }

@@ -50,5 +50,6 @@ pub use manifest::{
 pub use scale::Scale;
 pub use table::{pct, ratio, Table};
 pub use throughput::{
-    ThroughputCase, ThroughputReport, CORE_COUNTS, THROUGHPUT_SCHEMA, THROUGHPUT_TOLERANCE,
+    run_throughput_cli, ThroughputCase, ThroughputReport, CORE_COUNTS, THROUGHPUT_SCHEMA,
+    THROUGHPUT_TOLERANCE,
 };

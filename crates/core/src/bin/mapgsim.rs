@@ -66,6 +66,8 @@ fn usage() {
          \x20 --seed N             RNG seed (default 42)\n\
          \x20 --tokens N           wake-token budget (default unlimited)\n\
          \x20 --switch-width PCT   sleep-switch width ratio in percent (default 3.0)\n\
+         \x20 --mshr-entries N     LLC MSHR entries, bounds miss parallelism (default 16)\n\
+         \x20 --dram-banks N       independently schedulable DRAM banks (default 8)\n\
          \x20 --fault-plan SPEC    inject faults: none|light|moderate|heavy or an\n\
          \x20                      intensity multiplier on moderate (e.g. 0.5)\n\
          \x20 --safe-mode          arm the safe-mode watchdog (degrades to clock\n\
@@ -116,6 +118,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut tokens: Option<usize> = None;
     let mut switch_width_pct: f64 = 3.0;
     let mut fault_plan = FaultPlan::none();
+    let mut mshr_entries: Option<usize> = None;
+    let mut dram_banks: Option<u32> = None;
     let mut safe_mode = false;
     let mut compare = false;
     let mut trace_path: Option<String> = None;
@@ -138,6 +142,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 | "--seed"
                 | "--tokens"
                 | "--switch-width"
+                | "--mshr-entries"
+                | "--dram-banks"
                 | "--fault-plan"
                 | "--safe-mode"
                 | "--compare"
@@ -185,6 +191,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--switch-width" => {
                 switch_width_pct = parse_value(arg, "percent", iter.next())?;
+            }
+            "--mshr-entries" => {
+                mshr_entries = Some(parse_value(arg, "count", iter.next())?);
+            }
+            "--dram-banks" => {
+                dram_banks = Some(parse_value(arg, "count", iter.next())?);
             }
             "--fault-plan" => {
                 let spec: String = parse_value(arg, "spec", iter.next())?;
@@ -250,6 +262,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| e.to_string())?
         .try_with_fault_plan(fault_plan)
         .map_err(|e| e.to_string())?;
+    if mshr_entries.is_some() || dram_banks.is_some() {
+        let mut memory = mapg_mem::HierarchyConfig::baseline();
+        if let Some(entries) = mshr_entries {
+            memory.mshr_entries = entries;
+        }
+        if let Some(banks) = dram_banks {
+            memory.dram.banks = banks;
+        }
+        // The hierarchy's own validation turns `--mshr-entries 0` and
+        // friends into a usage-style diagnostic instead of a panic.
+        config = config.try_with_memory(memory).map_err(|e| e.to_string())?;
+    }
     if let Some(budget) = tokens {
         config = config.try_with_tokens(budget).map_err(|e| e.to_string())?;
     }

@@ -54,6 +54,15 @@ impl From<mapg_cpu::RunError> for MapgError {
     }
 }
 
+impl From<mapg_mem::ConfigError> for MapgError {
+    /// Memory-hierarchy validation failures (zero DRAM banks, zero MSHRs,
+    /// bad fault plans) surface as configuration errors with the same
+    /// message text the panicking constructors abort with.
+    fn from(e: mapg_mem::ConfigError) -> Self {
+        MapgError::invalid(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +71,14 @@ mod tests {
     fn run_errors_convert_to_invalid_config() {
         let e = MapgError::from(mapg_cpu::RunError::ZeroInstructions);
         assert_eq!(e, MapgError::invalid("must run at least one instruction"));
+    }
+
+    #[test]
+    fn memory_errors_convert_to_invalid_config() {
+        let e = MapgError::from(mapg_mem::ConfigError::ZeroBanks);
+        assert_eq!(e, MapgError::invalid("DRAM needs at least one bank"));
+        let e = MapgError::from(mapg_mem::ConfigError::ZeroMshrs);
+        assert_eq!(e, MapgError::invalid("MSHR capacity must be non-zero"));
     }
 
     #[test]

@@ -365,11 +365,13 @@ impl Scenario {
             switch_width_ratio: *rng.pick(&[0.005, 0.01, 0.03, 0.08, 0.2]),
             non_retentive: rng.chance(0.25),
             mlp_limit: *rng.pick(&[1usize, 2, 8, 16]),
-            mshr_entries: *rng.pick(&[1usize, 4, 16]),
+            mshr_entries: *rng.pick(&[1usize, 2, 4, 16, 32]),
             closed_page: rng.chance(0.3),
             stream_prefetch: rng.chance(0.3),
             dram_latency_scale: *rng.pick(&[0.5, 1.0, 2.0, 4.0]),
-            dram_banks: *rng.pick(&[1u32, 2, 8, 16]),
+            // Non-power-of-two bank counts (3, 6) drive the division
+            // fallback in the flattened DRAM bank/row split.
+            dram_banks: *rng.pick(&[1u32, 2, 3, 6, 8, 16]),
             regate: !rng.chance(0.2),
             timeline: rng.chance(0.2),
             trace_capacity: *rng.pick(&[1usize, 64, 1 << 20]),
@@ -391,12 +393,6 @@ impl Scenario {
         let profile = self.profile.build("fuzz")?;
         if self.mlp_limit == 0 {
             return Err(invalid("mlp_limit"));
-        }
-        if self.mshr_entries == 0 {
-            return Err(invalid("mshr_entries"));
-        }
-        if self.dram_banks == 0 {
-            return Err(invalid("dram_banks"));
         }
         if !(self.dram_latency_scale.is_finite() && self.dram_latency_scale > 0.0) {
             return Err(invalid("dram_latency_scale"));
@@ -421,6 +417,10 @@ impl Scenario {
             },
             ..HierarchyConfig::baseline()
         };
+        // Zero banks / zero MSHRs and any other memory inconsistency come
+        // back through the hierarchy's own validation (same messages the
+        // panicking constructors use) instead of ad-hoc field checks.
+        memory.try_validate()?;
         let core = CoreConfig {
             mlp_limit: self.mlp_limit,
             ..CoreConfig::baseline()
@@ -844,5 +844,15 @@ mod tests {
         let mut scenario = Scenario::generate(5, 5);
         scenario.mlp_limit = 0;
         assert!(scenario.build_config().is_err());
+        // Memory-side rejections flow through the hierarchy's try_validate
+        // and carry the mem crate's message text.
+        let mut scenario = Scenario::generate(5, 5);
+        scenario.mshr_entries = 0;
+        let e = scenario.build_config().unwrap_err();
+        assert!(e.to_string().contains("MSHR capacity must be non-zero"));
+        let mut scenario = Scenario::generate(5, 5);
+        scenario.dram_banks = 0;
+        let e = scenario.build_config().unwrap_err();
+        assert!(e.to_string().contains("at least one bank"));
     }
 }

@@ -162,6 +162,16 @@ impl SimConfig {
         self
     }
 
+    /// Fallible form of [`SimConfig::with_memory`] for user input: the
+    /// hierarchy's own validation (DRAM geometry, MSHR count, fault plan)
+    /// runs up front, so a bad `--dram-banks`/`--mshr-entries` value
+    /// becomes a [`MapgError::InvalidConfig`] instead of a panic deep in
+    /// cluster construction.
+    pub fn try_with_memory(self, memory: HierarchyConfig) -> Result<Self, MapgError> {
+        memory.try_validate()?;
+        Ok(self.with_memory(memory))
+    }
+
     /// Technology parameters.
     pub fn with_tech(mut self, tech: TechnologyParams) -> Self {
         self.tech = tech;

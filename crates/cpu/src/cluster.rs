@@ -101,7 +101,9 @@ impl<S: EventSource> Cluster<S> {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::NoCores`] if `sources` is empty.
+    /// Returns [`RunError::NoCores`] if `sources` is empty, or
+    /// [`RunError::Memory`] if the hierarchy configuration fails
+    /// validation (zero DRAM banks, zero MSHRs, bad fault plan, ...).
     pub fn try_new(
         core_config: CoreConfig,
         memory_config: HierarchyConfig,
@@ -110,6 +112,7 @@ impl<S: EventSource> Cluster<S> {
         if sources.is_empty() {
             return Err(RunError::NoCores);
         }
+        let memory = MemoryHierarchy::try_new(memory_config)?;
         let cores = sources
             .into_iter()
             .enumerate()
@@ -117,7 +120,7 @@ impl<S: EventSource> Cluster<S> {
             .collect();
         Ok(Cluster {
             cores,
-            memory: MemoryHierarchy::new(memory_config),
+            memory,
             target: 0,
         })
     }
@@ -179,15 +182,13 @@ impl<S: EventSource> Cluster<S> {
         let mut heap = SchedHeap::with_capacity(self.cores.len());
         for (i, core) in self.cores.iter().enumerate() {
             if core.stats().instructions < target {
-                heap.push(CoreKey {
-                    at: core.now(),
-                    index: i as u32,
-                });
+                heap.push(CoreKey::new(core.now(), i as u32));
             }
         }
 
         let mut next = heap.pop();
-        while let Some(CoreKey { index, .. }) = next {
+        while let Some(key) = next {
+            let index = key.index();
             let core = &mut self.cores[index as usize];
             // Run-ahead: the popped core is the global minimum; keep
             // stepping it — one batched event per iteration, zero heap
@@ -200,12 +201,9 @@ impl<S: EventSource> Cluster<S> {
                     next = heap.pop();
                     break;
                 }
-                let key = CoreKey {
-                    at: core.now(),
-                    index,
-                };
+                let key = CoreKey::new(core.now(), index);
                 let min = heap.replace_min(key);
-                if min.index != index {
+                if min != key {
                     next = Some(min);
                     break;
                 }

@@ -21,12 +21,27 @@ use mapg_units::Cycle;
 
 /// Scheduling key for one core: its local timestamp plus its index as the
 /// deterministic tie-break.
+///
+/// Packed as `(time << 32) | index` in one `u128` so the lexicographic
+/// `(time, index)` order is a single scalar compare. The derived
+/// two-field `Ord` compiled to a compare-branch-compare chain on the
+/// sift-down's critical path; a `u128` compare is a branch-free
+/// `sub`/`sbb` pair, which lets the min-of-children select below run on
+/// conditional moves alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) struct CoreKey {
-    /// The core's local time (primary sort key).
-    pub at: Cycle,
-    /// The core's index within the cluster (tie-break, always unique).
-    pub index: u32,
+pub(crate) struct CoreKey(u128);
+
+impl CoreKey {
+    /// Packs a core's local time (primary sort key) and cluster index
+    /// (tie-break, always unique).
+    pub fn new(at: Cycle, index: u32) -> Self {
+        CoreKey((u128::from(at.raw()) << 32) | u128::from(index))
+    }
+
+    /// The core's index within the cluster.
+    pub fn index(self) -> u32 {
+        self.0 as u32
+    }
 }
 
 /// A hand-rolled 4-ary min-heap of [`CoreKey`]s.
@@ -91,6 +106,7 @@ impl SchedHeap {
     /// traffic at all), otherwise swaps `key` into the root's place and
     /// returns the old root after one sift-down — half the work of the
     /// separate push + pop the standard heap forces.
+    #[inline]
     pub fn replace_min(&mut self, key: CoreKey) -> CoreKey {
         match self.peek() {
             Some(top) if top < key => {
@@ -156,10 +172,7 @@ mod tests {
     use super::*;
 
     fn key(at: u64, index: u32) -> CoreKey {
-        CoreKey {
-            at: Cycle::new(at),
-            index,
-        }
+        CoreKey::new(Cycle::new(at), index)
     }
 
     #[test]
@@ -168,7 +181,9 @@ mod tests {
         for (at, index) in [(30, 0), (10, 1), (20, 2), (5, 3)] {
             heap.push(key(at, index));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| heap.pop()).map(|k| k.index).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop())
+            .map(|k| k.index())
+            .collect();
         assert_eq!(order, vec![3, 1, 2, 0]);
     }
 
@@ -178,7 +193,9 @@ mod tests {
         for index in [2, 0, 3, 1] {
             heap.push(key(100, index));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| heap.pop()).map(|k| k.index).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop())
+            .map(|k| k.index())
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
@@ -188,7 +205,7 @@ mod tests {
         heap.push(key(10, 1));
         heap.push(key(20, 2));
         let popped = heap.pop().expect("non-empty");
-        assert_eq!(popped.index, 1);
+        assert_eq!(popped.index(), 1);
         // The popped core ran to t=15: still ahead of core 2 at t=20.
         assert!(heap.still_min(key(15, 1)));
         // At t=20 the times tie; index 1 < 2 keeps the runner in front.
@@ -276,7 +293,9 @@ mod tests {
             for index in 0..n {
                 heap.push(key(u64::from(n - index) * 10, index));
             }
-            let popped: Vec<u32> = std::iter::from_fn(|| heap.pop()).map(|k| k.index).collect();
+            let popped: Vec<u32> = std::iter::from_fn(|| heap.pop())
+                .map(|k| k.index())
+                .collect();
             let expected: Vec<u32> = (0..n).rev().collect();
             assert_eq!(popped, expected, "n = {n}");
         }

@@ -158,28 +158,86 @@ impl fmt::Display for CacheStats {
 /// assert!(l1.access(0x1000, false).is_hit());  // now resident
 /// assert!(l1.access(0x1008, false).is_hit());  // same line
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
-    /// All per-way state, one contiguous *block per set*:
-    ///
-    /// ```text
-    /// [ tags: assoc × u64 | stamps: assoc × u64 | valid/dirty/prefetched
-    ///                                             bitmasks: 3 × mask_words ]
-    /// ```
+    /// Low 32 bits of each way's tag, `assoc` consecutive words per set.
     ///
     /// The tag scan is the hottest loop in the simulator and a set probe
-    /// lands on an effectively random set, so the layout is chosen for
-    /// *host*-cache behaviour: everything one access touches — tags, the
-    /// victim's LRU/FIFO stamps, the state bits — sits in a handful of
-    /// **consecutive** cache lines that the host's adjacent-line prefetcher
-    /// streams in together. Structure-of-arrays (separate tag/stamp/flag
-    /// vectors) costs one independent host miss per array; the seed's
-    /// `Vec<Vec<Way>>` additionally paid a pointer chase and dragged 32 B
-    /// of way record through the cache per tag compared.
-    data: Vec<u64>,
-    /// `u64`s per set block: `2 * assoc + 3 * mask_words`.
-    block: usize,
+    /// lands on an effectively random set, so state is split into
+    /// *planes* — tags, stamps, packed flag words — sized for what each
+    /// access class actually touches. The hit scan reads one set's tags
+    /// plus its flag words; only a miss additionally reads the stamps for
+    /// victim selection. The previous one-block-per-set layout interleaved
+    /// all three, so every probe dragged the stamps through the host cache
+    /// whether the access missed or not, and the 280 B per-set stride
+    /// (16 ways) meant no two sets shared a line. The seed's
+    /// `Vec<Vec<Way>>` additionally paid a pointer chase and 32 B of way
+    /// record per tag compared.
+    ///
+    /// Tags are further split into 32-bit low/high half-planes so the scan
+    /// itself touches half the bytes: a 16-way set's low halves are one
+    /// 64 B host line instead of two. A low-half match is only a
+    /// *candidate* hit; [`Cache::hi_nonzero`] resolves it without reading
+    /// the high plane in the overwhelmingly common case where no stored
+    /// tag (and no probed tag) has upper bits — a 2 MiB L2 would need
+    /// byte addresses at 2^49 before any high half went non-zero.
+    tags_lo: Vec<u32>,
+    /// High 32 bits of each way's tag (same layout as `tags_lo`). Read and
+    /// written only when a tag with upper bits is actually involved; see
+    /// [`Cache::hi_nonzero`].
+    tags_hi: Vec<u32>,
+    /// Per-way LRU/FIFO stamps for the *generic* path only, `assoc`
+    /// consecutive words per set; empty for the specialized
+    /// associativities, whose recency lives in the packed list inside
+    /// `masks`. Read only on a miss (victim selection); written on fills
+    /// and LRU hits.
+    stamps: Vec<u64>,
+    /// Packed per-set metadata words, `mask_stride` per set.
+    ///
+    /// Specialized associativities (`W <= 16`): four words per set,
+    /// `[valid, dirty, prefetched, recency]`, where `recency` is the
+    /// nibble-packed way permutation of [`LRU_INIT`] ordered most- to
+    /// least-recently stamped. Every stamp in the seed model is unique
+    /// (`use_clock` ticks per access), so ordering by stamp *is* a
+    /// permutation, and maintaining it move-to-front keeps victim choice
+    /// bit-identical to `min_by_key(last_use / filled_at)` — while a miss
+    /// reads one resident word instead of dragging `assoc × 8 B` of
+    /// stamps through the host cache.
+    ///
+    /// Generic geometries: `3 × mask_words` per set in
+    /// `[valid.. | dirty.. | prefetched..]` order, recency in `stamps`.
+    masks: Vec<u64>,
+    /// Word offset that 64-byte-aligns each plane's first set. A `Vec`'s
+    /// buffer is only guaranteed element alignment (large allocations tend
+    /// to land 16 bytes past a page), so without this a set's tag group
+    /// straddles two host cache lines on almost every set — doubling the
+    /// memory traffic of the random-set probes that dominate the hot
+    /// path. Planes over-allocate up to one line of slack words and index
+    /// from the first 64-byte boundary instead.
+    lo_off: usize,
+    /// See [`Cache::lo_off`]; offset for the `tags_hi` plane.
+    hi_off: usize,
+    /// See [`Cache::lo_off`]; offset for the `stamps` plane.
+    stamps_off: usize,
+    /// See [`Cache::lo_off`]; offset for the `masks` plane.
+    masks_off: usize,
+    /// Number of resident ways whose tag has non-zero upper 32 bits.
+    ///
+    /// While zero (every realistic address map), a low-half tag match *is*
+    /// a full match whenever the probed tag's upper bits are also zero,
+    /// and cannot match at all otherwise — so neither hits nor fills touch
+    /// the `tags_hi` plane, halving the tag bytes a probe moves. The
+    /// count is maintained exactly on every fill (invalid ways always
+    /// hold a zero high half), so arbitrary 64-bit addresses stay
+    /// bit-exact through the slow path that verifies candidates against
+    /// the high plane.
+    hi_nonzero: u64,
+    /// Words per set in `masks` (4 specialized, `3 × mask_words` generic).
+    mask_stride: usize,
+    /// Whether `assoc` dispatches to the const-generic fast path (and the
+    /// packed-recency layout above).
+    specialized: bool,
     /// `u64` bitmask words per way-mask (`assoc.div_ceil(64)`, so 1 for
     /// any real associativity).
     mask_words: usize,
@@ -201,6 +259,21 @@ pub struct Cache {
     use_clock: u64,
     /// Xorshift state for [`ReplacementPolicy::Random`].
     rng_state: u64,
+    /// One-entry MRU filter: the line the last demand access touched
+    /// (`u64::MAX` when nothing is cached). Sequential runs stride one
+    /// word, so up to seven consecutive references land on the same line;
+    /// matching here skips the set probe entirely while making the exact
+    /// same state updates (stamp refresh, dirty bit, counters) the full
+    /// path would. The filter never outlives its line: a demand fill
+    /// retargets it and a prefetch fill invalidates it, so it cannot go
+    /// stale through an eviction.
+    mru_line: u64,
+    /// Stamp-plane index of the MRU way (`set * assoc + way`).
+    mru_stamp_idx: usize,
+    /// Mask-plane index of the MRU set's dirty word.
+    mru_dirty_idx: usize,
+    /// The MRU way's bit within its flag words.
+    mru_bit: u64,
 }
 
 impl Cache {
@@ -213,11 +286,43 @@ impl Cache {
         let set_count = config.sets();
         let assoc = config.associativity as usize;
         let mask_words = assoc.div_ceil(64);
-        let block = 2 * assoc + 3 * mask_words;
+        let specialized = matches!(assoc, 1 | 2 | 4 | 8 | 16);
+        let mask_stride = if specialized { 4 } else { 3 * mask_words };
+        let n_ways = set_count as usize * assoc;
+        let tags_lo = vec![0u32; n_ways + PLANE_SLACK_U32];
+        let lo_off = plane_offset_u32(&tags_lo);
+        let tags_hi = vec![0u32; n_ways + PLANE_SLACK_U32];
+        let hi_off = plane_offset_u32(&tags_hi);
+        let stamps = if specialized {
+            Vec::new()
+        } else {
+            vec![0; n_ways + PLANE_SLACK]
+        };
+        let stamps_off = if stamps.is_empty() {
+            0
+        } else {
+            plane_offset(&stamps)
+        };
+        let mut masks = vec![0; set_count as usize * mask_stride + PLANE_SLACK];
+        let masks_off = plane_offset(&masks);
+        if specialized {
+            for set in 0..set_count as usize {
+                masks[masks_off + set * 4 + 3] = LRU_INIT;
+            }
+        }
         Cache {
             config,
-            data: vec![0; set_count as usize * block],
-            block,
+            tags_lo,
+            tags_hi,
+            stamps,
+            masks,
+            lo_off,
+            hi_off,
+            stamps_off,
+            masks_off,
+            hi_nonzero: 0,
+            mask_stride,
+            specialized,
             mask_words,
             set_count,
             assoc,
@@ -229,6 +334,10 @@ impl Cache {
             stats: CacheStats::default(),
             use_clock: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
+            mru_line: u64::MAX,
+            mru_stamp_idx: 0,
+            mru_dirty_idx: 0,
+            mru_bit: 0,
         }
     }
 
@@ -266,75 +375,266 @@ impl Cache {
     /// Accesses byte address `addr`; on a miss the line is allocated
     /// (write-allocate for stores, fill for loads) and the LRU victim
     /// evicted.
+    ///
+    /// The common associativities dispatch to a const-generic body whose
+    /// tag/stamp arrays have compile-time length: the hit scan and victim
+    /// select fully unroll with no bounds checks, and only the planes an
+    /// access actually needs are touched (a hit never reads the stamps).
+    #[inline(always)]
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
         self.stats.accesses += 1;
         self.use_clock += 1;
-        let (set_index, tag) = self.split(self.line_of(addr));
+        let line = self.line_of(addr);
+        if line == self.mru_line {
+            // Same line as the previous demand access: a guaranteed hit on
+            // a known way. Replays the full hit path's updates against the
+            // precomputed indices; the prefetched bit was already cleared
+            // by the access that set the filter, so this touch reports
+            // `prefetched: false` exactly as the probe would. On the
+            // specialized path there is nothing else to do — the way was
+            // moved to the recency front by the access that set the
+            // filter, and re-promoting the front is the identity.
+            self.stats.hits += 1;
+            if !self.specialized && !matches!(self.config.replacement, ReplacementPolicy::Fifo) {
+                self.stamps[self.mru_stamp_idx] = self.use_clock;
+            }
+            if is_write {
+                self.masks[self.mru_dirty_idx] |= self.mru_bit;
+            }
+            return CacheOutcome::Hit { prefetched: false };
+        }
+        let (set_index, tag) = self.split(line);
+        match self.assoc {
+            8 => self.access_ways::<8>(line, set_index, tag, is_write),
+            16 => self.access_ways::<16>(line, set_index, tag, is_write),
+            4 => self.access_ways::<4>(line, set_index, tag, is_write),
+            2 => self.access_ways::<2>(line, set_index, tag, is_write),
+            1 => self.access_ways::<1>(line, set_index, tag, is_write),
+            _ => self.access_any(line, set_index, tag, is_write),
+        }
+    }
+
+    /// [`Cache::access`] body for an associativity known at compile time
+    /// (`W <= 64`, one mask word). Behaviour-identical to
+    /// [`Cache::access_any`]; only the code shape differs.
+    #[inline(always)]
+    fn access_ways<const W: usize>(
+        &mut self,
+        line: u64,
+        set_index: usize,
+        tag: u64,
+        is_write: bool,
+    ) -> CacheOutcome {
+        let base = self.lo_off + set_index * W;
+        let tags_lo: &mut [u32; W] = (&mut self.tags_lo[base..base + W])
+            .try_into()
+            .expect("tag plane holds W words per set");
+        let mbase = self.masks_off + set_index * 4;
+        let valid = self.masks[mbase];
+        let lo_tag = tag as u32;
+        let hi_tag = (tag >> 32) as u32;
+        let hbase = self.hi_off + set_index * W;
+
+        // Hit scan: a branchless fixed-trip match mask over the low tag
+        // halves. An early-exit compare loop mispredicts on every probe
+        // (the hit way position is effectively random); accumulating
+        // equality bits lets the compiler vectorize the compares and
+        // leaves one candidate/no-candidate branch. At most one valid way
+        // holds a given full tag, so a candidate resolves to at most one
+        // hit; `hi_nonzero == 0` (the steady state for realistic address
+        // maps) resolves it without touching the high plane at all.
+        let candidates = match_mask_ways::<W>(tags_lo, lo_tag) & valid;
+        let hit_way = if candidates == 0 {
+            None
+        } else if self.hi_nonzero == 0 {
+            // Every resident high half is zero: a low match is a full
+            // match iff the probed tag's high half is zero too (and then
+            // it is unique — duplicate full tags cannot coexist).
+            (hi_tag == 0).then(|| candidates.trailing_zeros() as usize)
+        } else {
+            // Rare: some resident tag has upper bits, so each candidate
+            // must be verified against the high plane.
+            let mut rest = candidates;
+            let mut found = None;
+            while rest != 0 {
+                let way = rest.trailing_zeros() as usize;
+                if self.tags_hi[hbase + way] == hi_tag {
+                    found = Some(way);
+                    break;
+                }
+                rest &= rest - 1;
+            }
+            found
+        };
+        if let Some(way) = hit_way {
+            // A hit refreshes recency under LRU; FIFO keys on fill time
+            // and Random never reads it, so both skip the promote.
+            if matches!(self.config.replacement, ReplacementPolicy::Lru) {
+                self.masks[mbase + 3] = lru_promote(self.masks[mbase + 3], way as u64);
+            }
+            let bit = 1u64 << way;
+            if is_write {
+                self.masks[mbase + 1] |= bit;
+            }
+            let prefetched = self.masks[mbase + 2] & bit != 0;
+            if prefetched {
+                self.masks[mbase + 2] &= !bit;
+            }
+            self.stats.hits += 1;
+            self.mru_line = line;
+            self.mru_dirty_idx = mbase + 1;
+            self.mru_bit = bit;
+            return CacheOutcome::Hit { prefetched };
+        }
+
+        // Miss: pick the lowest invalid way if any, else the policy's
+        // victim — the recency back for LRU/FIFO, the next xorshift draw
+        // for Random. Bits past the associativity are forced "valid" so
+        // they are never picked, matching the seed's first-invalid order.
+        let live = if W == 64 {
+            valid
+        } else {
+            valid | !((1u64 << W) - 1)
+        };
+        let victim = if live != u64::MAX {
+            (!live).trailing_zeros() as usize
+        } else {
+            match self.config.replacement {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    lru_victim::<W>(self.masks[mbase + 3])
+                }
+                ReplacementPolicy::Random => xorshift(&mut self.rng_state) as usize % W,
+            }
+        };
+        let bit = 1u64 << victim;
+        // The victim's high half is zero by construction while
+        // `hi_nonzero` is zero (invalid ways always hold zero), so the
+        // steady state never loads the high plane here either.
+        let old_hi = if self.hi_nonzero == 0 {
+            0
+        } else {
+            self.tags_hi[hbase + victim]
+        };
+        let writeback = if valid & bit != 0 && self.masks[mbase + 1] & bit != 0 {
+            // Reconstruct the victim's line address from its tag.
+            let victim_tag = (u64::from(old_hi) << 32) | u64::from(tags_lo[victim]);
+            self.stats.writebacks += 1;
+            Some(victim_tag * self.set_count + set_index as u64)
+        } else {
+            None
+        };
+        tags_lo[victim] = lo_tag;
+        if hi_tag != old_hi {
+            self.tags_hi[hbase + victim] = hi_tag;
+            self.hi_nonzero -= u64::from(old_hi != 0);
+            self.hi_nonzero += u64::from(hi_tag != 0);
+        }
+        // A fill stamps both last-use and fill time in the seed, so LRU
+        // and FIFO promote; Random's recency is never consulted.
+        if !matches!(self.config.replacement, ReplacementPolicy::Random) {
+            self.masks[mbase + 3] = lru_promote(self.masks[mbase + 3], victim as u64);
+        }
+        self.masks[mbase] = valid | bit;
+        if is_write {
+            self.masks[mbase + 1] |= bit;
+        } else {
+            self.masks[mbase + 1] &= !bit;
+        }
+        self.masks[mbase + 2] &= !bit;
+        self.mru_line = line;
+        self.mru_dirty_idx = mbase + 1;
+        self.mru_bit = bit;
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// [`Cache::access`] body for arbitrary geometries (including more
+    /// than 64 ways); the correctness reference for the const-generic
+    /// fast paths.
+    fn access_any(
+        &mut self,
+        line: u64,
+        set_index: usize,
+        tag: u64,
+        is_write: bool,
+    ) -> CacheOutcome {
         let stamp = self.use_clock;
         let assoc = self.assoc;
         let mw = self.mask_words;
-        let base = set_index * self.block;
-        let set = &mut self.data[base..base + self.block];
-        let (tags, rest) = set.split_at_mut(assoc);
-        let (stamps, masks) = rest.split_at_mut(assoc);
-
-        // Hit scan: a branchless fixed-trip match mask per 64-way group.
-        // An early-exit compare loop mispredicts on every probe (the hit
-        // way position is effectively random); accumulating equality bits
-        // lets the compiler vectorize the compares and leaves exactly one
-        // hit/miss branch.
+        let base = self.lo_off + set_index * assoc;
+        let hbase = self.hi_off + set_index * assoc;
+        let sbase = self.stamps_off + set_index * assoc;
+        let mbase = self.masks_off + set_index * self.mask_stride;
+        let lo_tag = tag as u32;
+        let hi_tag = (tag >> 32) as u32;
         for word in 0..mw {
             let lo = word * 64;
             let ways_here = (assoc - lo).min(64);
-            let matches = match_mask(&tags[lo..lo + ways_here], tag) & masks[word];
-            if matches != 0 {
-                // At most one valid way holds a given tag.
-                let way = lo + matches.trailing_zeros() as usize;
-                // The merged stamp is last-use for LRU (and, vacuously,
-                // Random); FIFO keeps it frozen at fill time.
+            // Low-half candidates, each verified against the high plane
+            // (no `hi_nonzero` fast path here — this is the cold
+            // correctness reference, kept as plain as possible).
+            let mut candidates =
+                match_mask(&self.tags_lo[base + lo..base + lo + ways_here], lo_tag)
+                    & self.masks[mbase + word];
+            while candidates != 0 {
+                let way = lo + candidates.trailing_zeros() as usize;
+                if self.tags_hi[hbase + way] != hi_tag {
+                    candidates &= candidates - 1;
+                    continue;
+                }
                 if !matches!(self.config.replacement, ReplacementPolicy::Fifo) {
-                    stamps[way] = stamp;
+                    self.stamps[sbase + way] = stamp;
                 }
                 let bit = 1u64 << (way % 64);
                 if is_write {
-                    masks[mw + word] |= bit;
+                    self.masks[mbase + mw + word] |= bit;
                 }
-                let prefetched = masks[2 * mw + word] & bit != 0;
+                let prefetched = self.masks[mbase + 2 * mw + word] & bit != 0;
                 if prefetched {
-                    masks[2 * mw + word] &= !bit;
+                    self.masks[mbase + 2 * mw + word] &= !bit;
                 }
                 self.stats.hits += 1;
+                self.mru_line = line;
+                self.mru_stamp_idx = sbase + way;
+                self.mru_dirty_idx = mbase + mw + word;
+                self.mru_bit = bit;
                 return CacheOutcome::Hit { prefetched };
             }
         }
 
-        // Miss: pick invalid way if any, else the policy's victim.
         let victim = pick_victim(
             self.config.replacement,
             assoc,
-            stamps,
-            &masks[..mw],
+            &self.stamps[sbase..sbase + assoc],
+            &self.masks[mbase..mbase + mw],
             &mut self.rng_state,
         );
         let word = victim / 64;
         let bit = 1u64 << (victim % 64);
-        let writeback = if masks[word] & bit != 0 && masks[mw + word] & bit != 0 {
-            // Reconstruct the victim's line address from its tag.
-            let victim_line = tags[victim] * self.set_count + set_index as u64;
-            self.stats.writebacks += 1;
-            Some(victim_line)
-        } else {
-            None
-        };
-        tags[victim] = tag;
-        stamps[victim] = stamp;
-        masks[word] |= bit;
+        let old_hi = self.tags_hi[hbase + victim];
+        let writeback =
+            if self.masks[mbase + word] & bit != 0 && self.masks[mbase + mw + word] & bit != 0 {
+                let victim_tag = (u64::from(old_hi) << 32) | u64::from(self.tags_lo[base + victim]);
+                self.stats.writebacks += 1;
+                Some(victim_tag * self.set_count + set_index as u64)
+            } else {
+                None
+            };
+        self.tags_lo[base + victim] = lo_tag;
+        self.tags_hi[hbase + victim] = hi_tag;
+        self.hi_nonzero -= u64::from(old_hi != 0);
+        self.hi_nonzero += u64::from(hi_tag != 0);
+        self.stamps[sbase + victim] = stamp;
+        self.masks[mbase + word] |= bit;
         if is_write {
-            masks[mw + word] |= bit;
+            self.masks[mbase + mw + word] |= bit;
         } else {
-            masks[mw + word] &= !bit;
+            self.masks[mbase + mw + word] &= !bit;
         }
-        masks[2 * mw + word] &= !bit;
+        self.masks[mbase + 2 * mw + word] &= !bit;
+        self.mru_line = line;
+        self.mru_stamp_idx = sbase + victim;
+        self.mru_dirty_idx = mbase + mw + word;
+        self.mru_bit = bit;
         CacheOutcome::Miss { writeback }
     }
 
@@ -353,48 +653,108 @@ impl Cache {
         }
         let assoc = self.assoc;
         let mw = self.mask_words;
-        let base = set_index * self.block;
-        let set = &mut self.data[base..base + self.block];
-        let (tags, rest) = set.split_at_mut(assoc);
-        let (stamps, masks) = rest.split_at_mut(assoc);
-        let victim = pick_victim(
-            self.config.replacement,
-            assoc,
-            stamps,
-            &masks[..mw],
-            &mut self.rng_state,
-        );
+        let base = self.lo_off + set_index * assoc;
+        let hbase = self.hi_off + set_index * assoc;
+        let sbase = self.stamps_off + set_index * assoc;
+        let mbase = self.masks_off + set_index * self.mask_stride;
+        let victim = if self.specialized {
+            self.pick_victim_packed(set_index)
+        } else {
+            pick_victim(
+                self.config.replacement,
+                assoc,
+                &self.stamps[sbase..sbase + assoc],
+                &self.masks[mbase..mbase + mw],
+                &mut self.rng_state,
+            )
+        };
         let word = victim / 64;
         let bit = 1u64 << (victim % 64);
-        let writeback = if masks[word] & bit != 0 && masks[mw + word] & bit != 0 {
-            let victim_line = tags[victim] * self.set_count + set_index as u64;
-            self.stats.writebacks += 1;
-            Some(victim_line)
+        let lo_tag = tag as u32;
+        let hi_tag = (tag >> 32) as u32;
+        let old_hi = self.tags_hi[hbase + victim];
+        let writeback =
+            if self.masks[mbase + word] & bit != 0 && self.masks[mbase + mw + word] & bit != 0 {
+                let victim_tag = (u64::from(old_hi) << 32) | u64::from(self.tags_lo[base + victim]);
+                self.stats.writebacks += 1;
+                Some(victim_tag * self.set_count + set_index as u64)
+            } else {
+                None
+            };
+        self.tags_lo[base + victim] = lo_tag;
+        self.tags_hi[hbase + victim] = hi_tag;
+        self.hi_nonzero -= u64::from(old_hi != 0);
+        self.hi_nonzero += u64::from(hi_tag != 0);
+        if self.specialized {
+            // A prefetch fill stamps recency exactly like a demand fill.
+            if !matches!(self.config.replacement, ReplacementPolicy::Random) {
+                self.masks[mbase + 3] = lru_promote(self.masks[mbase + 3], victim as u64);
+            }
         } else {
-            None
-        };
-        tags[victim] = tag;
-        stamps[victim] = stamp;
-        masks[word] |= bit;
-        masks[mw + word] &= !bit;
-        masks[2 * mw + word] |= bit;
+            self.stamps[sbase + victim] = stamp;
+        }
+        self.masks[mbase + word] |= bit;
+        self.masks[mbase + mw + word] &= !bit;
+        self.masks[mbase + 2 * mw + word] |= bit;
+        // The fill may have evicted the filter's line, and the freshly
+        // prefetched line must report `prefetched: true` on its first
+        // demand touch — either way the filter must not answer for it.
+        self.mru_line = u64::MAX;
         writeback
     }
 
     /// Whether `tag` is resident in `set_index`'s set.
     #[inline]
     fn resident(&self, set_index: usize, tag: u64) -> bool {
-        let base = set_index * self.block;
-        let tags = &self.data[base..base + self.assoc];
-        let valid = &self.data[base + 2 * self.assoc..base + 2 * self.assoc + self.mask_words];
+        let base = self.lo_off + set_index * self.assoc;
+        let hbase = self.hi_off + set_index * self.assoc;
+        let tags_lo = &self.tags_lo[base..base + self.assoc];
+        let mbase = self.masks_off + set_index * self.mask_stride;
+        let valid = &self.masks[mbase..mbase + self.mask_words];
         for (word, &valid_word) in valid.iter().enumerate() {
             let lo = word * 64;
             let ways_here = (self.assoc - lo).min(64);
-            if match_mask(&tags[lo..lo + ways_here], tag) & valid_word != 0 {
-                return true;
+            let mut candidates = match_mask(&tags_lo[lo..lo + ways_here], tag as u32) & valid_word;
+            while candidates != 0 {
+                let way = lo + candidates.trailing_zeros() as usize;
+                if self.tags_hi[hbase + way] == (tag >> 32) as u32 {
+                    return true;
+                }
+                candidates &= candidates - 1;
             }
         }
         false
+    }
+
+    /// Hints the host CPU to start pulling `addr`'s set metadata (tags,
+    /// flag words, stamps) toward its caches ahead of an imminent
+    /// [`Cache::access`]. Purely a scheduling hint — no simulated state
+    /// changes and no effect on any outcome.
+    ///
+    /// The planes of a large cache level (a 2 MiB L2 keeps 256 KiB of
+    /// tags) do not fit in the host's fastest caches, and a probe lands on
+    /// an effectively random set, so the demand load stalls for the full
+    /// host memory latency. The hierarchy issues this hint for the L2 set
+    /// on entry, overlapping that fetch with the L1 probe that precedes
+    /// the L2 access.
+    /// The crate forbids `unsafe`, so instead of a prefetch intrinsic this
+    /// issues plain loads of one word per plane line and launders the
+    /// result through [`core::hint::black_box`] so they are not optimized
+    /// away. Nothing downstream depends on the values, so an out-of-order
+    /// host retires past them while the lines travel — the same overlap a
+    /// `prefetcht0` would buy.
+    #[inline]
+    pub fn prefetch_probe(&self, addr: u64) {
+        let (set_index, _) = self.split(self.line_of(addr));
+        let base = self.lo_off + set_index * self.assoc;
+        let mbase = self.masks_off + set_index * self.mask_stride;
+        // One low-tag word and one flag word cover the whole scan for
+        // assoc <= 16: the low halves of 16 ways are a single 64 B line.
+        let mut touch = u64::from(self.tags_lo[base]) ^ self.masks[mbase];
+        if self.assoc > 16 {
+            touch ^= u64::from(self.tags_lo[base + 16]);
+        }
+        core::hint::black_box(touch);
     }
 
     /// Whether `addr`'s line is currently resident (no LRU update, no
@@ -404,14 +764,189 @@ impl Cache {
         self.resident(set_index, tag)
     }
 
+    /// Picks the eviction way for one set on the specialized (packed
+    /// recency) layout: lowest invalid way first, then the recency back
+    /// for LRU/FIFO or the next xorshift draw for Random — the same
+    /// choices [`pick_victim`] makes from per-way stamps.
+    fn pick_victim_packed(&mut self, set_index: usize) -> usize {
+        let mbase = self.masks_off + set_index * 4;
+        let valid = self.masks[mbase];
+        let live = valid | !((1u64 << self.assoc) - 1);
+        if live != u64::MAX {
+            return (!live).trailing_zeros() as usize;
+        }
+        match self.config.replacement {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                ((self.masks[mbase + 3] >> (4 * (self.assoc - 1))) & 0xF) as usize
+            }
+            ReplacementPolicy::Random => xorshift(&mut self.rng_state) as usize % self.assoc,
+        }
+    }
+
     /// Invalidates all lines and forgets statistics; used between
     /// measurement phases.
     pub fn reset(&mut self) {
-        self.data.fill(0);
+        self.tags_lo.fill(0);
+        self.tags_hi.fill(0);
+        self.hi_nonzero = 0;
+        self.stamps.fill(0);
+        self.masks.fill(0);
+        if self.specialized {
+            for set in 0..self.set_count as usize {
+                self.masks[self.masks_off + set * 4 + 3] = LRU_INIT;
+            }
+        }
         self.stats = CacheStats::default();
         self.use_clock = 0;
         self.rng_state = 0x9E37_79B9_7F4A_7C15;
+        self.mru_line = u64::MAX;
     }
+}
+
+impl Clone for Cache {
+    /// Plane-aware clone: the fresh allocations land at their own
+    /// addresses, so each plane's data is re-based onto the clone's own
+    /// 64-byte offset (a derived clone would copy the *indices* while the
+    /// alignment they encode changed underneath). The MRU filter is
+    /// dropped rather than re-based — its absolute indices belong to the
+    /// source's offsets, and starting cold changes no outcome (the full
+    /// probe path makes the identical updates on the next touch).
+    fn clone(&self) -> Self {
+        let n_ways = self.set_count as usize * self.assoc;
+        let mut tags_lo = vec![0u32; n_ways + PLANE_SLACK_U32];
+        let lo_off = plane_offset_u32(&tags_lo);
+        tags_lo[lo_off..lo_off + n_ways]
+            .copy_from_slice(&self.tags_lo[self.lo_off..self.lo_off + n_ways]);
+        let mut tags_hi = vec![0u32; n_ways + PLANE_SLACK_U32];
+        let hi_off = plane_offset_u32(&tags_hi);
+        tags_hi[hi_off..hi_off + n_ways]
+            .copy_from_slice(&self.tags_hi[self.hi_off..self.hi_off + n_ways]);
+        let mut stamps = Vec::new();
+        let mut stamps_off = 0;
+        if !self.stamps.is_empty() {
+            stamps = vec![0; n_ways + PLANE_SLACK];
+            stamps_off = plane_offset(&stamps);
+            stamps[stamps_off..stamps_off + n_ways]
+                .copy_from_slice(&self.stamps[self.stamps_off..self.stamps_off + n_ways]);
+        }
+        let n_masks = self.set_count as usize * self.mask_stride;
+        let mut masks = vec![0; n_masks + PLANE_SLACK];
+        let masks_off = plane_offset(&masks);
+        masks[masks_off..masks_off + n_masks]
+            .copy_from_slice(&self.masks[self.masks_off..self.masks_off + n_masks]);
+        Cache {
+            config: self.config,
+            tags_lo,
+            tags_hi,
+            stamps,
+            masks,
+            lo_off,
+            hi_off,
+            stamps_off,
+            masks_off,
+            hi_nonzero: self.hi_nonzero,
+            mask_stride: self.mask_stride,
+            specialized: self.specialized,
+            mask_words: self.mask_words,
+            set_count: self.set_count,
+            assoc: self.assoc,
+            line_shift: self.line_shift,
+            line_pow2: self.line_pow2,
+            set_mask: self.set_mask,
+            set_shift: self.set_shift,
+            set_pow2: self.set_pow2,
+            stats: self.stats,
+            use_clock: self.use_clock,
+            rng_state: self.rng_state,
+            mru_line: u64::MAX,
+            mru_stamp_idx: 0,
+            mru_dirty_idx: 0,
+            mru_bit: 0,
+        }
+    }
+}
+
+/// Slack words appended to each `u64` plane so indexing can start at the
+/// first 64-byte boundary inside the allocation (see [`plane_offset`]).
+const PLANE_SLACK: usize = 7;
+
+/// [`PLANE_SLACK`] for the `u32` tag half-planes.
+const PLANE_SLACK_U32: usize = 15;
+
+/// Word offset of the first 64-byte boundary in `plane`'s buffer
+/// (`0..=7`); the plane's sets are indexed from there so a set's words
+/// never straddle host cache lines gratuitously.
+fn plane_offset(plane: &[u64]) -> usize {
+    ((64 - (plane.as_ptr() as usize & 63)) & 63) >> 3
+}
+
+/// [`plane_offset`] for the `u32` tag half-planes (`0..=15`).
+fn plane_offset_u32(plane: &[u32]) -> usize {
+    ((64 - (plane.as_ptr() as usize & 63)) & 63) >> 2
+}
+
+/// Initial nibble-packed recency list: way `i` at position `i`, so the
+/// low nibble (way 0) is "most recent" and the high positions hold the
+/// ways a narrower associativity never uses. Promotions keep real ways in
+/// the bottom `W` positions, so the victim read works at any `W <= 16`.
+const LRU_INIT: u64 = 0xFEDC_BA98_7654_3210;
+
+/// One xorshift64 step (the deterministic per-instance RNG behind
+/// [`ReplacementPolicy::Random`]).
+#[inline(always)]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Position (nibble index) of `way` in the packed recency list. The list
+/// is always a permutation, so exactly one nibble matches; the SWAR
+/// zero-nibble scan finds it without a loop-carried branch.
+#[inline(always)]
+fn lru_find_pos(list: u64, way: u64) -> u32 {
+    const SPREAD: u64 = 0x1111_1111_1111_1111;
+    let diff = list ^ SPREAD.wrapping_mul(way);
+    // High bit of each zero nibble; borrows cannot flag a nibble below
+    // the (unique) match, so the lowest flag is the match.
+    let flags = diff.wrapping_sub(SPREAD) & !diff & (SPREAD << 3);
+    flags.trailing_zeros() / 4
+}
+
+/// Moves `way` to the front (low nibble) of the packed recency list,
+/// shifting the entries it overtook up one position.
+#[inline(always)]
+fn lru_promote(list: u64, way: u64) -> u64 {
+    let pos = lru_find_pos(list, way);
+    // `(!0 << 4·pos) << 4` rather than `!0 << 4·(pos+1)`: at pos 15 the
+    // latter would shift by 64.
+    let above = ((!0u64) << (4 * pos)) << 4;
+    let below = !((!0u64) << (4 * pos));
+    (list & above) | ((list & below) << 4) | way
+}
+
+/// The least-recently-stamped way among the `W` in use: position `W - 1`
+/// of the packed list (real ways never leave the bottom `W` positions).
+#[inline(always)]
+fn lru_victim<const W: usize>(list: u64) -> usize {
+    ((list >> (4 * (W - 1))) & 0xF) as usize
+}
+
+/// Bitmask of ways whose low tag half equals `tag`, for a compile-time
+/// way count: the loop fully unrolls and vectorizes with no dispatch or
+/// bounds checks. Same contract as [`match_mask`].
+#[inline(always)]
+fn match_mask_ways<const W: usize>(tags: &[u32; W], tag: u32) -> u64 {
+    let mut matches = 0u64;
+    let mut i = 0;
+    while i < W {
+        matches |= u64::from(tags[i] == tag) << i;
+        i += 1;
+    }
+    matches
 }
 
 /// Picks the way to evict from one set: the first invalid way if any, else
@@ -444,27 +979,20 @@ fn pick_victim(
         // LRU keys on last use, FIFO on fill time — both live in the
         // merged stamp array (hits only refresh it under LRU).
         ReplacementPolicy::Lru | ReplacementPolicy::Fifo => first_min(stamps),
-        ReplacementPolicy::Random => {
-            // Xorshift64: deterministic per cache instance.
-            let mut x = *rng_state;
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            *rng_state = x;
-            (x % assoc as u64) as usize
-        }
+        ReplacementPolicy::Random => (xorshift(rng_state) % assoc as u64) as usize,
     }
 }
 
-/// Bitmask of ways whose tag equals `tag` (bit `i` set iff `tags[i]`
-/// matches). Dispatching on the common associativities gives LLVM a
-/// fixed-trip loop it fully unrolls and vectorizes; the generic fallback
-/// keeps the model correct for arbitrary geometries.
+/// Bitmask of ways whose low tag half equals `tag` (bit `i` set iff
+/// `tags[i]` matches); callers verify candidates against the high plane.
+/// Dispatching on the common associativities gives LLVM a fixed-trip
+/// loop it fully unrolls and vectorizes; the generic fallback keeps the
+/// model correct for arbitrary geometries.
 #[inline]
-fn match_mask(tags: &[u64], tag: u64) -> u64 {
+fn match_mask(tags: &[u32], tag: u32) -> u64 {
     #[inline]
-    fn fixed<const W: usize>(tags: &[u64], tag: u64) -> u64 {
-        let tags: &[u64; W] = tags.try_into().expect("dispatched on length");
+    fn fixed<const W: usize>(tags: &[u32], tag: u32) -> u64 {
+        let tags: &[u32; W] = tags.try_into().expect("dispatched on length");
         let mut matches = 0u64;
         let mut i = 0;
         while i < W {

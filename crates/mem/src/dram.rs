@@ -6,9 +6,21 @@
 //! conflict ~190, matching the 40–120 ns window the original evaluation's
 //! stalls fall into. Making DRAM time explicit in core cycles keeps the
 //! entire gating analysis in one unit system ([`mapg_units::Cycles`]).
+//!
+//! # Hot-path layout
+//!
+//! Per-bank state is flattened into two contiguous arrays (`open_rows`,
+//! `bank_free`) instead of a `Vec<Bank>` of structs, and the row-buffer
+//! decision is branchless: the open row is encoded as `row_id + 1` with
+//! `0` meaning *precharged*, so `(was_open << 1) | same_row` indexes a
+//! four-entry latency/outcome table instead of matching on an
+//! `Option<u64>`. The access stream hits effectively random banks, so the
+//! `Hit`/`Conflict`/`Empty` branch was unpredictable; a table select is
+//! not. See DESIGN.md §12 for the invariants.
 
 use mapg_units::{Cycle, Cycles};
 
+use crate::error::ConfigError;
 use crate::faults::DramFaultConfig;
 
 use core::fmt;
@@ -73,9 +85,15 @@ impl DramConfig {
         self
     }
 
-    /// Returns a copy with the three core timing parameters (tRCD, tCAS,
-    /// tRP) scaled by `factor` — the "memory wall" sensitivity knob of
-    /// experiment R-F6.
+    /// Returns a copy with the *latency* parameters — tRCD, tCAS, tRP and
+    /// the fixed controller/interconnect overhead — scaled by `factor`;
+    /// this is the "memory wall" sensitivity knob of experiment R-F6.
+    ///
+    /// Everything on an access's critical path except the data burst
+    /// scales together: R-F6 models a uniformly slower (or faster) memory
+    /// subsystem, and the controller/interconnect legs slow down with it.
+    /// Only `t_burst` is pinned — it models channel *occupancy* (burst
+    /// length over bus clock), which latency scaling does not change.
     ///
     /// # Panics
     ///
@@ -93,15 +111,21 @@ impl DramConfig {
         scaled
     }
 
-    fn validate(&self) {
-        assert!(self.banks > 0, "DRAM needs at least one bank");
-        assert!(self.row_bytes >= 64, "row must hold at least one line");
-        if self.refresh_interval.raw() > 0 {
-            assert!(
-                self.refresh_duration < self.refresh_interval,
-                "refresh duration must be shorter than the interval"
-            );
+    /// Checks internal consistency; the error's message is the same text
+    /// the panicking constructors abort with.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.banks == 0 {
+            return Err(ConfigError::ZeroBanks);
         }
+        if self.row_bytes < 64 {
+            return Err(ConfigError::RowTooSmall {
+                row_bytes: self.row_bytes,
+            });
+        }
+        if self.refresh_interval.raw() > 0 && self.refresh_duration >= self.refresh_interval {
+            return Err(ConfigError::RefreshTooLong);
+        }
+        Ok(())
     }
 }
 
@@ -171,11 +195,15 @@ impl fmt::Display for DramStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Bank {
-    open_row: Option<u64>,
-    next_free: Cycle,
-}
+/// Row-buffer outcome by `(was_open << 1) | same_row`. Index `0b01`
+/// (closed bank, matching row) is unreachable because the open-row tag is
+/// `row_id + 1 != 0`; it is filled with `Empty` to keep the table total.
+const OUTCOMES: [RowBufferOutcome; 4] = [
+    RowBufferOutcome::Empty,
+    RowBufferOutcome::Empty,
+    RowBufferOutcome::Conflict,
+    RowBufferOutcome::Hit,
+];
 
 /// The DRAM device + controller model.
 ///
@@ -194,8 +222,29 @@ struct Bank {
 pub struct Dram {
     config: DramConfig,
     faults: DramFaultConfig,
-    banks: Vec<Bank>,
+    /// `!faults.is_nop()`, hoisted out of the per-access path.
+    faults_armed: bool,
+    /// Open-row tag per bank: `row_id + 1`, `0` = precharged. Contiguous
+    /// with `bank_free` so one access touches two small dense arrays.
+    open_rows: Vec<u64>,
+    /// Cycle at which each bank is next free (raw), parallel to
+    /// `open_rows`.
+    bank_free: Vec<u64>,
     bus_free: Cycle,
+    /// Start of the refresh window the last access fell in (a multiple of
+    /// `refresh_interval`). Pure cache: [`Dram::apply_refresh`] re-derives
+    /// it with a division whenever a query lands outside
+    /// `[refresh_window, refresh_window + interval)`, so in-window
+    /// queries — the overwhelmingly common case, since global time moves
+    /// a few cycles per access while tREFI is thousands — replace the
+    /// per-access hardware divide with a subtract and compare.
+    refresh_window: u64,
+    /// Array latency (raw cycles) by `(was_open << 1) | same_row`; see
+    /// [`OUTCOMES`] for the index encoding.
+    latency_by_state: [u64; 4],
+    /// `row_id + 1` under [`PagePolicy::Open`], `0` (auto-precharge)
+    /// under [`PagePolicy::Closed`] — applied by masking, no branch.
+    open_mask: u64,
     /// `row_bytes.trailing_zeros()` when the row size is a power of two:
     /// `addr >> row_shift` replaces a 64-bit division per access.
     row_shift: u32,
@@ -227,24 +276,50 @@ impl Dram {
     ///
     /// Panics if either configuration is inconsistent.
     pub fn with_faults(config: DramConfig, faults: DramFaultConfig) -> Self {
-        config.validate();
-        if let Err(message) = faults.validate() {
-            panic!("{message}");
+        match Dram::try_with_faults(config, faults) {
+            Ok(dram) => dram,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible [`Dram::new`].
+    pub fn try_new(config: DramConfig) -> Result<Self, ConfigError> {
+        Dram::try_with_faults(config, DramFaultConfig::none())
+    }
+
+    /// Fallible [`Dram::with_faults`]: configuration inconsistencies come
+    /// back as [`ConfigError`] values instead of panics.
+    pub fn try_with_faults(
+        config: DramConfig,
+        faults: DramFaultConfig,
+    ) -> Result<Self, ConfigError> {
+        config.try_validate()?;
+        faults.validate().map_err(ConfigError::Fault)?;
         let bank_count = u64::from(config.banks);
-        Dram {
-            banks: vec![Bank::default(); config.banks as usize],
+        let hit = config.t_cas.raw();
+        let empty = (config.t_rcd + config.t_cas).raw();
+        let conflict = (config.t_rp + config.t_rcd + config.t_cas).raw();
+        Ok(Dram {
+            open_rows: vec![0; config.banks as usize],
+            bank_free: vec![0; config.banks as usize],
             bus_free: Cycle::ZERO,
+            refresh_window: 0,
+            latency_by_state: [empty, empty, conflict, hit],
+            open_mask: match config.page_policy {
+                PagePolicy::Open => u64::MAX,
+                PagePolicy::Closed => 0,
+            },
             row_shift: config.row_bytes.trailing_zeros(),
             row_pow2: config.row_bytes.is_power_of_two(),
             bank_mask: bank_count - 1,
             bank_shift: bank_count.trailing_zeros(),
             bank_pow2: bank_count.is_power_of_two(),
             stats: DramStats::default(),
+            faults_armed: !faults.is_nop(),
             faults,
             config,
             obs: mapg_obs::ObsHandle::disabled(),
-        }
+        })
     }
 
     /// The row address containing byte address `addr`.
@@ -264,7 +339,7 @@ impl Dram {
         if self.bank_pow2 {
             ((row & self.bank_mask) as usize, row >> self.bank_shift)
         } else {
-            let bank_count = self.banks.len() as u64;
+            let bank_count = self.open_rows.len() as u64;
             ((row % bank_count) as usize, row / bank_count)
         }
     }
@@ -287,39 +362,32 @@ impl Dram {
 
     /// Serves one line access arriving at the controller at `now`; returns
     /// the completion timestamp and the row-buffer outcome.
+    #[inline(always)]
     pub fn access(&mut self, now: Cycle, addr: u64, is_write: bool) -> (Cycle, RowBufferOutcome) {
         let (bank_index, row_id) = self.split(self.row_of(addr));
+        let tag = row_id + 1;
 
         // The command can issue once the bank is free...
-        let mut start = now.max(self.banks[bank_index].next_free);
+        let mut start = now.max(Cycle::new(self.bank_free[bank_index]));
         // ...and outside any refresh window.
         start = self.apply_refresh(start);
 
-        let (mut array_latency, outcome) = match self.banks[bank_index].open_row {
-            Some(open) if open == row_id => {
-                self.stats.row_hits += 1;
-                (self.config.t_cas, RowBufferOutcome::Hit)
-            }
-            Some(_) => {
-                self.stats.activates += 1;
-                (
-                    self.config.t_rp + self.config.t_rcd + self.config.t_cas,
-                    RowBufferOutcome::Conflict,
-                )
-            }
-            None => {
-                self.stats.activates += 1;
-                (
-                    self.config.t_rcd + self.config.t_cas,
-                    RowBufferOutcome::Empty,
-                )
-            }
-        };
+        // Branchless row-buffer resolution: the open-row tag (row_id + 1,
+        // 0 = precharged) turns the three-way Hit/Conflict/Empty decision
+        // into a table index. Bank targets are effectively random, so the
+        // former `match` mispredicted; the select does not.
+        let open = self.open_rows[bank_index];
+        let state = (((open != 0) as usize) << 1) | ((open == tag) as usize);
+        let mut array_latency = Cycles::new(self.latency_by_state[state]);
+        let outcome = OUTCOMES[state];
+        let hit = (state == 0b11) as u64;
+        self.stats.row_hits += hit;
+        self.stats.activates += 1 - hit;
 
         // Injected fault: a spiking (bank, window) pair slows the array
         // access. The decision is a pure hash of (seed, bank, window), so
         // it is independent of access order (see `DramFaultConfig`).
-        if self.faults.spikes(bank_index, start.raw()) {
+        if self.faults_armed && self.faults.spikes(bank_index, start.raw()) {
             array_latency += self.faults.spike_cycles;
             self.stats.fault_spikes += 1;
             self.obs.emit(
@@ -339,23 +407,13 @@ impl Dram {
         self.stats.bus_busy_cycles += self.config.t_burst.raw();
 
         let completion = burst_end + self.config.controller_overhead;
-        let bank = &mut self.banks[bank_index];
-        bank.next_free = burst_end;
-        match self.config.page_policy {
-            PagePolicy::Open => bank.open_row = Some(row_id),
-            PagePolicy::Closed => {
-                // Auto-precharge: the row closes with the burst; the
-                // precharge overlaps the bus transfer in this first-order
-                // model, so no extra bank-busy time is charged.
-                bank.open_row = None;
-            }
-        }
+        self.bank_free[bank_index] = burst_end.raw();
+        // Open policy keeps the row open (tag), closed auto-precharges
+        // (0); `open_mask` folds the policy into a mask at build time.
+        self.open_rows[bank_index] = tag & self.open_mask;
 
-        if is_write {
-            self.stats.writes += 1;
-        } else {
-            self.stats.reads += 1;
-        }
+        self.stats.writes += is_write as u64;
+        self.stats.reads += !is_write as u64;
         (completion, outcome)
     }
 
@@ -389,8 +447,8 @@ impl Dram {
         is_write: bool,
     ) -> Option<(Cycle, RowBufferOutcome)> {
         let (bank_index, _) = self.split(self.row_of(addr));
-        let deadline = now + slack;
-        if self.banks[bank_index].next_free > deadline || self.bus_free > deadline {
+        let deadline = (now + slack).raw();
+        if self.bank_free[bank_index] > deadline || self.bus_free.raw() > deadline {
             return None;
         }
         Some(self.access(now, addr, is_write))
@@ -403,10 +461,17 @@ impl Dram {
         if interval == 0 {
             return start;
         }
-        let offset = start.raw() % interval;
+        let s = start.raw();
+        // `offset = s % interval`, but the divide only runs on a window
+        // crossing (see the `refresh_window` field doc); the cached base
+        // keeps the result bit-exact for arbitrary timestamps.
+        if s < self.refresh_window || s - self.refresh_window >= interval {
+            self.refresh_window = s - s % interval;
+        }
+        let offset = s - self.refresh_window;
         if offset < self.config.refresh_duration.raw() {
             self.stats.refresh_stalls += 1;
-            let pushed = start.raw() - offset + self.config.refresh_duration.raw();
+            let pushed = s - offset + self.config.refresh_duration.raw();
             Cycle::new(pushed)
         } else {
             start
@@ -415,9 +480,8 @@ impl Dram {
 
     /// Precharges all banks and clears statistics.
     pub fn reset(&mut self) {
-        for bank in &mut self.banks {
-            *bank = Bank::default();
-        }
+        self.open_rows.fill(0);
+        self.bank_free.fill(0);
         self.bus_free = Cycle::ZERO;
         self.stats = DramStats::default();
     }
@@ -542,6 +606,32 @@ mod tests {
     }
 
     #[test]
+    fn latency_scaling_includes_controller_overhead() {
+        // R-F6 semantics, pinned: the memory-wall knob scales the whole
+        // non-burst critical path — array timings *and* the fixed
+        // controller/interconnect overhead — so a 2× "slower memory"
+        // config really does double the unloaded miss latency (minus the
+        // burst, which models channel occupancy, not latency).
+        let base = DramConfig::ddr3_1333();
+        let doubled = base.with_latency_scaled(2.0);
+        assert_eq!(doubled.controller_overhead, base.controller_overhead * 2);
+
+        let unloaded = |cfg: DramConfig| {
+            let mut dram = Dram::new(DramConfig {
+                refresh_interval: Cycles::ZERO,
+                ..cfg
+            });
+            let (done, _) = dram.access(Cycle::new(0), 0, false);
+            done - Cycle::new(0)
+        };
+        assert_eq!(
+            unloaded(doubled),
+            (unloaded(base) - base.t_burst) * 2 + base.t_burst,
+            "everything but the burst doubles"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "latency factor")]
     fn rejects_nonpositive_scale() {
         let _ = DramConfig::ddr3_1333().with_latency_scaled(0.0);
@@ -556,6 +646,39 @@ mod tests {
             ..DramConfig::ddr3_1333()
         };
         let _ = Dram::new(cfg);
+    }
+
+    #[test]
+    fn try_validate_reports_errors_as_values() {
+        let zero_banks = DramConfig {
+            banks: 0,
+            ..DramConfig::ddr3_1333()
+        };
+        assert_eq!(zero_banks.try_validate(), Err(ConfigError::ZeroBanks));
+        let tiny_row = DramConfig {
+            row_bytes: 32,
+            ..DramConfig::ddr3_1333()
+        };
+        assert_eq!(
+            tiny_row.try_validate(),
+            Err(ConfigError::RowTooSmall { row_bytes: 32 })
+        );
+        let bad_refresh = DramConfig {
+            refresh_interval: Cycles::new(10),
+            refresh_duration: Cycles::new(20),
+            ..DramConfig::ddr3_1333()
+        };
+        assert_eq!(bad_refresh.try_validate(), Err(ConfigError::RefreshTooLong));
+        assert!(DramConfig::ddr3_1333().try_validate().is_ok());
+        assert!(Dram::try_new(zero_banks).is_err());
+        let bad_faults = DramFaultConfig {
+            spike_prob: 2.0,
+            ..DramFaultConfig::none()
+        };
+        assert!(matches!(
+            Dram::try_with_faults(DramConfig::ddr3_1333(), bad_faults),
+            Err(ConfigError::Fault(_))
+        ));
     }
 
     #[test]
@@ -644,5 +767,23 @@ mod tests {
         let (done_early, _) = a.access(Cycle::new(100), 0, false);
         let (done_late, _) = b.access(Cycle::new(200), 0, false);
         assert!(done_late > done_early);
+    }
+
+    #[test]
+    fn non_pow2_banks_match_division_semantics() {
+        // 3 banks exercises the division fallback in split(); row 0/1/2
+        // land in banks 0/1/2 and row 3 wraps to bank 0 with row_id 1.
+        let cfg = DramConfig {
+            banks: 3,
+            refresh_interval: Cycles::ZERO,
+            ..DramConfig::ddr3_1333()
+        };
+        let mut dram = Dram::new(cfg);
+        let (t0, first) = dram.access(Cycle::new(0), 0, false);
+        assert_eq!(first, RowBufferOutcome::Empty);
+        // Row 3 = same bank 0, different row: conflict.
+        let later = t0 + Cycles::new(1_000);
+        let (_, second) = dram.access(later, 3 * cfg.row_bytes, false);
+        assert_eq!(second, RowBufferOutcome::Conflict);
     }
 }

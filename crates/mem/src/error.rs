@@ -1,0 +1,71 @@
+//! The crate's error type for rejected memory-component configurations.
+//!
+//! The constructors keep their documented panicking behaviour (a bad
+//! hard-coded config in a benchmark *should* abort), but every validation
+//! also exists as a fallible `try_*` method returning [`ConfigError`] so
+//! fuzz- and service-supplied configurations fail as values instead of
+//! unwinding. Each variant's `Display` text is byte-identical to the
+//! message the corresponding panicking path aborts with, so front-ends can
+//! surface either uniformly.
+
+use core::fmt;
+
+/// Why a memory-component configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The DRAM geometry had zero banks.
+    ZeroBanks,
+    /// The DRAM row is smaller than one cache line.
+    RowTooSmall {
+        /// The rejected row size in bytes.
+        row_bytes: u64,
+    },
+    /// The refresh window is at least as long as the refresh interval.
+    RefreshTooLong,
+    /// An MSHR file was requested with zero entries.
+    ZeroMshrs,
+    /// A fault-injection plan failed its own validation; the payload is
+    /// the message from [`DramFaultConfig::validate`](crate::DramFaultConfig::validate).
+    Fault(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBanks => f.write_str("DRAM needs at least one bank"),
+            ConfigError::RowTooSmall { row_bytes } => {
+                write!(f, "row must hold at least one line, got {row_bytes} bytes")
+            }
+            ConfigError::RefreshTooLong => {
+                f.write_str("refresh duration must be shorter than the interval")
+            }
+            ConfigError::ZeroMshrs => f.write_str("MSHR capacity must be non-zero"),
+            ConfigError::Fault(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_match_the_panicking_paths() {
+        assert!(ConfigError::ZeroBanks
+            .to_string()
+            .contains("at least one bank"));
+        assert!(ConfigError::RowTooSmall { row_bytes: 8 }
+            .to_string()
+            .contains("at least one line"));
+        assert!(ConfigError::RefreshTooLong
+            .to_string()
+            .contains("refresh duration"));
+        assert!(ConfigError::ZeroMshrs.to_string().contains("non-zero"));
+        assert_eq!(
+            ConfigError::Fault("spike probability out of range".to_owned()).to_string(),
+            "spike probability out of range"
+        );
+    }
+}

@@ -5,9 +5,10 @@ use mapg_units::{Cycle, Cycles};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::dram::{Dram, DramConfig, DramStats, RowBufferOutcome};
+use crate::error::ConfigError;
 use crate::faults::DramFaultConfig;
 use crate::mshr::{MshrFile, MshrOutcome};
-use crate::prefetch::{PrefetchConfig, PrefetchStats, StreamPrefetcher};
+use crate::prefetch::{PrefetchCandidates, PrefetchConfig, PrefetchStats, StreamPrefetcher};
 use crate::stats::LatencyHistogram;
 
 /// Configuration of the whole hierarchy.
@@ -53,6 +54,21 @@ impl HierarchyConfig {
     pub fn with_dram_faults(mut self, faults: DramFaultConfig) -> Self {
         self.dram_faults = faults;
         self
+    }
+
+    /// Checks the DRAM, fault-injection and MSHR legs for consistency;
+    /// the error's message matches the corresponding panicking path.
+    ///
+    /// Front-ends that accept hierarchy parameters from users (the
+    /// `mapgsim` CLI, the fuzz scenario generator) validate here so bad
+    /// input comes back as a diagnostic instead of a panic.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        self.dram.try_validate()?;
+        self.dram_faults.validate().map_err(ConfigError::Fault)?;
+        if self.mshr_entries == 0 {
+            return Err(ConfigError::ZeroMshrs);
+        }
+        Ok(())
     }
 }
 
@@ -134,6 +150,11 @@ pub struct MemoryHierarchy {
     /// Prefetch candidates waiting for their issue time (keeps DRAM calls
     /// chronological; see [`MemoryHierarchy::drain_prefetches`]).
     pending_prefetches: Vec<(Cycle, u64)>,
+    /// Exact minimum `ready` time over `pending_prefetches`, `u64::MAX`
+    /// when the queue is empty. `drain_prefetches` runs on *every* access,
+    /// but nothing can change until time reaches this mark, so the common
+    /// case collapses to a single compare instead of a queue sweep.
+    next_prefetch_ready: Cycle,
     miss_latency: LatencyHistogram,
     mshr_stalls: u64,
     obs: mapg_obs::ObsHandle,
@@ -154,11 +175,20 @@ impl MemoryHierarchy {
             mshrs: MshrFile::new(config.mshr_entries),
             prefetcher: StreamPrefetcher::new(config.prefetch),
             pending_prefetches: Vec::new(),
+            next_prefetch_ready: Cycle::new(u64::MAX),
             miss_latency: LatencyHistogram::new(),
             mshr_stalls: 0,
             config,
             obs: mapg_obs::ObsHandle::disabled(),
         }
+    }
+
+    /// Fallible [`MemoryHierarchy::new`]: DRAM/MSHR/fault-injection
+    /// inconsistencies come back as [`ConfigError`] values instead of
+    /// panics (see [`HierarchyConfig::try_validate`]).
+    pub fn try_new(config: HierarchyConfig) -> Result<Self, ConfigError> {
+        config.try_validate()?;
+        Ok(MemoryHierarchy::new(config))
     }
 
     /// The hierarchy configuration.
@@ -175,6 +205,11 @@ impl MemoryHierarchy {
 
     /// Serves one reference issued at `now`.
     pub fn access(&mut self, now: Cycle, access: &MemAccess) -> AccessResponse {
+        // Start pulling the L2 set's metadata toward the host caches
+        // before the L1 probe: L2 planes are too large to stay resident,
+        // and on the L1-miss path the probe below would otherwise eat the
+        // full host memory latency. Pure hint, no simulated effect.
+        self.l2.prefetch_probe(access.addr);
         self.drain_prefetches(now);
         let is_write = access.kind == AccessKind::Store;
         let l1_done = now + self.config.l1.hit_latency;
@@ -280,7 +315,7 @@ impl MemoryHierarchy {
     /// reaches `ready`. Candidates are not fetched immediately because the
     /// incremental DRAM model serializes by call order: issuing a fetch at
     /// a future timestamp would block demand accesses that arrive earlier.
-    fn fetch_prefetch_candidates(&mut self, candidates: Vec<u64>, ready: Cycle) {
+    fn fetch_prefetch_candidates(&mut self, candidates: PrefetchCandidates, ready: Cycle) {
         const PENDING_CAP: usize = 32;
         for candidate in candidates {
             let addr = candidate * self.config.l2.line_bytes;
@@ -288,24 +323,42 @@ impl MemoryHierarchy {
                 continue;
             }
             if self.pending_prefetches.len() >= PENDING_CAP {
-                self.pending_prefetches.remove(0); // drop the stalest
+                // Drop the stalest. It may have held the cached minimum;
+                // re-derive it (rare: only under sustained overflow).
+                self.pending_prefetches.remove(0);
+                self.next_prefetch_ready = self
+                    .pending_prefetches
+                    .iter()
+                    .map(|&(r, _)| r)
+                    .fold(Cycle::new(u64::MAX), Cycle::min);
             }
             self.pending_prefetches.push((ready, addr));
+            self.next_prefetch_ready = self.next_prefetch_ready.min(ready);
         }
     }
 
     /// Issues queued prefetches whose time has come. Prefetches are lowest
     /// priority: they only take idle DRAM slots ([`Dram::try_access_idle`])
     /// and are dropped under load, like real prefetch throttling.
+    ///
+    /// This runs at the top of every demand access, so it is gated on the
+    /// cached [`next_prefetch_ready`](Self::next_prefetch_ready) minimum:
+    /// until time reaches the earliest queued issue time, a sweep could
+    /// only re-keep every entry, so skipping it is behaviour-preserving.
+    /// When a sweep does run it compacts the queue in place (stable order,
+    /// no allocation) instead of rebuilding it through a scratch `Vec`.
     fn drain_prefetches(&mut self, now: Cycle) {
-        if self.pending_prefetches.is_empty() {
+        if self.next_prefetch_ready > now {
             return;
         }
-        let mut remaining = Vec::with_capacity(self.pending_prefetches.len());
-        let pending = std::mem::take(&mut self.pending_prefetches);
-        for (ready, addr) in pending {
+        let mut write = 0;
+        let mut min_ready = Cycle::new(u64::MAX);
+        for read in 0..self.pending_prefetches.len() {
+            let (ready, addr) = self.pending_prefetches[read];
             if ready > now {
-                remaining.push((ready, addr));
+                self.pending_prefetches[write] = (ready, addr);
+                write += 1;
+                min_ready = min_ready.min(ready);
                 continue;
             }
             if self.l2.probe(addr) {
@@ -327,7 +380,8 @@ impl MemoryHierarchy {
                 let _ = self.dram.access(now, victim_addr, true);
             }
         }
-        self.pending_prefetches = remaining;
+        self.pending_prefetches.truncate(write);
+        self.next_prefetch_ready = min_ready;
     }
 
     /// Number of misses in flight at `now` (MSHR occupancy).
@@ -355,6 +409,7 @@ impl MemoryHierarchy {
         self.mshrs.reset();
         self.prefetcher = StreamPrefetcher::new(self.config.prefetch);
         self.pending_prefetches.clear();
+        self.next_prefetch_ready = Cycle::new(u64::MAX);
         self.miss_latency = LatencyHistogram::new();
         self.mshr_stalls = 0;
     }

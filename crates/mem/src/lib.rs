@@ -42,6 +42,7 @@
 
 mod cache;
 mod dram;
+mod error;
 mod faults;
 mod hierarchy;
 mod mshr;
@@ -51,11 +52,12 @@ mod stats;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats, ReplacementPolicy};
 pub use dram::{Dram, DramConfig, DramStats, PagePolicy, RowBufferOutcome};
+pub use error::ConfigError;
 pub use faults::DramFaultConfig;
 pub use hierarchy::{
     AccessResponse, HierarchyConfig, HierarchyStats, MemoryHierarchy, ServiceLevel,
 };
 pub use mshr::{MshrFile, MshrOutcome};
-pub use prefetch::{PrefetchConfig, PrefetchStats, StreamPrefetcher};
+pub use prefetch::{PrefetchCandidates, PrefetchConfig, PrefetchStats, StreamPrefetcher};
 pub use reference::ReferenceHierarchy;
 pub use stats::LatencyHistogram;

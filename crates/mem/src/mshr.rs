@@ -7,6 +7,8 @@
 
 use mapg_units::Cycle;
 
+use crate::error::ConfigError;
+
 /// Outcome of presenting a missing line to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -26,13 +28,13 @@ pub enum MshrOutcome {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line: u64,
-    completion: Cycle,
-}
-
 /// A file of miss-status holding registers.
+///
+/// The file is stored line-keyed as two parallel arrays (`lines`,
+/// `completions`) rather than an array of entry structs: `lookup` is a
+/// scan over every in-flight line on the demand-miss path, and a
+/// contiguous `u64` key array lets that scan vectorize instead of striding
+/// over interleaved `(line, completion)` pairs.
 ///
 /// ```
 /// use mapg_mem::{MshrFile, MshrOutcome};
@@ -47,10 +49,17 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: Vec<Entry>,
-    /// Earliest completion among `entries`, `u64::MAX` when empty. Lazy
-    /// retirement runs on every lookup, so the common no-entry-expired case
-    /// must be one compare instead of a `retain` sweep.
+    /// In-flight line addresses; `completions[i]` pairs with `lines[i]`.
+    lines: Vec<u64>,
+    /// Completion timestamps, raw cycles, parallel to `lines`.
+    completions: Vec<u64>,
+    /// Earliest completion among the entries, `u64::MAX` when empty.
+    ///
+    /// This is an *exact* cache, not a hint: `commit` min-folds the new
+    /// completion in and `retire` recomputes over the survivors, so every
+    /// consumer (lazy retirement's early-out, the `Full` stall time,
+    /// [`MshrFile::earliest_completion`]) reads one word instead of
+    /// re-minimizing the file.
     earliest: Cycle,
 }
 
@@ -62,19 +71,31 @@ impl MshrFile {
     /// Panics if `capacity` is zero (a core with no MSHRs cannot miss at
     /// all, which is never the intent).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "MSHR capacity must be non-zero");
-        MshrFile {
-            capacity,
-            entries: Vec::with_capacity(capacity),
-            earliest: Cycle::new(u64::MAX),
+        match MshrFile::try_new(capacity) {
+            Ok(file) => file,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible [`MshrFile::new`]: rejects a zero capacity as
+    /// [`ConfigError::ZeroMshrs`] instead of panicking.
+    pub fn try_new(capacity: usize) -> Result<Self, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::ZeroMshrs);
+        }
+        Ok(MshrFile {
+            capacity,
+            lines: Vec::with_capacity(capacity),
+            completions: Vec::with_capacity(capacity),
+            earliest: Cycle::new(u64::MAX),
+        })
     }
 
     /// Number of entries currently in flight at time `now` (entries whose
     /// completion has passed are retired lazily by this call).
     pub fn in_flight(&mut self, now: Cycle) -> usize {
         self.retire(now);
-        self.entries.len()
+        self.lines.len()
     }
 
     /// Total capacity.
@@ -86,30 +107,28 @@ impl MshrFile {
     ///
     /// If `Allocated` is returned the caller must follow up with
     /// [`MshrFile::commit`] once it knows the fetch's completion time.
+    #[inline]
     pub fn lookup(&mut self, now: Cycle, line: u64) -> MshrOutcome {
         self.retire(now);
         // Branchless find: lines are unique, so the last match is the only
         // match, and the select compiles to a conditional move — an
         // early-exit `find` mispredicts on effectively random positions.
         let mut found = usize::MAX;
-        for (i, e) in self.entries.iter().enumerate() {
-            found = if e.line == line { i } else { found };
+        for (i, &l) in self.lines.iter().enumerate() {
+            found = if l == line { i } else { found };
         }
         if found != usize::MAX {
             return MshrOutcome::Merged {
-                completion: self.entries[found].completion,
+                completion: Cycle::new(self.completions[found]),
             };
         }
-        if self.entries.len() >= self.capacity {
-            // Unreachable expect: new() rejects capacity == 0, so a full
-            // file holds at least one entry.
-            let free_at = self
-                .entries
-                .iter()
-                .map(|e| e.completion)
-                .min()
-                .expect("full file is non-empty");
-            return MshrOutcome::Full { free_at };
+        if self.lines.len() >= self.capacity {
+            // `earliest` is exact whenever the file is non-empty (and a
+            // full file is non-empty because new() rejects capacity == 0),
+            // so the stall time is the cache — no re-minimization.
+            return MshrOutcome::Full {
+                free_at: self.earliest,
+            };
         }
         MshrOutcome::Allocated
     }
@@ -119,58 +138,66 @@ impl MshrFile {
     ///
     /// # Panics
     ///
-    /// Panics if the file is already full; debug builds additionally panic
-    /// if the line is already tracked — both indicate the caller skipped
-    /// `lookup`.
+    /// Panics if the file is already full or the line is already tracked —
+    /// both indicate the caller skipped `lookup`.
+    #[inline]
     pub fn commit(&mut self, line: u64, completion: Cycle) {
         assert!(
-            self.entries.len() < self.capacity,
+            self.lines.len() < self.capacity,
             "commit on a full MSHR file"
         );
-        debug_assert!(
-            self.entries.iter().all(|e| e.line != line),
+        assert!(
+            self.lines.iter().all(|&l| l != line),
             "line {line:#x} already has an MSHR entry"
         );
-        self.entries.push(Entry { line, completion });
+        self.lines.push(line);
+        self.completions.push(completion.raw());
         self.earliest = self.earliest.min(completion);
     }
 
-    /// Earliest completion among in-flight entries, if any.
+    /// Earliest completion among in-flight entries, if any (the maintained
+    /// cache, not a scan).
     pub fn earliest_completion(&self) -> Option<Cycle> {
-        self.entries.iter().map(|e| e.completion).min()
+        if self.lines.is_empty() {
+            None
+        } else {
+            Some(self.earliest)
+        }
     }
 
     /// Latest completion among in-flight entries, if any.
     pub fn latest_completion(&self) -> Option<Cycle> {
-        self.entries.iter().map(|e| e.completion).max()
+        self.completions.iter().max().map(|&c| Cycle::new(c))
     }
 
     /// Drops entries whose fetch completed at or before `now`.
     ///
     /// Entry order is irrelevant (`lookup` keys on the unique line and the
-    /// full-file path takes a minimum), so expiry compacts with
+    /// full-file path reads the cached minimum), so expiry compacts with
     /// `swap_remove` rather than a shifting `retain`.
     fn retire(&mut self, now: Cycle) {
         if self.earliest > now {
             return;
         }
-        let mut earliest = Cycle::new(u64::MAX);
+        let mut earliest = u64::MAX;
         let mut i = 0;
-        while i < self.entries.len() {
-            let completion = self.entries[i].completion;
-            if completion <= now {
-                self.entries.swap_remove(i);
+        while i < self.lines.len() {
+            let completion = self.completions[i];
+            if completion <= now.raw() {
+                self.lines.swap_remove(i);
+                self.completions.swap_remove(i);
             } else {
                 earliest = earliest.min(completion);
                 i += 1;
             }
         }
-        self.earliest = earliest;
+        self.earliest = Cycle::new(earliest);
     }
 
     /// Clears all entries.
     pub fn reset(&mut self) {
-        self.entries.clear();
+        self.lines.clear();
+        self.completions.clear();
         self.earliest = Cycle::new(u64::MAX);
     }
 }
@@ -216,6 +243,25 @@ mod tests {
     }
 
     #[test]
+    fn full_free_at_is_exact_after_partial_retirement() {
+        // Retire a strict subset of entries, refill, and check the Full
+        // stall time still equals the true minimum — the cache must be
+        // maintained, not merely initialized.
+        let mut m = MshrFile::new(2);
+        m.lookup(Cycle::new(0), 1);
+        m.commit(1, Cycle::new(60));
+        m.lookup(Cycle::new(0), 2);
+        m.commit(2, Cycle::new(140));
+        // now=70 retires line 1 only; refill with a later completion.
+        assert_eq!(m.lookup(Cycle::new(70), 3), MshrOutcome::Allocated);
+        m.commit(3, Cycle::new(90));
+        match m.lookup(Cycle::new(71), 4) {
+            MshrOutcome::Full { free_at } => assert_eq!(free_at, Cycle::new(90)),
+            other => panic!("expected full, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn completion_extremes() {
         let mut m = MshrFile::new(4);
         assert!(m.earliest_completion().is_none());
@@ -247,6 +293,12 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_rejected() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_capacity_as_error() {
+        assert_eq!(MshrFile::try_new(0).unwrap_err(), ConfigError::ZeroMshrs);
+        assert_eq!(MshrFile::try_new(4).unwrap().capacity(), 4);
     }
 
     #[test]

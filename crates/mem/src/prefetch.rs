@@ -6,8 +6,6 @@
 //! opportunity) while adding DRAM traffic — which is exactly what
 //! experiment R-F11 measures.
 
-use std::collections::VecDeque;
-
 /// Stream-prefetcher configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchConfig {
@@ -67,6 +65,42 @@ impl PrefetchStats {
     }
 }
 
+/// A contiguous run of candidate prefetch lines, `first .. first + count`.
+///
+/// A streak prefetcher's proposals are always the next `degree` lines, so
+/// the set is fully described by two words. Returning this instead of a
+/// `Vec<u64>` keeps the LLC-miss path allocation-free — the old
+/// collect-into-Vec showed up in profiles on every streak-detected miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchCandidates {
+    first: u64,
+    count: u32,
+}
+
+impl PrefetchCandidates {
+    /// The empty candidate set.
+    pub const NONE: PrefetchCandidates = PrefetchCandidates { first: 0, count: 0 };
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of candidate lines.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+}
+
+impl IntoIterator for PrefetchCandidates {
+    type Item = u64;
+    type IntoIter = std::ops::Range<u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.first..self.first + u64::from(self.count)
+    }
+}
+
 /// The streak detector: remembers recent demand-miss lines and proposes
 /// prefetch candidates.
 ///
@@ -76,14 +110,26 @@ impl PrefetchStats {
 /// let mut pf = StreamPrefetcher::new(PrefetchConfig::stream());
 /// assert!(pf.observe_miss(100).is_empty()); // no streak yet
 /// let candidates = pf.observe_miss(101);    // 100 -> 101 is a streak
-/// assert_eq!(candidates, vec![102, 103, 104, 105]);
+/// assert_eq!(candidates.into_iter().collect::<Vec<_>>(), vec![102, 103, 104, 105]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
     config: PrefetchConfig,
-    recent_lines: VecDeque<u64>,
+    /// Fixed ring of the most recent `history` observed lines — a bounded
+    /// FIFO, exactly a `VecDeque` capped at `history`, but flat so the
+    /// per-miss membership scan is a branchless fixed-trip fold instead
+    /// of an early-exit deque walk that mispredicts on random misses.
+    /// Never-written slots hold [`NO_LINE`], which no probe can match.
+    recent_lines: Vec<u64>,
+    /// Next ring slot to overwrite (the oldest entry).
+    head: usize,
     stats: PrefetchStats,
 }
+
+/// Ring-slot sentinel for "never written". Unmatchable: the only probed
+/// value is `line - 1` of a non-zero `line`, which is at most
+/// `u64::MAX - 1`.
+const NO_LINE: u64 = u64::MAX;
 
 impl StreamPrefetcher {
     /// Creates the prefetcher.
@@ -95,7 +141,8 @@ impl StreamPrefetcher {
         assert!(config.history > 0, "history window must be non-zero");
         StreamPrefetcher {
             config,
-            recent_lines: VecDeque::with_capacity(config.history),
+            recent_lines: vec![NO_LINE; config.history],
+            head: 0,
             stats: PrefetchStats::default(),
         }
     }
@@ -114,16 +161,22 @@ impl StreamPrefetcher {
     /// prefetch (empty when no streak is detected or prefetching is
     /// disabled). The caller filters already-resident candidates and
     /// reports each actual fetch with [`StreamPrefetcher::record_issued`].
-    pub fn observe_miss(&mut self, line: u64) -> Vec<u64> {
+    pub fn observe_miss(&mut self, line: u64) -> PrefetchCandidates {
         if !self.config.is_enabled() {
-            return Vec::new();
+            return PrefetchCandidates::NONE;
         }
-        let streak = line
-            .checked_sub(1)
-            .is_some_and(|prev| self.recent_lines.contains(&prev));
+        let streak = line.checked_sub(1).is_some_and(|prev| {
+            // Branchless membership: random misses make an early-exit
+            // `contains` mispredict; the fold vectorizes instead.
+            let mut found = false;
+            for &l in &self.recent_lines {
+                found |= l == prev;
+            }
+            found
+        });
         self.remember(line);
         if !streak {
-            return Vec::new();
+            return PrefetchCandidates::NONE;
         }
         self.runway(line)
     }
@@ -132,10 +185,10 @@ impl StreamPrefetcher {
     /// stream is confirmed, so keep the runway ahead of the consumer.
     /// Returns further candidate lines (same contract as
     /// [`StreamPrefetcher::observe_miss`]).
-    pub fn observe_prefetch_hit(&mut self, line: u64) -> Vec<u64> {
+    pub fn observe_prefetch_hit(&mut self, line: u64) -> PrefetchCandidates {
         self.stats.useful += 1;
         if !self.config.is_enabled() {
-            return Vec::new();
+            return PrefetchCandidates::NONE;
         }
         self.remember(line);
         self.runway(line)
@@ -147,22 +200,28 @@ impl StreamPrefetcher {
     }
 
     fn remember(&mut self, line: u64) {
-        if self.recent_lines.len() == self.config.history {
-            self.recent_lines.pop_front();
+        self.recent_lines[self.head] = line;
+        self.head += 1;
+        if self.head == self.recent_lines.len() {
+            self.head = 0;
         }
-        self.recent_lines.push_back(line);
     }
 
-    fn runway(&self, line: u64) -> Vec<u64> {
-        (1..=u64::from(self.config.degree))
-            .map(|ahead| line + ahead)
-            .collect()
+    fn runway(&self, line: u64) -> PrefetchCandidates {
+        PrefetchCandidates {
+            first: line + 1,
+            count: self.config.degree,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn collect(candidates: PrefetchCandidates) -> Vec<u64> {
+        candidates.into_iter().collect()
+    }
 
     #[test]
     fn disabled_prefetcher_is_silent() {
@@ -180,7 +239,7 @@ mod tests {
             history: 8,
         });
         assert!(pf.observe_miss(10).is_empty());
-        assert_eq!(pf.observe_miss(11), vec![12, 13, 14]);
+        assert_eq!(collect(pf.observe_miss(11)), vec![12, 13, 14]);
         assert_eq!(pf.stats().issued, 0, "caller reports actual fetches");
         pf.record_issued();
         assert_eq!(pf.stats().issued, 1);
@@ -193,12 +252,12 @@ mod tests {
             history: 8,
         });
         pf.observe_miss(10);
-        assert_eq!(pf.observe_miss(11), vec![12, 13]);
+        assert_eq!(collect(pf.observe_miss(11)), vec![12, 13]);
         // Demand consumes the prefetched line 12: runway extends.
-        assert_eq!(pf.observe_prefetch_hit(12), vec![13, 14]);
+        assert_eq!(collect(pf.observe_prefetch_hit(12)), vec![13, 14]);
         assert_eq!(pf.stats().useful, 1);
         // And the history now contains 12, so a miss on 13 streaks too.
-        assert_eq!(pf.observe_miss(13), vec![14, 15]);
+        assert_eq!(collect(pf.observe_miss(13)), vec![14, 15]);
     }
 
     #[test]
@@ -237,7 +296,7 @@ mod tests {
     fn zero_line_miss_is_safe() {
         let mut pf = StreamPrefetcher::new(PrefetchConfig::stream());
         assert!(pf.observe_miss(0).is_empty());
-        assert_eq!(pf.observe_miss(1), vec![2, 3, 4, 5]);
+        assert_eq!(collect(pf.observe_miss(1)), vec![2, 3, 4, 5]);
     }
 
     #[test]

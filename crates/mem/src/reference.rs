@@ -28,7 +28,7 @@ use crate::dram::{DramConfig, DramStats, RowBufferOutcome};
 use crate::faults::DramFaultConfig;
 use crate::hierarchy::{AccessResponse, HierarchyConfig, HierarchyStats, ServiceLevel};
 use crate::mshr::MshrOutcome;
-use crate::prefetch::StreamPrefetcher;
+use crate::prefetch::{PrefetchCandidates, StreamPrefetcher};
 use crate::stats::LatencyHistogram;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -509,8 +509,12 @@ impl ReferenceHierarchy {
         self.fetch_prefetch_candidates(candidates, after);
     }
 
-    fn fetch_prefetch_candidates(&mut self, candidates: Vec<u64>, ready: Cycle) {
+    fn fetch_prefetch_candidates(&mut self, candidates: PrefetchCandidates, ready: Cycle) {
         const PENDING_CAP: usize = 32;
+        // The seed collected candidates into a Vec; keep that allocation so
+        // the reference's cost profile stays exactly the seed's (only the
+        // shared prefetcher's return type changed).
+        let candidates: Vec<u64> = candidates.into_iter().collect();
         for candidate in candidates {
             let addr = candidate * self.config.l2.line_bytes;
             if self.l2.probe(addr) {

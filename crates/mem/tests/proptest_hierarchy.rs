@@ -1,8 +1,12 @@
-//! Property tests over the latency histogram and the assembled hierarchy.
+//! Property tests over the latency histogram, the assembled hierarchy,
+//! the MSHR earliest-completion cache, and live-vs-reference equivalence.
 
 use proptest::prelude::*;
 
-use mapg_mem::{HierarchyConfig, LatencyHistogram, MemoryHierarchy, ServiceLevel};
+use mapg_mem::{
+    DramFaultConfig, HierarchyConfig, LatencyHistogram, MemoryHierarchy, MshrFile, MshrOutcome,
+    PagePolicy, PrefetchConfig, ReferenceHierarchy, ServiceLevel,
+};
 use mapg_trace::{AccessKind, MemAccess};
 use mapg_units::{Cycle, Cycles};
 
@@ -118,5 +122,132 @@ proptest! {
         prop_assert!(stats.l2.accesses >= stats.l1.misses());
         // Every recorded miss latency corresponds to a DRAM access.
         prop_assert!(stats.miss_latency.count() <= stats.dram.accesses());
+    }
+
+    /// The MSHR `earliest` cache is *exact* — equal to the true minimum
+    /// completion over the in-flight entries — after every operation in a
+    /// random lookup/commit/retire interleaving. The `Full` stall time and
+    /// `earliest_completion` both read the cache, so this pins the bugfix
+    /// that replaced the full-file re-minimization.
+    #[test]
+    fn mshr_earliest_cache_is_exact(
+        capacity in 1usize..12,
+        // (line, time delta, fetch latency) per step; small line space so
+        // merges and re-allocations of retired lines both happen.
+        ops in prop::collection::vec(
+            (0u64..256, 1u64..40, 1u64..400),
+            1..300,
+        ),
+    ) {
+        let mut file = MshrFile::new(capacity);
+        // Shadow model: the plain list of (line, completion) in flight.
+        let mut shadow: Vec<(u64, u64)> = Vec::new();
+        let mut now = 0u64;
+        for (line, dt, latency) in ops {
+            now += dt;
+            shadow.retain(|&(_, c)| c > now);
+            match file.lookup(Cycle::new(now), line) {
+                MshrOutcome::Merged { completion } => {
+                    let expected = shadow
+                        .iter()
+                        .find(|&&(l, _)| l == line)
+                        .expect("merged line must be in flight")
+                        .1;
+                    prop_assert_eq!(completion.raw(), expected);
+                }
+                MshrOutcome::Full { free_at } => {
+                    prop_assert_eq!(shadow.len(), capacity);
+                    prop_assert!(shadow.iter().all(|&(l, _)| l != line));
+                    let true_min =
+                        shadow.iter().map(|&(_, c)| c).min().expect("full file");
+                    prop_assert_eq!(
+                        free_at.raw(), true_min,
+                        "Full stall time must be the true minimum"
+                    );
+                }
+                MshrOutcome::Allocated => {
+                    prop_assert!(shadow.len() < capacity);
+                    prop_assert!(shadow.iter().all(|&(l, _)| l != line));
+                    let completion = now + latency;
+                    file.commit(line, Cycle::new(completion));
+                    shadow.push((line, completion));
+                }
+            }
+            let true_min = shadow.iter().map(|&(_, c)| c).min();
+            prop_assert_eq!(
+                file.earliest_completion().map(Cycle::raw),
+                true_min,
+                "cached earliest diverged from the true minimum"
+            );
+        }
+    }
+
+    /// Differential oracle: the flattened hot path and the frozen seed
+    /// [`ReferenceHierarchy`] answer every access identically — completion
+    /// time, service level, row-buffer outcome — and land on identical
+    /// stats, across random address streams, page policies, MSHR
+    /// capacities, prefetcher settings and fault plans.
+    #[test]
+    fn fast_hierarchy_matches_reference(
+        policy in prop_oneof![Just(PagePolicy::Open), Just(PagePolicy::Closed)],
+        mshr_entries in 1usize..24,
+        prefetch in any::<bool>(),
+        faults in prop_oneof![
+            Just(DramFaultConfig::none()),
+            (1u32..=10u32, 50u64..2_000, 500u64..5_000, any::<u64>()).prop_map(
+                |(prob, spike, window, seed)| DramFaultConfig {
+                    spike_prob: f64::from(prob) / 10.0,
+                    spike_cycles: Cycles::new(spike),
+                    window_cycles: window,
+                    seed,
+                }
+            ),
+        ],
+        // (base, run length, is_write) segments: sequential runs wake the
+        // stream prefetcher, scattered bases exercise bank conflicts.
+        segments in prop::collection::vec(
+            (0u64..(1 << 26), 1usize..32, any::<bool>()),
+            1..60,
+        ),
+    ) {
+        let base_config = HierarchyConfig::baseline();
+        let config = HierarchyConfig {
+            dram: base_config.dram.with_page_policy(policy),
+            mshr_entries,
+            prefetch: if prefetch {
+                PrefetchConfig::stream()
+            } else {
+                PrefetchConfig::disabled()
+            },
+            dram_faults: faults,
+            ..base_config
+        };
+        let mut live = MemoryHierarchy::new(config);
+        let mut reference = ReferenceHierarchy::new(config);
+        let mut now = Cycle::ZERO;
+        let mut i = 0u64;
+        for &(base, run, is_write) in &segments {
+            for step in 0..run as u64 {
+                let addr = (base & !63) + step * 64;
+                let access = MemAccess {
+                    addr,
+                    pc: 0x400 + i,
+                    kind: if is_write { AccessKind::Store } else { AccessKind::Load },
+                    dependent: false,
+                };
+                let a = live.access(now, &access);
+                let b = reference.access(now, &access);
+                prop_assert_eq!(a, b, "access {} @ {:#x} diverged", i, addr);
+                // Alternate between waiting for the data and firing the
+                // next access quickly, like a core with some MLP.
+                now = if i.is_multiple_of(3) {
+                    a.completion
+                } else {
+                    now + Cycles::new(1 + (addr % 7))
+                };
+                i += 1;
+            }
+        }
+        prop_assert_eq!(live.stats(), reference.stats());
     }
 }
