@@ -10,14 +10,22 @@
 //! what a focused consumer of the simulator would build.
 //!
 //! Usage: `throughput FILE [--throughput-baseline FILE] [--repeats N]
-//! [--scale smoke|quick|paper|full]`
+//! [--scale smoke|quick|paper|full] [--shards N]`
+//!
+//! With `--shards N` the binary measures the *sharded-engine* suite
+//! instead (1024–8192-core clusters, single global wheel vs N shard
+//! wheels; `BENCH_8.json` format). Shard workers draw threads from the
+//! pool's default job count (available parallelism), so the effective
+//! concurrency is min(shards, channels, jobs); the measured wall-time
+//! *ratio* is meaningful at any job count because both engines run in
+//! the same process under the same conditions.
 
 use std::process::ExitCode;
 
-use mapg_bench::{run_throughput_cli, Scale};
+use mapg_bench::{run_shard_throughput_cli, run_throughput_cli, Scale, SHARD_TOPOLOGIES};
 
 const USAGE: &str = "usage: throughput FILE [--throughput-baseline FILE] [--repeats N] \
-     [--scale smoke|quick|paper|full]";
+     [--scale smoke|quick|paper|full] [--shards N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,9 +33,23 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<String> = None;
     let mut scale = Scale::Smoke;
     let mut repeats = 7usize;
+    let mut shards: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--shards" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--shards needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(parsed) if parsed > 0 => shards = Some(parsed),
+                    _ => {
+                        eprintln!("--shards needs a positive integer, got '{value}'\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--scale" => {
                 let Some(name) = iter.next() else {
                     eprintln!("--scale needs a value\n{USAGE}");
@@ -72,5 +94,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    run_throughput_cli(&out_path, baseline_path.as_deref(), scale, repeats)
+    match shards {
+        Some(shards) => {
+            let min_cores = SHARD_TOPOLOGIES.iter().map(|&(c, _)| c).min().unwrap_or(0);
+            if shards > min_cores {
+                eprintln!(
+                    "warning: --shards {shards} exceeds the smallest measured cluster \
+                     ({min_cores} cores); at most min(cores, channels) shard wheels \
+                     can make progress"
+                );
+            }
+            run_shard_throughput_cli(&out_path, baseline_path.as_deref(), scale, repeats, shards)
+        }
+        None => run_throughput_cli(&out_path, baseline_path.as_deref(), scale, repeats),
+    }
 }

@@ -149,6 +149,49 @@ fn capture_flags_need_values() {
     }
 }
 
+/// `--shards N` crosschecks the sharded engine against the single wheel
+/// without perturbing the printed report, warns when the shard count
+/// exceeds the core count, and rejects zero.
+#[test]
+fn shards_crosscheck_is_report_invariant() {
+    let plain = run(&["--instructions", "20000", "--cores", "4", "--channels", "2"]);
+    let sharded = run(&[
+        "--instructions",
+        "20000",
+        "--cores",
+        "4",
+        "--channels",
+        "2",
+        "--shards",
+        "3",
+    ]);
+    assert!(plain.status.success() && sharded.status.success());
+    let plain = String::from_utf8(plain.stdout).unwrap();
+    let sharded = String::from_utf8(sharded.stdout).unwrap();
+    // Everything except the trailing crosscheck verdict is identical:
+    // shards are an execution strategy, never a result knob.
+    assert!(sharded.starts_with(&plain), "--shards changed the report");
+    assert!(
+        sharded.contains("bit-identical to the single wheel"),
+        "{sharded}"
+    );
+
+    let oversubscribed = run(&["--instructions", "5000", "--cores", "2", "--shards", "8"]);
+    assert!(oversubscribed.status.success(), "{:?}", oversubscribed);
+    let err = String::from_utf8(oversubscribed.stderr).unwrap();
+    assert!(
+        err.contains("warning: --shards 8 exceeds --cores 2"),
+        "{err}"
+    );
+
+    for flag in ["--shards", "--channels"] {
+        let zero = run(&[flag, "0"]);
+        assert!(!zero.status.success(), "{flag} 0 should fail");
+        let err = String::from_utf8(zero.stderr).unwrap();
+        assert!(err.contains("need at least one"), "{err}");
+    }
+}
+
 fn committed_repro() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros/region-starved-panic.json")
 }

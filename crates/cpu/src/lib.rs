@@ -52,10 +52,11 @@ mod core_model;
 mod error;
 mod reference;
 mod sched;
+mod shard;
 mod stall;
 
 pub use cluster::{Cluster, ClusterStats};
 pub use core_model::{Core, CoreConfig, CoreStats};
 pub use error::RunError;
 pub use reference::ReferenceCluster;
-pub use stall::{CoreId, PassiveHandler, StallCause, StallHandler, StallInfo};
+pub use stall::{CoreId, PassiveHandler, StallCause, StallHandler, StallInfo, SyncStallHandler};

@@ -42,6 +42,13 @@ impl CoreKey {
     pub fn index(self) -> u32 {
         self.0 as u32
     }
+
+    /// The packed `(time, index)` scalar, used by the sharded engine as a
+    /// per-step sort key when merging shard-local trace streams back into
+    /// global emission order.
+    pub fn raw(self) -> u128 {
+        self.0
+    }
 }
 
 /// A hand-rolled 4-ary min-heap of [`CoreKey`]s.

@@ -1,0 +1,590 @@
+//! The sharded cluster engine: per-channel event wheels advanced on
+//! parallel workers, merged back deterministically.
+//!
+//! # Why sharding is possible at all
+//!
+//! Cores in a [`Cluster`] couple through exactly one mechanism: the
+//! memory channel they share. Core `i`'s event times depend on its own
+//! workload, its own core config, the state of channel `i % C` — and
+//! nothing else, *provided the stall handler's answers don't smuggle in
+//! cross-core state*. That proviso is the [`SyncStallHandler`] bound:
+//! `resolve(&self, ...)` cannot mutate shared state, so a core's timeline
+//! is a pure function of its channel group. Whole channels are therefore
+//! independent sub-simulations and can run on any worker in any order
+//! with bit-identical per-core results. (Stateful controllers — token
+//! ledgers, di/dt vetoes — need a total order over *all* cores' stalls
+//! and stay on the exact global wheel; see DESIGN.md §13.)
+//!
+//! # Why the merged result is bit-identical
+//!
+//! The global wheel executes core steps in nondecreasing
+//! `(time, core_index)` key order — the classic discrete-event-simulation
+//! invariant, enforced by [`SchedHeap`]. A channel-local wheel executes
+//! the *same* steps (channel independence) restricted to its own cores,
+//! also in nondecreasing key order — i.e. exactly the global sequence's
+//! subsequence for that channel. So:
+//!
+//! - **Stats** merge by summing channel counters in channel order — the
+//!   same order [`Cluster::stats`] always used.
+//! - **Trace records** are drained from a forked [`ObsHandle`] after each
+//!   step and tagged with that step's scheduling key. Concatenating the
+//!   per-channel streams and *stably* sorting by key reconstructs the
+//!   global emission order: cross-channel key ties are impossible (the
+//!   key embeds the unique core index) and same-core ties (several steps
+//!   at one timestamp) keep their within-channel — i.e. program — order
+//!   by stability.
+//! - **Ring-buffer drops** stay exact: a record evicted by a fork's ring
+//!   had ≥ capacity later records *in its own channel*, hence ≥ capacity
+//!   later records globally, so the global ring would have evicted it
+//!   too. Replaying the merged survivors through the parent ring and
+//!   adding the forks' drop counts therefore reproduces the global ring's
+//!   final contents and drop count byte-for-byte.
+//!
+//! # Cancellation
+//!
+//! The cancel token is consulted only at channel boundaries: a started
+//! channel always runs to the segment target. A cancelled run returns
+//! [`RunError::Cancelled`] with every channel either fully caught up
+//! (its capture stashed) or untouched; [`Cluster::try_resume_sharded`]
+//! finishes the stragglers and performs the merge. The merge must be
+//! per-segment — incremental runs re-admit finished cores at earlier
+//! timestamps, so keys are only sorted *within* a segment.
+
+use mapg_mem::MemoryHierarchy;
+use mapg_obs::{ObsHandle, TraceRecord};
+use mapg_pool::{CancelToken, Pool};
+use mapg_trace::EventSource;
+
+use crate::cluster::Cluster;
+use crate::core_model::Core;
+use crate::error::RunError;
+use crate::sched::{CoreKey, SchedHeap};
+use crate::stall::SyncStallHandler;
+
+/// One channel's observability output for the current target segment:
+/// trace records tagged with their step's scheduling key, the fork ring's
+/// eviction count, and the fork's metrics registry.
+#[derive(Debug)]
+pub(crate) struct ChannelCapture {
+    trace: Vec<(u128, TraceRecord)>,
+    dropped: u64,
+    metrics: Option<mapg_obs::MetricsRegistry>,
+}
+
+/// A channel lifted out of the cluster for the parallel section: its
+/// cores (tagged with their global indices), its memory, and the capture
+/// produced when it runs.
+#[derive(Debug)]
+struct ChannelTask<S> {
+    channel: usize,
+    cores: Vec<(u32, Core<S>)>,
+    memory: MemoryHierarchy,
+    /// Channel already reached the target in a previous (cancelled)
+    /// call; its capture is still stashed on the cluster.
+    done: bool,
+    capture: Option<ChannelCapture>,
+}
+
+/// Runs one channel's wheel from wherever its cores stand up to `target`,
+/// collecting obs output into a [`ChannelCapture`]. Mirrors
+/// [`Cluster::run_wheel`] exactly, plus the per-step fork drain.
+fn run_channel<S: EventSource, H: SyncStallHandler>(
+    task: &mut ChannelTask<S>,
+    target: u64,
+    channels: usize,
+    handler: &H,
+    parent_obs: &ObsHandle,
+) -> ChannelCapture {
+    let fork = parent_obs.fork();
+    if fork.is_enabled() {
+        for (_, core) in &mut task.cores {
+            core.set_obs(fork.clone());
+        }
+        task.memory.set_obs(fork.clone());
+    }
+    let tracing = fork.trace_enabled();
+    let mut capture = ChannelCapture {
+        trace: Vec::new(),
+        dropped: 0,
+        metrics: None,
+    };
+    let mut scratch: Vec<TraceRecord> = Vec::new();
+
+    // Keys carry the *global* core index so within-channel order is the
+    // global order's subsequence (and merge tags are globally unique).
+    let mut heap = SchedHeap::with_capacity(task.cores.len());
+    for (index, core) in &task.cores {
+        if core.stats().instructions < target {
+            heap.push(CoreKey::new(core.now(), *index));
+        }
+    }
+    let mut shared = handler;
+    let mut next = heap.pop();
+    while let Some(key) = next {
+        let index = key.index();
+        // Global index -> slot within this channel's round-robin stripe.
+        let slot = (index as usize - task.channel) / channels;
+        let core = &mut task.cores[slot].1;
+        loop {
+            // Tag with the key this step runs under, *before* stepping.
+            let step_key = CoreKey::new(core.now(), index).raw();
+            core.step_batched(target, &mut task.memory, &mut shared);
+            if tracing {
+                capture.dropped += fork.drain_trace(&mut scratch);
+                capture
+                    .trace
+                    .extend(scratch.drain(..).map(|record| (step_key, record)));
+            }
+            if core.stats().instructions >= target {
+                next = heap.pop();
+                break;
+            }
+            let key = CoreKey::new(core.now(), index);
+            let min = heap.replace_min(key);
+            if min != key {
+                next = Some(min);
+                break;
+            }
+        }
+    }
+
+    capture.metrics = fork.collect().1;
+    capture
+}
+
+impl<S: EventSource> Cluster<S> {
+    /// Whether a cancelled sharded segment is waiting to be resumed.
+    pub fn has_pending_segment(&self) -> bool {
+        self.has_pending_captures()
+            || (self.target > 0
+                && self
+                    .cores
+                    .iter()
+                    .any(|core| core.stats().instructions < self.target))
+    }
+
+    pub(crate) fn has_pending_captures(&self) -> bool {
+        self.captures.iter().any(Option::is_some)
+    }
+}
+
+impl<S: EventSource + Send> Cluster<S> {
+    /// Runs every core for at least `instructions_per_core` further
+    /// instructions using the sharded engine: memory channels are grouped
+    /// into `min(shards, channels)` shards and advanced on parallel
+    /// workers (a [`Pool`] sized by `mapg_pool::default_jobs`, so the
+    /// ambient `with_default_jobs` pinning applies), then per-core stats,
+    /// merged memory counters, and observability output are reassembled
+    /// in deterministic channel order.
+    ///
+    /// The result — [`Cluster::stats`], trace, metrics — is bit-identical
+    /// to [`Cluster::try_run`] with the same handler regardless of the
+    /// shard count or worker interleaving. With one effective shard this
+    /// *is* the global wheel (no forking, no merge).
+    ///
+    /// A pending cancelled segment (see
+    /// [`Cluster::try_run_sharded_with_cancel`]) is resumed first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ZeroInstructions`] if `instructions_per_core`
+    /// is zero, or [`RunError::ZeroShards`] if `shards` is zero.
+    pub fn try_run_sharded<H: SyncStallHandler>(
+        &mut self,
+        instructions_per_core: u64,
+        handler: &H,
+        shards: usize,
+    ) -> Result<(), RunError> {
+        if instructions_per_core == 0 {
+            return Err(RunError::ZeroInstructions);
+        }
+        if shards == 0 {
+            return Err(RunError::ZeroShards);
+        }
+        self.try_resume_sharded(handler, shards)?;
+        self.target += instructions_per_core;
+        self.run_sharded_segment(handler, shards, None)
+    }
+
+    /// [`Cluster::try_run_sharded`] with cooperative cancellation checked
+    /// at channel boundaries (a started channel always completes its
+    /// segment, so the cluster never holds a half-run channel).
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`Cluster::try_run_sharded`]'s errors, returns
+    /// [`RunError::Cancelled`] if `cancel` fired before every channel
+    /// reached the target. The cluster remains consistent; finish the
+    /// segment with [`Cluster::try_resume_sharded`].
+    pub fn try_run_sharded_with_cancel<H: SyncStallHandler>(
+        &mut self,
+        instructions_per_core: u64,
+        handler: &H,
+        shards: usize,
+        cancel: &CancelToken,
+    ) -> Result<(), RunError> {
+        if instructions_per_core == 0 {
+            return Err(RunError::ZeroInstructions);
+        }
+        if shards == 0 {
+            return Err(RunError::ZeroShards);
+        }
+        self.try_resume_sharded(handler, shards)?;
+        self.target += instructions_per_core;
+        self.run_sharded_segment(handler, shards, Some(cancel))
+    }
+
+    /// Finishes a segment interrupted by cancellation: channels that
+    /// never started run now, already-captured channels are left alone,
+    /// and once every channel has reached the target the observability
+    /// merge happens exactly as it would have in the uncancelled run. A
+    /// no-op when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ZeroShards`] if `shards` is zero.
+    pub fn try_resume_sharded<H: SyncStallHandler>(
+        &mut self,
+        handler: &H,
+        shards: usize,
+    ) -> Result<(), RunError> {
+        if shards == 0 {
+            return Err(RunError::ZeroShards);
+        }
+        if !self.has_pending_segment() {
+            return Ok(());
+        }
+        self.run_sharded_segment(handler, shards, None)
+    }
+
+    /// Advances every channel to the current `self.target` (skipping
+    /// channels whose capture is already stashed), then — unless
+    /// cancelled first — merges captures back into the parent handle.
+    fn run_sharded_segment<H: SyncStallHandler>(
+        &mut self,
+        handler: &H,
+        shards: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), RunError> {
+        let target = self.target;
+        let channels = self.channels;
+        let effective = shards.min(channels);
+
+        // One effective shard, nothing stashed, no cancellation to
+        // honour: the sharded engine degenerates to the global wheel —
+        // obs emits straight into the parent, no fork/merge at all. This
+        // is also the only path the default one-channel topology can
+        // take, which is what keeps every existing golden byte-stable.
+        if effective == 1 && cancel.is_none() && !self.has_pending_captures() {
+            let mut shared = handler;
+            self.run_wheel(target, &mut shared);
+            return Ok(());
+        }
+
+        // Lift cores and memories out of the cluster into per-channel
+        // tasks (core i rides channel i % C, preserving global indices).
+        let cores = std::mem::take(&mut self.cores);
+        let memories = std::mem::take(&mut self.memories);
+        let mut tasks: Vec<ChannelTask<S>> = memories
+            .into_iter()
+            .enumerate()
+            .map(|(c, memory)| ChannelTask {
+                channel: c,
+                cores: Vec::new(),
+                memory,
+                done: self.captures[c].is_some(),
+                capture: None,
+            })
+            .collect();
+        for (i, core) in cores.into_iter().enumerate() {
+            tasks[i % channels].cores.push((i as u32, core));
+        }
+
+        // Group channels round-robin over shards and run each shard's
+        // channels sequentially on one worker. Results come back in
+        // submission order, so reassembly order is deterministic no
+        // matter which worker finished first.
+        let mut groups: Vec<Vec<ChannelTask<S>>> = (0..effective).map(|_| Vec::new()).collect();
+        for task in tasks {
+            let shard = task.channel % effective;
+            groups[shard].push(task);
+        }
+        let obs = &self.obs;
+        let groups = Pool::with_default_jobs().map(groups, |mut group: Vec<ChannelTask<S>>| {
+            for task in &mut group {
+                if task.done {
+                    continue;
+                }
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break;
+                }
+                task.capture = Some(run_channel(task, target, channels, handler, obs));
+            }
+            group
+        });
+
+        // Reassemble the cluster (and restore the parent obs handle on
+        // every component that ran under a fork).
+        let core_count = groups
+            .iter()
+            .flatten()
+            .map(|t| t.cores.len())
+            .sum::<usize>();
+        let mut cores: Vec<Option<Core<S>>> = (0..core_count).map(|_| None).collect();
+        let mut memories: Vec<Option<MemoryHierarchy>> = (0..channels).map(|_| None).collect();
+        let mut cancelled = false;
+        for mut task in groups.into_iter().flatten() {
+            let ran = task.capture.is_some();
+            if !task.done && !ran {
+                cancelled = true;
+            }
+            if ran {
+                self.captures[task.channel] = task.capture.take();
+            }
+            if self.obs.is_enabled() && ran {
+                task.memory.set_obs(self.obs.clone());
+            }
+            memories[task.channel] = Some(task.memory);
+            for (index, mut core) in task.cores {
+                if self.obs.is_enabled() && ran {
+                    core.set_obs(self.obs.clone());
+                }
+                cores[index as usize] = Some(core);
+            }
+        }
+        self.cores = cores
+            .into_iter()
+            .map(|c| c.expect("every core returned by its channel task"))
+            .collect();
+        self.memories = memories
+            .into_iter()
+            .map(|m| m.expect("every channel returned its memory"))
+            .collect();
+
+        if cancelled {
+            return Err(RunError::Cancelled);
+        }
+        self.merge_captures();
+        Ok(())
+    }
+
+    /// Folds every channel's stashed capture back into the parent
+    /// [`ObsHandle`]: drop counts and metrics in channel order, trace
+    /// records replayed in global emission order (stable sort on the
+    /// per-step scheduling key).
+    fn merge_captures(&mut self) {
+        let mut merged: Vec<(u128, TraceRecord)> = Vec::new();
+        let mut dropped = 0u64;
+        for slot in &mut self.captures {
+            let capture = slot.take().expect("merge requires every channel captured");
+            dropped += capture.dropped;
+            merged.extend(capture.trace);
+            if let Some(metrics) = &capture.metrics {
+                self.obs.absorb_metrics(metrics);
+            }
+        }
+        if merged.is_empty() && dropped == 0 {
+            return;
+        }
+        // Stable: same-key records (one core, one timestamp, several
+        // steps or several records per step) keep channel-stream — i.e.
+        // program — order. Cross-channel keys never tie (unique index).
+        merged.sort_by_key(|(key, _)| *key);
+        self.obs.note_trace_dropped(dropped);
+        for (_, record) in merged {
+            self.obs.emit(record.at, record.scope, record.kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterStats;
+    use crate::core_model::CoreConfig;
+    use crate::stall::PassiveHandler;
+    use mapg_mem::HierarchyConfig;
+    use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+
+    fn sources(n: usize) -> Vec<SyntheticWorkload> {
+        let profile = WorkloadProfile::mem_bound("shard_mem");
+        (0..n)
+            .map(|i| SyntheticWorkload::new(&profile, 7000 + i as u64))
+            .collect()
+    }
+
+    fn cluster(cores: usize, channels: usize) -> Cluster<SyntheticWorkload> {
+        Cluster::try_new_with_channels(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            sources(cores),
+            channels,
+        )
+        .expect("valid cluster")
+    }
+
+    fn wheel_run(cores: usize, channels: usize, budget: u64) -> ClusterStats {
+        let mut c = cluster(cores, channels);
+        c.run(budget, &mut PassiveHandler);
+        c.stats()
+    }
+
+    #[test]
+    fn sharded_matches_global_wheel_across_shard_counts() {
+        let reference = wheel_run(6, 3, 15_000);
+        for shards in [1, 2, 3, 5, 16] {
+            let mut c = cluster(6, 3);
+            c.try_run_sharded(15_000, &PassiveHandler, shards)
+                .expect("sharded run");
+            assert_eq!(c.stats(), reference, "shards = {shards}");
+            assert!(!c.has_pending_segment());
+        }
+    }
+
+    #[test]
+    fn sharded_obs_output_is_bit_identical_to_wheel() {
+        // Small ring (forces eviction accounting through the merge) plus
+        // metrics, compared against the direct global-wheel emission.
+        let run = |shards: Option<usize>| {
+            let mut c = cluster(8, 4);
+            let obs = mapg_obs::ObsHandle::enabled(Some(64), true);
+            c.set_obs(obs.clone());
+            match shards {
+                None => c.run(8_000, &mut PassiveHandler),
+                Some(s) => c
+                    .try_run_sharded(8_000, &PassiveHandler, s)
+                    .expect("sharded run"),
+            }
+            obs.collect()
+        };
+        let (wheel_trace, wheel_metrics) = run(None);
+        let wheel_trace = wheel_trace.expect("trace enabled");
+        assert!(wheel_trace.dropped() > 0, "ring small enough to overflow");
+        for shards in [1, 2, 4] {
+            let (trace, metrics) = run(Some(shards));
+            assert_eq!(
+                trace.expect("trace enabled"),
+                wheel_trace,
+                "shards = {shards}"
+            );
+            assert_eq!(metrics, wheel_metrics, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn incremental_sharded_runs_accumulate_like_the_wheel() {
+        let mut wheel = cluster(4, 2);
+        wheel.run(5_000, &mut PassiveHandler);
+        wheel.run(5_000, &mut PassiveHandler);
+        let mut sharded = cluster(4, 2);
+        sharded
+            .try_run_sharded(5_000, &PassiveHandler, 2)
+            .expect("first segment");
+        sharded
+            .try_run_sharded(5_000, &PassiveHandler, 2)
+            .expect("second segment");
+        assert_eq!(sharded.stats(), wheel.stats());
+    }
+
+    #[test]
+    fn cancelled_run_resumes_to_the_same_result() {
+        let reference = {
+            let mut c = cluster(6, 3);
+            let obs = mapg_obs::ObsHandle::enabled(Some(128), true);
+            c.set_obs(obs.clone());
+            c.run(6_000, &mut PassiveHandler);
+            (c.stats(), obs.collect())
+        };
+
+        let mut c = cluster(6, 3);
+        let obs = mapg_obs::ObsHandle::enabled(Some(128), true);
+        c.set_obs(obs.clone());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = c
+            .try_run_sharded_with_cancel(6_000, &PassiveHandler, 3, &cancel)
+            .unwrap_err();
+        assert_eq!(err, RunError::Cancelled);
+        assert!(c.has_pending_segment());
+        // Nothing merged yet: the parent handle saw no records.
+        assert_eq!(obs.collect().0.expect("trace enabled").len(), 0);
+
+        c.try_resume_sharded(&PassiveHandler, 3)
+            .expect("resume completes the segment");
+        assert!(!c.has_pending_segment());
+        assert_eq!(c.stats(), reference.0);
+        assert_eq!(obs.collect(), reference.1);
+        // Resuming again is a no-op.
+        c.try_resume_sharded(&PassiveHandler, 3)
+            .expect("idempotent");
+        assert_eq!(obs.collect(), reference.1);
+    }
+
+    #[test]
+    fn next_sharded_run_auto_resumes_a_cancelled_segment() {
+        let mut wheel = cluster(4, 2);
+        wheel.run(4_000, &mut PassiveHandler);
+        wheel.run(4_000, &mut PassiveHandler);
+
+        let mut c = cluster(4, 2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            c.try_run_sharded_with_cancel(4_000, &PassiveHandler, 2, &cancel),
+            Err(RunError::Cancelled)
+        );
+        c.try_run_sharded(4_000, &PassiveHandler, 2)
+            .expect("auto-resume then run the next segment");
+        assert_eq!(c.stats(), wheel.stats());
+    }
+
+    #[test]
+    fn unfired_token_behaves_like_no_token() {
+        let mut plain = cluster(4, 2);
+        plain
+            .try_run_sharded(5_000, &PassiveHandler, 2)
+            .expect("plain");
+        let mut watched = cluster(4, 2);
+        let cancel = CancelToken::new();
+        watched
+            .try_run_sharded_with_cancel(5_000, &PassiveHandler, 2, &cancel)
+            .expect("token never fires");
+        assert_eq!(plain.stats(), watched.stats());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let mut c = cluster(2, 2);
+        assert_eq!(
+            c.try_run_sharded(0, &PassiveHandler, 2),
+            Err(RunError::ZeroInstructions)
+        );
+        assert_eq!(
+            c.try_run_sharded(1_000, &PassiveHandler, 0),
+            Err(RunError::ZeroShards)
+        );
+        assert_eq!(
+            c.try_resume_sharded(&PassiveHandler, 0),
+            Err(RunError::ZeroShards)
+        );
+        let cancel = CancelToken::new();
+        assert_eq!(
+            c.try_run_sharded_with_cancel(0, &PassiveHandler, 2, &cancel),
+            Err(RunError::ZeroInstructions)
+        );
+        assert_eq!(
+            c.try_run_sharded_with_cancel(1_000, &PassiveHandler, 0, &cancel),
+            Err(RunError::ZeroShards)
+        );
+    }
+
+    #[test]
+    fn single_channel_cluster_shards_to_the_wheel_path() {
+        // channels == 1: any shard count collapses to the global wheel.
+        let reference = wheel_run(4, 1, 10_000);
+        let mut c = cluster(4, 1);
+        c.try_run_sharded(10_000, &PassiveHandler, 8)
+            .expect("sharded run");
+        assert_eq!(c.stats(), reference);
+    }
+}

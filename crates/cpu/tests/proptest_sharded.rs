@@ -1,0 +1,291 @@
+//! The sharded-engine equivalence oracle: `try_run_sharded` must be
+//! observationally identical to the single global wheel (`try_run`) and
+//! to the retained seed stack ([`ReferenceCluster`]) for arbitrary core
+//! counts, channel counts, shard counts, seeds, budgets, and fault
+//! plans — and at any worker-pool size, because determinism may not
+//! depend on how shard wheels interleave on the host.
+//!
+//! "Identical" is checked at two levels:
+//!
+//! - **Per-core stall streams**: a sharded run resolves stalls through a
+//!   `Sync` handler that may be called from any worker, so the *global*
+//!   call order is an execution detail. What is pinned is every core's
+//!   own stall sequence (which stalls, at what times, waiting on what,
+//!   resolved when): each core's stream must be byte-for-byte the
+//!   sequence the global wheel produces. Cores only couple through
+//!   their channel's shared hierarchy, and cores of one channel run on
+//!   one wheel, so identical per-core streams pin the whole history.
+//! - **End state**: full [`ClusterStats`] equality — per-core counts and
+//!   timestamps plus every hierarchy counter, merged in channel order.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use mapg_cpu::{
+    Cluster, CoreConfig, PassiveHandler, ReferenceCluster, StallInfo, SyncStallHandler,
+};
+use mapg_mem::{DramFaultConfig, HierarchyConfig};
+use mapg_pool::CancelToken;
+use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+use mapg_units::{Cycle, Cycles};
+
+/// One observed stall: `(core, start, data_ready, outstanding, wake)`.
+type Entry = (usize, u64, u64, usize, u64);
+
+/// Logs every stall decision behind a mutex so the sharded engine (whose
+/// workers share the handler by `&`) and the serial wheels (driven via
+/// the `&mut &H` blanket impl) record through the identical code path.
+/// Resolution is a pure function of the stall, so logging is purely
+/// observational.
+#[derive(Default)]
+struct SyncLog {
+    entries: Mutex<Vec<Entry>>,
+    /// Wake penalty hash seed; `None` resumes passively at data arrival.
+    faulty_seed: Option<u64>,
+}
+
+impl SyncLog {
+    fn faulty(seed: u64) -> Self {
+        SyncLog {
+            entries: Mutex::new(Vec::new()),
+            faulty_seed: Some(seed),
+        }
+    }
+
+    /// SplitMix64-style finalizer over `(seed, core, start)` — the same
+    /// misbehaving-wake model as `proptest_scheduler.rs`, made pure so a
+    /// `Sync` handler can compute it without state.
+    fn penalty(&self, core: usize, start: u64) -> u64 {
+        let Some(seed) = self.faulty_seed else {
+            return 0;
+        };
+        let mut x = seed
+            .wrapping_add((core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(start.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        let roll = x ^ (x >> 31);
+        match roll % 10 {
+            0 => 400 + roll % 256,
+            1..=3 => 20 + roll % 64,
+            _ => 0,
+        }
+    }
+
+    /// Entries projected to per-core streams: `streams[core]` is that
+    /// core's stall sequence in its own program order, which is invariant
+    /// across engines and worker interleavings. Each core's entries
+    /// arrive in order even under sharding (a core lives on exactly one
+    /// channel wheel), so a stable partition of the log reconstructs
+    /// every stream regardless of how channels interleaved globally.
+    fn streams(&self, cores: usize) -> Vec<Vec<Entry>> {
+        let entries = self.entries.lock().expect("log poisoned");
+        let mut streams = vec![Vec::new(); cores];
+        for entry in entries.iter() {
+            streams[entry.0].push(*entry);
+        }
+        streams
+    }
+}
+
+impl SyncStallHandler for SyncLog {
+    fn resolve(&self, info: &StallInfo) -> Cycle {
+        let wake = info.data_ready + Cycles::new(self.penalty(info.core.0, info.start.raw()));
+        self.entries.lock().expect("log poisoned").push((
+            info.core.0,
+            info.start.raw(),
+            info.data_ready.raw(),
+            info.outstanding,
+            wake.raw(),
+        ));
+        wake
+    }
+}
+
+/// An always-active DRAM fault plan (as in `proptest_scheduler.rs`).
+fn spiky_hierarchy(seed: u64) -> HierarchyConfig {
+    HierarchyConfig::baseline().with_dram_faults(DramFaultConfig {
+        spike_prob: 0.35,
+        spike_cycles: Cycles::new(150),
+        window_cycles: 500,
+        seed,
+    })
+}
+
+fn profile_for(mix: u8, name: &str) -> WorkloadProfile {
+    match mix % 3 {
+        0 => WorkloadProfile::mem_bound(name),
+        1 => WorkloadProfile::mixed(name),
+        _ => WorkloadProfile::compute_bound(name),
+    }
+}
+
+fn sources(mixes: &[u8], seed_base: u64) -> Vec<SyntheticWorkload> {
+    mixes
+        .iter()
+        .enumerate()
+        .map(|(i, &mix)| SyntheticWorkload::new(&profile_for(mix, "sharded"), seed_base + i as u64))
+        .collect()
+}
+
+fn cluster(
+    mixes: &[u8],
+    seed_base: u64,
+    channels: usize,
+    hierarchy: HierarchyConfig,
+) -> Cluster<SyntheticWorkload> {
+    Cluster::try_new_with_channels(
+        CoreConfig::baseline(),
+        hierarchy,
+        sources(mixes, seed_base),
+        channels,
+    )
+    .expect("valid topology")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random topologies under random worker-pool sizes: the sharded
+    /// engine, the global wheel, and the seed reference agree on the
+    /// full end-state statistics and on every core's stall stream.
+    #[test]
+    fn sharded_matches_wheel_and_reference(
+        mixes in prop::collection::vec(0u8..3, 1..8),
+        seed_base in 0u64..1_000,
+        channels in 1usize..5,
+        shards in 1usize..6,
+        jobs in 1usize..5,
+        budget in 500u64..3_000,
+    ) {
+        let mut wheel = cluster(&mixes, seed_base, channels, HierarchyConfig::baseline());
+        let wheel_log = SyncLog::default();
+        wheel.try_run(budget, &mut &wheel_log).expect("wheel run");
+
+        let mut sharded = cluster(&mixes, seed_base, channels, HierarchyConfig::baseline());
+        let sharded_log = SyncLog::default();
+        mapg_pool::with_default_jobs(jobs, || {
+            sharded.try_run_sharded(budget, &sharded_log, shards)
+        }).expect("sharded run");
+
+        let mut reference = ReferenceCluster::try_new_with_channels(
+            CoreConfig::baseline(),
+            HierarchyConfig::baseline(),
+            sources(&mixes, seed_base),
+            channels,
+        ).expect("valid topology");
+        let reference_log = SyncLog::default();
+        reference.try_run(budget, &mut &reference_log).expect("reference run");
+
+        prop_assert_eq!(sharded.stats(), wheel.stats());
+        prop_assert_eq!(sharded.stats(), reference.stats());
+        let cores = mixes.len();
+        prop_assert_eq!(sharded_log.streams(cores), wheel_log.streams(cores));
+        prop_assert_eq!(wheel_log.streams(cores), reference_log.streams(cores));
+    }
+
+    /// Equivalence must survive both fault dimensions at once: spiking
+    /// DRAM (which shifts the whole event order) under misbehaving
+    /// wake-ups (dropped grants, stuck-slow switches).
+    #[test]
+    fn faults_preserve_sharded_equivalence(
+        mixes in prop::collection::vec(0u8..3, 1..6),
+        seed_base in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        channels in 1usize..5,
+        shards in 1usize..6,
+        budget in 500u64..3_000,
+    ) {
+        let mut wheel = cluster(&mixes, seed_base, channels, spiky_hierarchy(fault_seed));
+        let wheel_log = SyncLog::faulty(fault_seed);
+        wheel.try_run(budget, &mut &wheel_log).expect("wheel run");
+
+        let mut sharded = cluster(&mixes, seed_base, channels, spiky_hierarchy(fault_seed));
+        let sharded_log = SyncLog::faulty(fault_seed);
+        sharded.try_run_sharded(budget, &sharded_log, shards).expect("sharded run");
+
+        let mut reference = ReferenceCluster::try_new_with_channels(
+            CoreConfig::baseline(),
+            spiky_hierarchy(fault_seed),
+            sources(&mixes, seed_base),
+            channels,
+        ).expect("valid topology");
+        let reference_log = SyncLog::faulty(fault_seed);
+        reference.try_run(budget, &mut &reference_log).expect("reference run");
+
+        prop_assert_eq!(sharded.stats(), wheel.stats());
+        prop_assert_eq!(sharded.stats(), reference.stats());
+        let cores = mixes.len();
+        prop_assert_eq!(sharded_log.streams(cores), wheel_log.streams(cores));
+        prop_assert_eq!(wheel_log.streams(cores), reference_log.streams(cores));
+    }
+
+    /// Incremental sharded budgets accumulate like the wheel's: running
+    /// in two segments (which re-admits finished cores at their earlier
+    /// timestamps and re-partitions the channels) equals one wheel run
+    /// of the total, even when the two segments use different shard
+    /// counts.
+    #[test]
+    fn incremental_sharded_runs_accumulate(
+        mixes in prop::collection::vec(0u8..3, 1..6),
+        seed_base in 0u64..1_000,
+        channels in 1usize..4,
+        first_shards in 1usize..5,
+        second_shards in 1usize..5,
+        first in 300u64..1_500,
+        second in 300u64..1_500,
+    ) {
+        let mut sharded = cluster(&mixes, seed_base, channels, HierarchyConfig::baseline());
+        sharded.try_run_sharded(first, &PassiveHandler, first_shards).expect("first");
+        sharded.try_run_sharded(second, &PassiveHandler, second_shards).expect("second");
+
+        let mut wheel = cluster(&mixes, seed_base, channels, HierarchyConfig::baseline());
+        wheel.try_run(first, &mut PassiveHandler).expect("first");
+        wheel.try_run(second, &mut PassiveHandler).expect("second");
+
+        prop_assert_eq!(sharded.stats(), wheel.stats());
+    }
+
+    /// Kill/resume: a run cancelled before any channel starts loses no
+    /// work — resuming (explicitly, or implicitly via the next sharded
+    /// call) lands on exactly the state an uncancelled run reaches, and
+    /// a later segment still matches the wheel.
+    #[test]
+    fn cancelled_runs_resume_to_the_uncancelled_result(
+        mixes in prop::collection::vec(0u8..3, 1..6),
+        seed_base in 0u64..1_000,
+        channels in 1usize..4,
+        shards in 2usize..5,
+        explicit_resume in any::<bool>(),
+        first in 300u64..1_500,
+        second in 300u64..1_500,
+    ) {
+        let cancel = CancelToken::default();
+        cancel.cancel();
+
+        let mut sharded = cluster(&mixes, seed_base, channels, HierarchyConfig::baseline());
+        let cancelled = sharded
+            .try_run_sharded_with_cancel(first, &PassiveHandler, shards, &cancel);
+        prop_assert!(cancelled.is_err(), "pre-fired token must cancel the segment");
+        prop_assert!(sharded.has_pending_segment());
+
+        if explicit_resume {
+            sharded.try_resume_sharded(&PassiveHandler, shards).expect("resume");
+            prop_assert!(!sharded.has_pending_segment());
+            sharded.try_run_sharded(second, &PassiveHandler, shards).expect("second");
+        } else {
+            // The next sharded run auto-resumes the interrupted segment
+            // before admitting its own budget.
+            sharded.try_run_sharded(second, &PassiveHandler, shards).expect("second");
+        }
+
+        let mut wheel = cluster(&mixes, seed_base, channels, HierarchyConfig::baseline());
+        wheel.try_run(first, &mut PassiveHandler).expect("first");
+        wheel.try_run(second, &mut PassiveHandler).expect("second");
+
+        prop_assert_eq!(sharded.stats(), wheel.stats());
+    }
+}
