@@ -10,22 +10,25 @@
 //! what a focused consumer of the simulator would build.
 //!
 //! Usage: `throughput FILE [--throughput-baseline FILE] [--repeats N]
-//! [--scale smoke|quick|paper|full] [--shards N]`
+//! [--scale smoke|quick|paper|full] [--shards N] [--threads N]
+//! [--thread-curve]`
 //!
 //! With `--shards N` the binary measures the *sharded-engine* suite
-//! instead (1024–8192-core clusters, single global wheel vs N shard
-//! wheels; `BENCH_8.json` format). Shard workers draw threads from the
-//! pool's default job count (available parallelism), so the effective
-//! concurrency is min(shards, channels, jobs); the measured wall-time
-//! *ratio* is meaningful at any job count because both engines run in
-//! the same process under the same conditions.
+//! instead (1024–65536-core clusters, single global wheel vs N shard
+//! wheels; `BENCH_9.json` format). `--threads N` pins the sharded
+//! side's worker pool (default: the host's available parallelism) —
+//! the effective concurrency is min(shards, channels, threads), and
+//! `--threads 1` produces the single-thread locality ratios CI gates
+//! on. `--thread-curve` additionally sweeps worker counts up to the
+//! host parallelism on the largest topology, through a persistent
+//! multi-segment shard session, and records the curve in the report.
 
 use std::process::ExitCode;
 
 use mapg_bench::{run_shard_throughput_cli, run_throughput_cli, Scale, SHARD_TOPOLOGIES};
 
 const USAGE: &str = "usage: throughput FILE [--throughput-baseline FILE] [--repeats N] \
-     [--scale smoke|quick|paper|full] [--shards N]";
+     [--scale smoke|quick|paper|full] [--shards N] [--threads N] [--thread-curve]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,9 +37,27 @@ fn main() -> ExitCode {
     let mut scale = Scale::Smoke;
     let mut repeats = 7usize;
     let mut shards: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut thread_curve = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--threads" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--threads needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(parsed) if parsed > 0 => threads = Some(parsed),
+                    _ => {
+                        eprintln!("--threads needs a positive integer, got '{value}'\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--thread-curve" => {
+                thread_curve = true;
+            }
             "--shards" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--shards needs a value\n{USAGE}");
@@ -104,8 +125,22 @@ fn main() -> ExitCode {
                      can make progress"
                 );
             }
-            run_shard_throughput_cli(&out_path, baseline_path.as_deref(), scale, repeats, shards)
+            run_shard_throughput_cli(
+                &out_path,
+                baseline_path.as_deref(),
+                scale,
+                repeats,
+                shards,
+                threads,
+                thread_curve,
+            )
         }
-        None => run_throughput_cli(&out_path, baseline_path.as_deref(), scale, repeats),
+        None => {
+            if threads.is_some() || thread_curve {
+                eprintln!("--threads/--thread-curve only apply to --shards mode\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            run_throughput_cli(&out_path, baseline_path.as_deref(), scale, repeats)
+        }
     }
 }

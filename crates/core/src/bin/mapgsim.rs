@@ -274,6 +274,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
              min(cores, channels) shard wheels can make progress"
         );
     }
+    // Oversubscription is judged against the pool's *actual* worker count
+    // (which honours `with_default_jobs` overrides), not the host's raw
+    // available_parallelism — the pool is what the shard wheels run on.
+    let workers = mapg_pool::default_jobs();
+    let effective_shards = shards.min(channels).min(cores);
+    if effective_shards > 1 && workers < effective_shards {
+        eprintln!(
+            "warning: {effective_shards} effective shard wheel(s) share {workers} pool \
+             worker(s); shards beyond the worker count serialize (results stay bit-identical)"
+        );
+    }
 
     let profile = find_workload(&workload)
         .ok_or_else(|| format!("unknown workload '{workload}'; try --list-workloads"))?;

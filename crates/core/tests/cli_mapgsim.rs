@@ -192,6 +192,42 @@ fn shards_crosscheck_is_report_invariant() {
     }
 }
 
+/// The worker-oversubscription warning keys off the pool's actual worker
+/// count (available parallelism, absent an override) versus the
+/// *effective* shard count min(shards, channels, cores) — and never
+/// fires for a single effective shard.
+#[test]
+fn shards_warn_when_pool_workers_are_oversubscribed() {
+    let out = run(&[
+        "--instructions",
+        "5000",
+        "--cores",
+        "4",
+        "--channels",
+        "4",
+        "--shards",
+        "4",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let err = String::from_utf8(out.stderr).unwrap();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let expect_warning = workers < 4;
+    assert_eq!(
+        err.contains("shard wheel(s) share"),
+        expect_warning,
+        "workers = {workers}: {err}"
+    );
+
+    // One effective shard wheel cannot be oversubscribed, whatever the
+    // nominal --shards count says.
+    let single = run(&["--instructions", "5000", "--cores", "4", "--shards", "16"]);
+    assert!(single.status.success(), "{:?}", single);
+    let err = String::from_utf8(single.stderr).unwrap();
+    assert!(!err.contains("shard wheel(s) share"), "{err}");
+}
+
 fn committed_repro() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros/region-starved-panic.json")
 }

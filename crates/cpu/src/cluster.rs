@@ -6,6 +6,7 @@ use mapg_units::Cycle;
 
 use crate::core_model::{Core, CoreConfig, CoreStats};
 use crate::error::RunError;
+use crate::merge::KwayMerger;
 use crate::sched::{CoreKey, SchedHeap};
 use crate::shard::ChannelCapture;
 use crate::stall::{CoreId, StallHandler};
@@ -63,6 +64,13 @@ pub struct Cluster<S> {
     /// sharded segment; merged (in channel order) once every channel
     /// reaches the current target. See `shard.rs`.
     pub(crate) captures: Vec<Option<ChannelCapture>>,
+    /// Drained capture buffers recycled back to the shard workers, so the
+    /// sharded segment loop stops allocating once warm. See `shard.rs`.
+    pub(crate) trace_spares: Vec<Vec<(u128, mapg_obs::TraceRecord)>>,
+    /// Reusable stream list fed to `merger` each merge.
+    pub(crate) merge_streams: Vec<Vec<(u128, mapg_obs::TraceRecord)>>,
+    /// The k-way tournament merger recombining shard trace captures.
+    pub(crate) merger: KwayMerger,
 }
 
 /// Statistics snapshot for a whole cluster.
@@ -172,6 +180,9 @@ impl<S: EventSource> Cluster<S> {
             target: 0,
             obs: mapg_obs::ObsHandle::disabled(),
             captures: (0..channels).map(|_| None).collect(),
+            trace_spares: Vec::new(),
+            merge_streams: Vec::new(),
+            merger: KwayMerger::new(),
         })
     }
 

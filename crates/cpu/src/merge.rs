@@ -1,0 +1,237 @@
+//! Stable k-way merge of key-sorted streams — the sharded engine's trace
+//! recombiner.
+//!
+//! Each shard channel produces its trace capture already sorted by the
+//! per-step scheduling key (it is a subsequence of the global wheel's
+//! `(time, core)` order; DESIGN.md §13.2), so reconstructing global
+//! emission order is a *merge*, not a sort. The previous implementation
+//! concatenated all channels and ran a global stable `sort_by_key` —
+//! O(N log N) per segment with N total records; [`KwayMerger`] replaces
+//! that with a tournament tree over the C channel streams, O(N log C),
+//! and emits records straight into the parent sink so no merged
+//! intermediate vector ever exists.
+//!
+//! # Equivalence to concat + stable sort
+//!
+//! The tree picks, at every step, the minimum `(key, stream_index)` pair
+//! among the stream fronts. Within a stream, records come out in stream
+//! order (streams are consumed front to back). Across streams, equal keys
+//! resolve to the lower stream index — exactly where a *stable* sort of
+//! the concatenation (stream 0 first, then stream 1, …) would have placed
+//! them. So the emitted sequence is identical to the old
+//! `concat-in-channel-order` + `sort_by_key` for every input, including
+//! adversarial cross-stream key duplicates — a property pinned by
+//! `tests/proptest_merge.rs`. (In the sharded engine cross-channel keys
+//! never tie anyway — the key embeds the unique core index — so the
+//! tie-break is belt and braces.)
+
+use std::iter::Peekable;
+use std::vec::Drain;
+
+/// Sentinel stream index for an empty tournament subtree.
+const EXHAUSTED: u32 = u32::MAX;
+
+/// A reusable k-way tournament merger for key-sorted `(u128, T)` streams.
+///
+/// The only persistent state is the tournament tree's index buffer, so
+/// one merger amortizes across segments: a steady-state
+/// [`merge`](KwayMerger::merge) call allocates nothing beyond a
+/// k-element iterator list. Input vectors are drained in place — their
+/// capacity survives for the caller to recycle as next segment's capture
+/// buffers.
+#[derive(Debug, Default)]
+pub struct KwayMerger {
+    /// `winners[n]` is the stream index winning node `n`'s
+    /// sub-tournament (`EXHAUSTED` when the subtree is empty). Leaves sit
+    /// at `width..width + k` for `width = k.next_power_of_two()`; node 1
+    /// is the root.
+    winners: Vec<u32>,
+}
+
+impl KwayMerger {
+    /// A merger with no tree capacity yet (grown on first use).
+    pub fn new() -> Self {
+        KwayMerger::default()
+    }
+
+    /// Merges the key-sorted `streams` into a single nondecreasing-key
+    /// sequence, calling `emit` once per record. Equal keys order by
+    /// stream index (then by within-stream position), which makes the
+    /// output byte-identical to concatenating the streams in order and
+    /// stable-sorting by key.
+    ///
+    /// Every stream is drained: the vectors come back empty with their
+    /// allocations intact.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert each stream is key-sorted; release builds
+    /// silently produce garbage on unsorted input, like `sort_by_key`
+    /// misuse would.
+    pub fn merge<T>(&mut self, streams: &mut [Vec<(u128, T)>], mut emit: impl FnMut(u128, T)) {
+        debug_assert!(streams
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0].0 <= w[1].0)));
+        let k = streams.len();
+        if k == 0 {
+            return;
+        }
+        if k == 1 {
+            for (key, value) in streams[0].drain(..) {
+                emit(key, value);
+            }
+            return;
+        }
+
+        let mut drains: Vec<Peekable<Drain<'_, (u128, T)>>> =
+            streams.iter_mut().map(|s| s.drain(..).peekable()).collect();
+        let width = k.next_power_of_two();
+        self.winners.clear();
+        self.winners.resize(2 * width, EXHAUSTED);
+        for i in 0..k {
+            self.winners[width + i] = i as u32;
+        }
+        for node in (1..width).rev() {
+            self.winners[node] = play(
+                &mut drains,
+                self.winners[2 * node],
+                self.winners[2 * node + 1],
+            );
+        }
+
+        loop {
+            let winner = self.winners[1];
+            if front(&mut drains, winner).is_none() {
+                return;
+            }
+            let (key, value) = drains[winner as usize]
+                .next()
+                .expect("winner stream has a front record");
+            emit(key, value);
+            // Replay the matches along the winner's leaf-to-root path;
+            // every other node's outcome is unchanged.
+            let mut node = (width + winner as usize) / 2;
+            while node >= 1 {
+                self.winners[node] = play(
+                    &mut drains,
+                    self.winners[2 * node],
+                    self.winners[2 * node + 1],
+                );
+                node /= 2;
+            }
+        }
+    }
+}
+
+/// The front key of `stream`, `None` when the stream (or subtree) is
+/// exhausted.
+fn front<T>(drains: &mut [Peekable<Drain<'_, (u128, T)>>], stream: u32) -> Option<u128> {
+    if stream == EXHAUSTED {
+        return None;
+    }
+    drains[stream as usize].peek().map(|(key, _)| *key)
+}
+
+/// One tournament match: the smaller `(key, stream_index)` pair wins,
+/// exhausted subtrees lose to everything. The index tie-break is the
+/// stability guarantee.
+fn play<T>(drains: &mut [Peekable<Drain<'_, (u128, T)>>], a: u32, b: u32) -> u32 {
+    match (front(drains, a), front(drains, b)) {
+        (None, _) => b,
+        (_, None) => a,
+        (Some(key_a), Some(key_b)) => {
+            if (key_b, b) < (key_a, a) {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: the old concat + stable sort.
+    fn oracle<T: Clone>(streams: &[Vec<(u128, T)>]) -> Vec<(u128, T)> {
+        let mut merged: Vec<(u128, T)> = streams.iter().flatten().cloned().collect();
+        merged.sort_by_key(|(key, _)| *key);
+        merged
+    }
+
+    fn run_merge(mut streams: Vec<Vec<(u128, u32)>>) -> Vec<(u128, u32)> {
+        let expected = oracle(&streams);
+        let mut merger = KwayMerger::new();
+        let mut out = Vec::new();
+        merger.merge(&mut streams, |key, value| out.push((key, value)));
+        assert!(streams.iter().all(Vec::is_empty), "streams fully drained");
+        assert_eq!(out, expected);
+        out
+    }
+
+    #[test]
+    fn empty_and_single_stream_edges() {
+        run_merge(vec![]);
+        run_merge(vec![vec![]]);
+        run_merge(vec![vec![], vec![], vec![]]);
+        run_merge(vec![vec![(1, 0), (2, 1), (2, 2)]]);
+    }
+
+    #[test]
+    fn disjoint_streams_interleave_by_key() {
+        let out = run_merge(vec![
+            vec![(10, 0), (40, 1)],
+            vec![(20, 2), (50, 3)],
+            vec![(30, 4)],
+        ]);
+        assert_eq!(out, vec![(10, 0), (20, 2), (30, 4), (40, 1), (50, 3)]);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_the_lower_stream() {
+        // Same key everywhere: output must be stream 0's records, then
+        // stream 1's, then stream 2's — concatenation order, i.e. what a
+        // stable sort of the concat leaves in place.
+        let out = run_merge(vec![
+            vec![(7, 0), (7, 1)],
+            vec![(7, 10), (7, 11)],
+            vec![(7, 20)],
+        ]);
+        assert_eq!(out, vec![(7, 0), (7, 1), (7, 10), (7, 11), (7, 20)]);
+    }
+
+    #[test]
+    fn extreme_keys_are_data_not_sentinels() {
+        // u128::MAX is a legal key: exhaustion is tracked by stream
+        // position, not a reserved key value.
+        run_merge(vec![
+            vec![(0, 0), (u128::MAX, 1)],
+            vec![(u128::MAX, 2), (u128::MAX, 3)],
+        ]);
+    }
+
+    #[test]
+    fn non_power_of_two_stream_counts() {
+        for k in 1..=9usize {
+            let streams: Vec<Vec<(u128, u32)>> = (0..k)
+                .map(|s| (0..5u128).map(|i| (i * 3 + s as u128, s as u32)).collect())
+                .collect();
+            run_merge(streams);
+        }
+    }
+
+    #[test]
+    fn merger_reuses_across_calls_of_different_widths() {
+        let mut merger = KwayMerger::new();
+        for k in [5usize, 2, 8, 1, 3] {
+            let mut streams: Vec<Vec<(u128, u32)>> = (0..k)
+                .map(|s| (0..4u128).map(|i| (i, s as u32)).collect())
+                .collect();
+            let expected = oracle(&streams);
+            let mut out = Vec::new();
+            merger.merge(&mut streams, |key, value| out.push((key, value)));
+            assert_eq!(out, expected, "k = {k}");
+        }
+    }
+}

@@ -27,12 +27,15 @@
 //! - **Stats** merge by summing channel counters in channel order — the
 //!   same order [`Cluster::stats`] always used.
 //! - **Trace records** are drained from a forked [`ObsHandle`] after each
-//!   step and tagged with that step's scheduling key. Concatenating the
-//!   per-channel streams and *stably* sorting by key reconstructs the
-//!   global emission order: cross-channel key ties are impossible (the
-//!   key embeds the unique core index) and same-core ties (several steps
-//!   at one timestamp) keep their within-channel — i.e. program — order
-//!   by stability.
+//!   step and tagged with that step's scheduling key. Since each channel
+//!   stream is already key-sorted (a subsequence of global order), a
+//!   stable k-way merge on the key ([`KwayMerger`](crate::merge::KwayMerger),
+//!   O(N log C))
+//!   reconstructs the global emission order — byte-identical to the
+//!   concat + stable-sort it replaced: cross-channel key ties are
+//!   impossible (the key embeds the unique core index) and same-core
+//!   ties (several steps at one timestamp) keep their within-channel —
+//!   i.e. program — order.
 //! - **Ring-buffer drops** stay exact: a record evicted by a fork's ring
 //!   had ≥ capacity later records *in its own channel*, hence ≥ capacity
 //!   later records globally, so the global ring would have evicted it
@@ -40,19 +43,37 @@
 //!   adding the forks' drop counts therefore reproduces the global ring's
 //!   final contents and drop count byte-for-byte.
 //!
+//! # Sessions: persistent pool, resident arenas
+//!
+//! A controller-driven run advances the cluster one *segment* per epoch.
+//! Doing that through [`Cluster::try_run_sharded`] costs, per segment:
+//! an OS-thread spawn/teardown, a full lift of every core and memory into
+//! fresh per-channel tasks, per-channel obs forks, and a reassembly pass.
+//! [`Cluster::shard_session`] hoists all of it to session scope: workers
+//! come from one persistent [`mapg_pool::ScopedPool`]; channels are
+//! lifted once into per-shard **arenas** (round-robin, channel
+//! `c % effective` → arena); forks, scheduler heaps, and drain scratch
+//! live in the arena across segments; capture buffers recycle through
+//! the merge. Dispatching a segment is pure index bookkeeping — refresh
+//! `done` flags, set the target, move the arenas through the pool queue
+//! — so the steady-state segment loop performs no allocation and spawns
+//! no threads. The one-shot entry points remain as single-segment
+//! sessions.
+//!
 //! # Cancellation
 //!
 //! The cancel token is consulted only at channel boundaries: a started
 //! channel always runs to the segment target. A cancelled run returns
 //! [`RunError::Cancelled`] with every channel either fully caught up
 //! (its capture stashed) or untouched; [`Cluster::try_resume_sharded`]
-//! finishes the stragglers and performs the merge. The merge must be
-//! per-segment — incremental runs re-admit finished cores at earlier
-//! timestamps, so keys are only sorted *within* a segment.
+//! (or the session's [`ShardSession::try_resume`]) finishes the
+//! stragglers and performs the merge. The merge must be per-segment —
+//! incremental runs re-admit finished cores at earlier timestamps, so
+//! keys are only sorted *within* a segment.
 
 use mapg_mem::MemoryHierarchy;
 use mapg_obs::{ObsHandle, TraceRecord};
-use mapg_pool::{CancelToken, Pool};
+use mapg_pool::{CancelToken, Pool, ScopedPool};
 use mapg_trace::EventSource;
 
 use crate::cluster::Cluster;
@@ -71,49 +92,92 @@ pub(crate) struct ChannelCapture {
     metrics: Option<mapg_obs::MetricsRegistry>,
 }
 
-/// A channel lifted out of the cluster for the parallel section: its
-/// cores (tagged with their global indices), its memory, and the capture
-/// produced when it runs.
+/// A channel resident in a shard arena for the whole session: its cores
+/// (tagged with their global indices), its memory, its session-lifetime
+/// obs fork, and the per-segment scheduler/scratch state reused in place.
 #[derive(Debug)]
 struct ChannelTask<S> {
     channel: usize,
     cores: Vec<(u32, Core<S>)>,
     memory: MemoryHierarchy,
+    /// Session-lifetime fork of the parent handle; cores and memory emit
+    /// into it on the worker, [`ObsHandle::take_metrics`] drains the
+    /// per-segment metric delta at each capture.
+    fork: ObsHandle,
+    tracing: bool,
+    /// Channel-local wheel, cleared and refilled each segment.
+    heap: SchedHeap,
+    /// Per-step fork drain scratch.
+    scratch: Vec<TraceRecord>,
+    /// Recycled capture buffer the next segment's records land in.
+    spare: Vec<(u128, TraceRecord)>,
     /// Channel already reached the target in a previous (cancelled)
-    /// call; its capture is still stashed on the cluster.
+    /// segment; its capture is still stashed on the cluster.
     done: bool,
     capture: Option<ChannelCapture>,
 }
 
+/// One worker's resident slice of the cluster: the channels it advances
+/// every segment, plus the segment parameters stamped on at dispatch.
+/// Arenas move through the scoped pool's queue as owned jobs and return
+/// in submission order, so reassembly is deterministic without sorting.
+#[derive(Debug)]
+struct ShardArena<S> {
+    tasks: Vec<ChannelTask<S>>,
+    target: u64,
+    cancel: Option<CancelToken>,
+}
+
+/// Advances every not-yet-done channel of `arena` to the stamped target,
+/// honouring the cancel token at channel boundaries.
+fn run_arena<S: EventSource, H: SyncStallHandler>(
+    mut arena: ShardArena<S>,
+    channels: usize,
+    handler: &H,
+) -> ShardArena<S> {
+    let target = arena.target;
+    for task in &mut arena.tasks {
+        if task.done {
+            continue;
+        }
+        if arena.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
+        run_channel(task, target, channels, handler);
+    }
+    arena
+}
+
 /// Runs one channel's wheel from wherever its cores stand up to `target`,
-/// collecting obs output into a [`ChannelCapture`]. Mirrors
+/// leaving the obs output in `task.capture`. Mirrors
 /// [`Cluster::run_wheel`] exactly, plus the per-step fork drain.
 fn run_channel<S: EventSource, H: SyncStallHandler>(
     task: &mut ChannelTask<S>,
     target: u64,
     channels: usize,
     handler: &H,
-    parent_obs: &ObsHandle,
-) -> ChannelCapture {
-    let fork = parent_obs.fork();
-    if fork.is_enabled() {
-        for (_, core) in &mut task.cores {
-            core.set_obs(fork.clone());
-        }
-        task.memory.set_obs(fork.clone());
-    }
-    let tracing = fork.trace_enabled();
-    let mut capture = ChannelCapture {
-        trace: Vec::new(),
-        dropped: 0,
-        metrics: None,
-    };
-    let mut scratch: Vec<TraceRecord> = Vec::new();
+) {
+    let ChannelTask {
+        channel,
+        cores,
+        memory,
+        fork,
+        tracing,
+        heap,
+        scratch,
+        spare,
+        capture,
+        ..
+    } = task;
+    let tracing = *tracing;
+    let mut trace = std::mem::take(spare);
+    debug_assert!(trace.is_empty(), "capture buffers recycle empty");
+    let mut dropped = 0u64;
 
     // Keys carry the *global* core index so within-channel order is the
     // global order's subsequence (and merge tags are globally unique).
-    let mut heap = SchedHeap::with_capacity(task.cores.len());
-    for (index, core) in &task.cores {
+    heap.clear();
+    for (index, core) in cores.iter() {
         if core.stats().instructions < target {
             heap.push(CoreKey::new(core.now(), *index));
         }
@@ -123,17 +187,15 @@ fn run_channel<S: EventSource, H: SyncStallHandler>(
     while let Some(key) = next {
         let index = key.index();
         // Global index -> slot within this channel's round-robin stripe.
-        let slot = (index as usize - task.channel) / channels;
-        let core = &mut task.cores[slot].1;
+        let slot = (index as usize - *channel) / channels;
+        let core = &mut cores[slot].1;
         loop {
             // Tag with the key this step runs under, *before* stepping.
             let step_key = CoreKey::new(core.now(), index).raw();
-            core.step_batched(target, &mut task.memory, &mut shared);
+            core.step_batched(target, memory, &mut shared);
             if tracing {
-                capture.dropped += fork.drain_trace(&mut scratch);
-                capture
-                    .trace
-                    .extend(scratch.drain(..).map(|record| (step_key, record)));
+                dropped += fork.drain_trace(scratch);
+                trace.extend(scratch.drain(..).map(|record| (step_key, record)));
             }
             if core.stats().instructions >= target {
                 next = heap.pop();
@@ -148,8 +210,172 @@ fn run_channel<S: EventSource, H: SyncStallHandler>(
         }
     }
 
-    capture.metrics = fork.collect().1;
-    capture
+    *capture = Some(ChannelCapture {
+        trace,
+        dropped,
+        // Drain, don't copy: the fork persists across segments and must
+        // hand each segment exactly its own metric delta.
+        metrics: fork.take_metrics(),
+    });
+}
+
+/// How a [`ShardSession`] executes its segments.
+enum SessionMode<'s, S: EventSource, H> {
+    /// One effective shard, nothing stashed: the degenerate global-wheel
+    /// path — obs emits straight into the parent, no fork/merge at all.
+    /// This is also the only path the default one-channel topology can
+    /// take, which is what keeps every existing golden byte-stable.
+    Wheel { handler: &'s H },
+    /// Real sharding: resident arenas dispatched through a persistent
+    /// scoped pool, one capture merge per segment.
+    Forked {
+        pool: &'s ScopedPool<'s, ShardArena<S>, ShardArena<S>>,
+        arenas: Vec<ShardArena<S>>,
+    },
+}
+
+/// A multi-segment sharded run over one cluster: worker threads, arena
+/// grouping, obs forks, heaps, and capture buffers all persist between
+/// [`try_run`](ShardSession::try_run) calls. Created by
+/// [`Cluster::shard_session`]; each segment is bit-identical to the same
+/// segment on the global wheel, at any shard or worker-thread count.
+pub struct ShardSession<'c, 's, S: EventSource, H: SyncStallHandler> {
+    cluster: &'c mut Cluster<S>,
+    mode: SessionMode<'s, S, H>,
+    /// Whether a cancelled segment awaits resumption. Tracked here (not
+    /// recomputed from the cluster) because the cluster's cores live in
+    /// the arenas for the session's duration.
+    pending: bool,
+}
+
+impl<S: EventSource + Send, H: SyncStallHandler> ShardSession<'_, '_, S, H> {
+    /// Worker threads servicing this session's segments (1 when the
+    /// session degenerated to the global wheel).
+    pub fn workers(&self) -> usize {
+        match &self.mode {
+            SessionMode::Wheel { .. } => 1,
+            SessionMode::Forked { pool, .. } => pool.jobs(),
+        }
+    }
+
+    /// Runs every core for at least `instructions_per_core` further
+    /// instructions — one sharded segment, same contract as
+    /// [`Cluster::try_run_sharded`] minus the per-call setup. A pending
+    /// cancelled segment is resumed first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ZeroInstructions`] if `instructions_per_core`
+    /// is zero.
+    pub fn try_run(&mut self, instructions_per_core: u64) -> Result<(), RunError> {
+        if instructions_per_core == 0 {
+            return Err(RunError::ZeroInstructions);
+        }
+        self.run_pending()?;
+        self.cluster.target += instructions_per_core;
+        self.advance(None)
+    }
+
+    /// [`ShardSession::try_run`] with cooperative cancellation checked at
+    /// channel boundaries.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`ShardSession::try_run`]'s errors, returns
+    /// [`RunError::Cancelled`] if `cancel` fired before every channel
+    /// reached the target; finish the segment with
+    /// [`ShardSession::try_resume`] (or let the next `try_run` do it).
+    pub fn try_run_with_cancel(
+        &mut self,
+        instructions_per_core: u64,
+        cancel: &CancelToken,
+    ) -> Result<(), RunError> {
+        if instructions_per_core == 0 {
+            return Err(RunError::ZeroInstructions);
+        }
+        self.run_pending()?;
+        self.cluster.target += instructions_per_core;
+        self.advance(Some(cancel))
+    }
+
+    /// Finishes a segment interrupted by cancellation; a no-op when
+    /// nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for parity with
+    /// [`Cluster::try_resume_sharded`].
+    pub fn try_resume(&mut self) -> Result<(), RunError> {
+        self.run_pending()
+    }
+
+    fn run_pending(&mut self) -> Result<(), RunError> {
+        if !self.pending {
+            return Ok(());
+        }
+        self.advance(None)
+    }
+
+    /// Runs one segment and keeps the pending flag honest: a cancelled
+    /// (or otherwise failed) segment stays pending for the next call.
+    fn advance(&mut self, cancel: Option<&CancelToken>) -> Result<(), RunError> {
+        self.pending = true;
+        self.run_segment(cancel)?;
+        self.pending = false;
+        Ok(())
+    }
+
+    /// Advances every channel to the current cluster target (skipping
+    /// channels whose capture is already stashed), then — unless
+    /// cancelled first — merges captures back into the parent handle.
+    fn run_segment(&mut self, cancel: Option<&CancelToken>) -> Result<(), RunError> {
+        let target = self.cluster.target;
+        match &mut self.mode {
+            SessionMode::Wheel { handler } => {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return Err(RunError::Cancelled);
+                }
+                let mut shared: &H = handler;
+                self.cluster.run_wheel(target, &mut shared);
+                Ok(())
+            }
+            SessionMode::Forked { pool, arenas } => {
+                // Per-segment dispatch is bookkeeping only: stamp the
+                // target and token, refresh `done` from the stash, hand
+                // recycled capture buffers to the channels that will run.
+                for arena in arenas.iter_mut() {
+                    arena.target = target;
+                    arena.cancel = cancel.cloned();
+                    for task in &mut arena.tasks {
+                        task.done = self.cluster.captures[task.channel].is_some();
+                        if !task.done && task.spare.capacity() == 0 {
+                            if let Some(buffer) = self.cluster.trace_spares.pop() {
+                                task.spare = buffer;
+                            }
+                        }
+                    }
+                }
+                let batch = pool.map(std::mem::take(arenas));
+                *arenas = batch;
+
+                let mut cancelled = false;
+                for arena in arenas.iter_mut() {
+                    for task in &mut arena.tasks {
+                        if let Some(capture) = task.capture.take() {
+                            self.cluster.captures[task.channel] = Some(capture);
+                        } else if !task.done {
+                            cancelled = true;
+                        }
+                    }
+                }
+                if cancelled {
+                    return Err(RunError::Cancelled);
+                }
+                self.cluster.merge_captures();
+                Ok(())
+            }
+        }
+    }
 }
 
 impl<S: EventSource> Cluster<S> {
@@ -169,13 +395,76 @@ impl<S: EventSource> Cluster<S> {
 }
 
 impl<S: EventSource + Send> Cluster<S> {
+    /// Opens a sharded execution session — the amortized form of
+    /// [`Cluster::try_run_sharded`] for drivers that advance the cluster
+    /// segment by segment (a controller epoch loop, a benchmark sweep).
+    ///
+    /// Memory channels are grouped round-robin into
+    /// `min(shards, channels)` arenas and lifted out of the cluster
+    /// **once**; worker threads (a [`Pool`] sized by
+    /// `min(mapg_pool::default_jobs(), effective_shards)`, so the ambient
+    /// `with_default_jobs` pinning applies) are spawned **once**; each
+    /// [`ShardSession::try_run`] then only moves the resident arenas
+    /// through the pool's queue and merges the captures. The cluster is
+    /// reassembled (cores, memories, parent obs handle) when `f` returns.
+    ///
+    /// Every segment's result — [`Cluster::stats`], trace, metrics — is
+    /// bit-identical to the same sequence of [`Cluster::try_run`] calls,
+    /// regardless of shard count or worker interleaving. With one
+    /// effective shard and nothing stashed this *is* the global wheel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::ZeroShards`] if `shards` is zero.
+    ///
+    /// # Panics
+    ///
+    /// If `f` or a worker panics, the panic propagates and the cluster is
+    /// left without its lifted cores (the same contract the per-call
+    /// engine had when a pool worker panicked).
+    pub fn shard_session<H: SyncStallHandler, R>(
+        &mut self,
+        shards: usize,
+        handler: &H,
+        f: impl FnOnce(&mut ShardSession<'_, '_, S, H>) -> R,
+    ) -> Result<R, RunError> {
+        if shards == 0 {
+            return Err(RunError::ZeroShards);
+        }
+        let channels = self.channels;
+        let effective = shards.min(channels);
+        let pending = self.has_pending_segment();
+        if effective == 1 && !self.has_pending_captures() {
+            let mut session = ShardSession {
+                cluster: self,
+                mode: SessionMode::Wheel { handler },
+                pending,
+            };
+            return Ok(f(&mut session));
+        }
+
+        let jobs = mapg_pool::default_jobs().min(effective);
+        let work = |arena: ShardArena<S>| run_arena(arena, channels, handler);
+        let arenas = self.lift_arenas(effective);
+        let (out, arenas) = Pool::new(jobs).scoped(work, |pool| {
+            let mut session = ShardSession {
+                cluster: self,
+                mode: SessionMode::Forked { pool, arenas },
+                pending,
+            };
+            let out = f(&mut session);
+            let SessionMode::Forked { arenas, .. } = session.mode else {
+                unreachable!("forked sessions stay forked");
+            };
+            (out, arenas)
+        });
+        self.reassemble(arenas);
+        Ok(out)
+    }
+
     /// Runs every core for at least `instructions_per_core` further
-    /// instructions using the sharded engine: memory channels are grouped
-    /// into `min(shards, channels)` shards and advanced on parallel
-    /// workers (a [`Pool`] sized by `mapg_pool::default_jobs`, so the
-    /// ambient `with_default_jobs` pinning applies), then per-core stats,
-    /// merged memory counters, and observability output are reassembled
-    /// in deterministic channel order.
+    /// instructions using the sharded engine — a single-segment
+    /// [`Cluster::shard_session`]; see there for the execution model.
     ///
     /// The result — [`Cluster::stats`], trace, metrics — is bit-identical
     /// to [`Cluster::try_run`] with the same handler regardless of the
@@ -198,12 +487,9 @@ impl<S: EventSource + Send> Cluster<S> {
         if instructions_per_core == 0 {
             return Err(RunError::ZeroInstructions);
         }
-        if shards == 0 {
-            return Err(RunError::ZeroShards);
-        }
-        self.try_resume_sharded(handler, shards)?;
-        self.target += instructions_per_core;
-        self.run_sharded_segment(handler, shards, None)
+        self.shard_session(shards, handler, |session| {
+            session.try_run(instructions_per_core)
+        })?
     }
 
     /// [`Cluster::try_run_sharded`] with cooperative cancellation checked
@@ -226,12 +512,9 @@ impl<S: EventSource + Send> Cluster<S> {
         if instructions_per_core == 0 {
             return Err(RunError::ZeroInstructions);
         }
-        if shards == 0 {
-            return Err(RunError::ZeroShards);
-        }
-        self.try_resume_sharded(handler, shards)?;
-        self.target += instructions_per_core;
-        self.run_sharded_segment(handler, shards, Some(cancel))
+        self.shard_session(shards, handler, |session| {
+            session.try_run_with_cancel(instructions_per_core, cancel)
+        })?
     }
 
     /// Finishes a segment interrupted by cancellation: channels that
@@ -254,35 +537,15 @@ impl<S: EventSource + Send> Cluster<S> {
         if !self.has_pending_segment() {
             return Ok(());
         }
-        self.run_sharded_segment(handler, shards, None)
+        self.shard_session(shards, handler, |session| session.try_resume())?
     }
 
-    /// Advances every channel to the current `self.target` (skipping
-    /// channels whose capture is already stashed), then — unless
-    /// cancelled first — merges captures back into the parent handle.
-    fn run_sharded_segment<H: SyncStallHandler>(
-        &mut self,
-        handler: &H,
-        shards: usize,
-        cancel: Option<&CancelToken>,
-    ) -> Result<(), RunError> {
-        let target = self.target;
+    /// Lifts cores and memories out of the cluster into `effective`
+    /// resident arenas (core `i` rides channel `i % C`, channel `c` rides
+    /// arena `c % effective`, global indices preserved) and attaches the
+    /// session-lifetime obs forks.
+    fn lift_arenas(&mut self, effective: usize) -> Vec<ShardArena<S>> {
         let channels = self.channels;
-        let effective = shards.min(channels);
-
-        // One effective shard, nothing stashed, no cancellation to
-        // honour: the sharded engine degenerates to the global wheel —
-        // obs emits straight into the parent, no fork/merge at all. This
-        // is also the only path the default one-channel topology can
-        // take, which is what keeps every existing golden byte-stable.
-        if effective == 1 && cancel.is_none() && !self.has_pending_captures() {
-            let mut shared = handler;
-            self.run_wheel(target, &mut shared);
-            return Ok(());
-        }
-
-        // Lift cores and memories out of the cluster into per-channel
-        // tasks (core i rides channel i % C, preserving global indices).
         let cores = std::mem::take(&mut self.cores);
         let memories = std::mem::take(&mut self.memories);
         let mut tasks: Vec<ChannelTask<S>> = memories
@@ -292,108 +555,114 @@ impl<S: EventSource + Send> Cluster<S> {
                 channel: c,
                 cores: Vec::new(),
                 memory,
-                done: self.captures[c].is_some(),
+                fork: ObsHandle::disabled(),
+                tracing: false,
+                heap: SchedHeap::default(),
+                scratch: Vec::new(),
+                spare: Vec::new(),
+                done: false,
                 capture: None,
             })
             .collect();
         for (i, core) in cores.into_iter().enumerate() {
             tasks[i % channels].cores.push((i as u32, core));
         }
-
-        // Group channels round-robin over shards and run each shard's
-        // channels sequentially on one worker. Results come back in
-        // submission order, so reassembly order is deterministic no
-        // matter which worker finished first.
-        let mut groups: Vec<Vec<ChannelTask<S>>> = (0..effective).map(|_| Vec::new()).collect();
-        for task in tasks {
-            let shard = task.channel % effective;
-            groups[shard].push(task);
-        }
-        let obs = &self.obs;
-        let groups = Pool::with_default_jobs().map(groups, |mut group: Vec<ChannelTask<S>>| {
-            for task in &mut group {
-                if task.done {
-                    continue;
+        for task in &mut tasks {
+            let fork = self.obs.fork();
+            if fork.is_enabled() {
+                for (_, core) in &mut task.cores {
+                    core.set_obs(fork.clone());
                 }
-                if cancel.is_some_and(CancelToken::is_cancelled) {
-                    break;
-                }
-                task.capture = Some(run_channel(task, target, channels, handler, obs));
+                task.memory.set_obs(fork.clone());
             }
-            group
-        });
+            task.tracing = fork.trace_enabled();
+            task.fork = fork;
+            task.heap = SchedHeap::with_capacity(task.cores.len());
+        }
+        let mut arenas: Vec<ShardArena<S>> = (0..effective)
+            .map(|_| ShardArena {
+                tasks: Vec::new(),
+                target: 0,
+                cancel: None,
+            })
+            .collect();
+        for task in tasks {
+            let arena = task.channel % effective;
+            arenas[arena].tasks.push(task);
+        }
+        arenas
+    }
 
-        // Reassemble the cluster (and restore the parent obs handle on
-        // every component that ran under a fork).
-        let core_count = groups
+    /// Puts every core and memory back in cluster order and restores the
+    /// parent obs handle on components that carried a session fork.
+    fn reassemble(&mut self, arenas: Vec<ShardArena<S>>) {
+        let channels = self.channels;
+        let core_count: usize = arenas
             .iter()
-            .flatten()
+            .flat_map(|a| a.tasks.iter())
             .map(|t| t.cores.len())
-            .sum::<usize>();
+            .sum();
         let mut cores: Vec<Option<Core<S>>> = (0..core_count).map(|_| None).collect();
         let mut memories: Vec<Option<MemoryHierarchy>> = (0..channels).map(|_| None).collect();
-        let mut cancelled = false;
-        for mut task in groups.into_iter().flatten() {
-            let ran = task.capture.is_some();
-            if !task.done && !ran {
-                cancelled = true;
-            }
-            if ran {
-                self.captures[task.channel] = task.capture.take();
-            }
-            if self.obs.is_enabled() && ran {
-                task.memory.set_obs(self.obs.clone());
-            }
-            memories[task.channel] = Some(task.memory);
-            for (index, mut core) in task.cores {
-                if self.obs.is_enabled() && ran {
-                    core.set_obs(self.obs.clone());
+        for arena in arenas {
+            for mut task in arena.tasks {
+                if self.obs.is_enabled() {
+                    task.memory.set_obs(self.obs.clone());
                 }
-                cores[index as usize] = Some(core);
+                memories[task.channel] = Some(task.memory);
+                for (index, mut core) in task.cores {
+                    if self.obs.is_enabled() {
+                        core.set_obs(self.obs.clone());
+                    }
+                    cores[index as usize] = Some(core);
+                }
             }
         }
         self.cores = cores
             .into_iter()
-            .map(|c| c.expect("every core returned by its channel task"))
+            .map(|c| c.expect("every core returned by its arena"))
             .collect();
         self.memories = memories
             .into_iter()
             .map(|m| m.expect("every channel returned its memory"))
             .collect();
-
-        if cancelled {
-            return Err(RunError::Cancelled);
-        }
-        self.merge_captures();
-        Ok(())
     }
 
     /// Folds every channel's stashed capture back into the parent
     /// [`ObsHandle`]: drop counts and metrics in channel order, trace
-    /// records replayed in global emission order (stable sort on the
-    /// per-step scheduling key).
+    /// records replayed in global emission order via the k-way
+    /// tournament merge ([`KwayMerger`](crate::merge::KwayMerger) —
+    /// equal keys resolve to the
+    /// lower channel, i.e. exactly where the old concat + stable sort
+    /// put them). Drained capture buffers are recycled for the next
+    /// segment.
     fn merge_captures(&mut self) {
-        let mut merged: Vec<(u128, TraceRecord)> = Vec::new();
+        let mut streams = std::mem::take(&mut self.merge_streams);
+        debug_assert!(streams.is_empty());
         let mut dropped = 0u64;
         for slot in &mut self.captures {
             let capture = slot.take().expect("merge requires every channel captured");
             dropped += capture.dropped;
-            merged.extend(capture.trace);
             if let Some(metrics) = &capture.metrics {
                 self.obs.absorb_metrics(metrics);
             }
+            streams.push(capture.trace);
         }
-        if merged.is_empty() && dropped == 0 {
-            return;
+        let records: usize = streams.iter().map(Vec::len).sum();
+        if records > 0 || dropped > 0 {
+            self.obs.note_trace_dropped(dropped);
+            let obs = &self.obs;
+            self.merger.merge(&mut streams, |_, record: TraceRecord| {
+                obs.emit(record.at, record.scope, record.kind);
+            });
         }
-        // Stable: same-key records (one core, one timestamp, several
-        // steps or several records per step) keep channel-stream — i.e.
-        // program — order. Cross-channel keys never tie (unique index).
-        merged.sort_by_key(|(key, _)| *key);
-        self.obs.note_trace_dropped(dropped);
-        for (_, record) in merged {
-            self.obs.emit(record.at, record.scope, record.kind);
+        for stream in streams.drain(..) {
+            debug_assert!(stream.is_empty(), "merge drains every stream");
+            if stream.capacity() > 0 {
+                self.trace_spares.push(stream);
+            }
         }
+        self.merge_streams = streams;
     }
 }
 
@@ -486,6 +755,72 @@ mod tests {
         assert_eq!(sharded.stats(), wheel.stats());
     }
 
+    /// The session API: many segments on one set of arenas/workers must
+    /// be bit-identical (stats, trace, metrics) to the same segments on
+    /// the global wheel — at every worker-thread count.
+    #[test]
+    fn session_segments_are_bit_identical_to_wheel_at_any_thread_count() {
+        let reference = {
+            let mut c = cluster(8, 4);
+            let obs = mapg_obs::ObsHandle::enabled(Some(64), true);
+            c.set_obs(obs.clone());
+            for _ in 0..3 {
+                c.run(3_000, &mut PassiveHandler);
+            }
+            (c.stats(), obs.collect())
+        };
+        for jobs in [1, 2, 4, 8] {
+            let mut c = cluster(8, 4);
+            let obs = mapg_obs::ObsHandle::enabled(Some(64), true);
+            c.set_obs(obs.clone());
+            mapg_pool::with_default_jobs(jobs, || {
+                c.shard_session(4, &PassiveHandler, |session| {
+                    assert!(session.workers() >= 1);
+                    for _ in 0..3 {
+                        session.try_run(3_000).expect("segment");
+                    }
+                })
+                .expect("session");
+            });
+            assert_eq!(c.stats(), reference.0, "jobs = {jobs}");
+            assert_eq!(obs.collect(), reference.1, "jobs = {jobs}");
+            // The cluster is fully reassembled: the wheel still drives it.
+            c.run(1_000, &mut PassiveHandler);
+        }
+    }
+
+    /// Cancellation and resume inside one session: the stash/merge
+    /// machinery must work without tearing the session down.
+    #[test]
+    fn session_cancel_and_resume_within_one_session() {
+        let reference = {
+            let mut c = cluster(6, 3);
+            let obs = mapg_obs::ObsHandle::enabled(Some(128), true);
+            c.set_obs(obs.clone());
+            c.run(6_000, &mut PassiveHandler);
+            c.run(6_000, &mut PassiveHandler);
+            (c.stats(), obs.collect())
+        };
+        let mut c = cluster(6, 3);
+        let obs = mapg_obs::ObsHandle::enabled(Some(128), true);
+        c.set_obs(obs.clone());
+        c.shard_session(3, &PassiveHandler, |session| {
+            let cancel = CancelToken::new();
+            cancel.cancel();
+            assert_eq!(
+                session.try_run_with_cancel(6_000, &cancel),
+                Err(RunError::Cancelled)
+            );
+            session.try_resume().expect("resume");
+            // The next segment auto-resumes cleanly (nothing pending).
+            session.try_run(6_000).expect("second segment");
+        })
+        .expect("session");
+        assert!(!c.has_pending_segment());
+        assert_eq!(c.stats(), reference.0);
+        assert_eq!(obs.collect(), reference.1);
+    }
+
     #[test]
     fn cancelled_run_resumes_to_the_same_result() {
         let reference = {
@@ -567,6 +902,9 @@ mod tests {
             c.try_resume_sharded(&PassiveHandler, 0),
             Err(RunError::ZeroShards)
         );
+        assert!(c
+            .shard_session(0, &PassiveHandler, |_| ())
+            .is_err_and(|e| e == RunError::ZeroShards));
         let cancel = CancelToken::new();
         assert_eq!(
             c.try_run_sharded_with_cancel(0, &PassiveHandler, 2, &cancel),
@@ -576,6 +914,10 @@ mod tests {
             c.try_run_sharded_with_cancel(1_000, &PassiveHandler, 0, &cancel),
             Err(RunError::ZeroShards)
         );
+        c.shard_session(2, &PassiveHandler, |session| {
+            assert_eq!(session.try_run(0), Err(RunError::ZeroInstructions));
+        })
+        .expect("session opens");
     }
 
     #[test]
@@ -586,5 +928,26 @@ mod tests {
         c.try_run_sharded(10_000, &PassiveHandler, 8)
             .expect("sharded run");
         assert_eq!(c.stats(), reference);
+    }
+
+    /// Capture buffers must actually recycle: after the first merged
+    /// segment with tracing on, the steady-state segment loop reuses the
+    /// drained vectors instead of growing fresh ones.
+    #[test]
+    fn capture_buffers_recycle_across_segments() {
+        let mut c = cluster(4, 2);
+        let obs = mapg_obs::ObsHandle::enabled(Some(1 << 16), false);
+        c.set_obs(obs);
+        c.shard_session(2, &PassiveHandler, |session| {
+            for _ in 0..4 {
+                session.try_run(2_000).expect("segment");
+            }
+        })
+        .expect("session");
+        assert!(
+            !c.trace_spares.is_empty(),
+            "merged capture buffers return to the spare pool"
+        );
+        assert!(c.trace_spares.iter().all(|s| s.capacity() > 0));
     }
 }

@@ -1,0 +1,43 @@
+//! Scale smoke: the sharded engine at the paper-scale extreme — 65 536
+//! cores over 512 memory channels (128 cores per channel) — must still
+//! be bit-identical to the single global wheel. The per-core budget is
+//! tiny so this stays a smoke test in debug builds; the point is the
+//! topology (arena grouping, 512-stream merge, index bookkeeping at
+//! u32-scale core counts), not the instruction volume.
+
+use mapg_cpu::{Cluster, CoreConfig, PassiveHandler};
+use mapg_mem::HierarchyConfig;
+use mapg_trace::{SyntheticWorkload, WorkloadProfile};
+
+const CORES: usize = 65_536;
+const CHANNELS: usize = 512;
+const BUDGET: u64 = 24;
+
+fn cluster() -> Cluster<SyntheticWorkload> {
+    let profile = WorkloadProfile::mem_bound("shard_64k");
+    let sources: Vec<SyntheticWorkload> = (0..CORES)
+        .map(|i| SyntheticWorkload::new(&profile, 40_000 + i as u64))
+        .collect();
+    Cluster::try_new_with_channels(
+        CoreConfig::baseline(),
+        HierarchyConfig::baseline(),
+        sources,
+        CHANNELS,
+    )
+    .expect("valid topology")
+}
+
+#[test]
+fn sharded_64k_cores_matches_the_global_wheel() {
+    let mut wheel = cluster();
+    wheel.run(BUDGET, &mut PassiveHandler);
+    let reference = wheel.stats();
+    assert_eq!(reference.per_core.len(), CORES);
+
+    let mut sharded = cluster();
+    sharded
+        .try_run_sharded(BUDGET, &PassiveHandler, CHANNELS)
+        .expect("sharded run");
+    assert_eq!(sharded.stats(), reference);
+    assert!(!sharded.has_pending_segment());
+}

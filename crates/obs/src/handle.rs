@@ -200,6 +200,23 @@ impl ObsHandle {
         }
     }
 
+    /// Moves the accumulated metrics out of this handle, leaving a fresh
+    /// empty registry behind (`None` when metrics are not enabled).
+    ///
+    /// This is the per-segment drain the sharded engine's *persistent*
+    /// forks rely on: a fork that lives across many segments hands each
+    /// segment's metric delta to the merge, instead of re-reporting (and
+    /// double-counting) everything accumulated since the session began.
+    pub fn take_metrics(&self) -> Option<MetricsRegistry> {
+        let inner = self.inner.as_ref()?;
+        let mut observer = inner.lock().expect("observer lock poisoned");
+        if observer.metrics_registry.is_some() {
+            observer.metrics_registry.replace(MetricsRegistry::new())
+        } else {
+            None
+        }
+    }
+
     /// Copies out the accumulated trace and metrics (either is `None`
     /// when that sink was not enabled). Callable while clones of the
     /// handle are still live in the simulated components.
@@ -326,6 +343,23 @@ mod tests {
         assert_eq!(trace.len(), 4);
         assert_eq!(trace.dropped(), 2);
         assert_eq!(metrics.unwrap().counter("stalls"), 3);
+    }
+
+    #[test]
+    fn take_metrics_drains_and_resets() {
+        let obs = ObsHandle::enabled(None, true);
+        obs.count("stalls", 3);
+        let first = obs.take_metrics().expect("metrics enabled");
+        assert_eq!(first.counter("stalls"), 3);
+        // The registry was reset, not copied: a second take is empty.
+        let second = obs.take_metrics().expect("metrics enabled");
+        assert_eq!(second.counter("stalls"), 0);
+        // Counting resumes into the fresh registry.
+        obs.count("stalls", 1);
+        assert_eq!(obs.collect().1.unwrap().counter("stalls"), 1);
+        // Disabled / trace-only handles yield nothing.
+        assert!(ObsHandle::disabled().take_metrics().is_none());
+        assert!(ObsHandle::enabled(Some(4), false).take_metrics().is_none());
     }
 
     #[test]
