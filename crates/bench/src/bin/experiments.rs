@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use mapg_bench::experiments::Experiment;
 use mapg_bench::{
-    experiments, Journal, JournalEntry, Manifest, ManifestEntry, Scale, TableSummary,
+    experiments, ExperimentJob, Journal, JournalEntry, Manifest, ManifestEntry, OutputFormat, Scale,
 };
 use mapg_pool::{JobOutcome, Supervisor};
 
@@ -379,31 +379,26 @@ fn main() -> ExitCode {
             }
         }
         let started = Instant::now();
-        let run = || {
-            mapg::with_ambient_shards(shards, || {
-                mapg_pool::with_default_jobs(jobs, || (experiment.run)(scale))
-            })
-        };
         // One hub per experiment: every simulation the experiment spawns
         // (its inner fan-out included) merges its registry in. Merging is
         // commutative, so the snapshot is deterministic at any job count.
         let hub = collect_metrics.then(mapg_obs::MetricsHub::new);
-        let tables = match &hub {
-            Some(hub) => mapg_obs::with_ambient_hub(hub.clone(), run),
-            None => run(),
-        };
-        let elapsed = started.elapsed();
-        let mut rendered = String::new();
-        for table in &tables {
+        let mut job = ExperimentJob::new(
+            *experiment,
+            scale,
             if csv {
-                rendered.push_str(&format!("# {} — {}\n", table.id(), table.title()));
-                rendered.push_str(&table.to_csv());
+                OutputFormat::Csv
             } else {
-                rendered.push_str(&table.to_text());
-                rendered.push('\n');
-            }
-        }
-        let summaries: Vec<TableSummary> = tables.iter().map(TableSummary::of).collect();
+                OutputFormat::Text
+            },
+            jobs,
+        );
+        job.shards = shards;
+        job.metrics_hub = hub.clone();
+        let output = job.execute();
+        let elapsed = started.elapsed();
+        let rendered = output.rendered;
+        let summaries = output.tables;
         // A worker abandoned by the deadline monitor sees its token
         // cancelled: its (now unwanted) result must not reach the
         // journal, or resume would disagree with the reported outcome.

@@ -182,8 +182,15 @@ pub(crate) fn base_config(scale: Scale) -> SimConfig {
         Some(shards) => config.with_shards(shards),
         None => config,
     };
-    match mapg_obs::ambient_hub() {
+    let config = match mapg_obs::ambient_hub() {
         Some(hub) => config.with_metrics_hub(hub),
+        None => config,
+    };
+    // Same pattern for the streaming event feed: a daemon job installs
+    // an ambient `EventHub` so every simulation the experiment runs
+    // publishes its trace batch to subscribers as it completes.
+    match mapg_obs::ambient_event_hub() {
+        Some(feed) => config.with_event_hub(feed),
         None => config,
     }
 }

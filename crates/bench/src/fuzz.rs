@@ -362,6 +362,7 @@ mod tests {
         let first = run_campaign_supervised(&config, Some(Arc::clone(&journal)));
         let entries_after_first = journal.lock().unwrap().entries().len();
         assert_eq!(entries_after_first as u64, first.executed);
+        drop(journal); // release the advisory lock before reopening
 
         let journal = Arc::new(Mutex::new(Journal::open(&path, context).unwrap()));
         let second = run_campaign_supervised(&config, Some(Arc::clone(&journal)));

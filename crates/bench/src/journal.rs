@@ -7,7 +7,7 @@
 //! crash — including SIGKILL — at any instant leaves either the
 //! previous journal or the new one at the final path, never a
 //! truncated JSON. A stale partial `*.tmp` from a killed writer is
-//! ignored (and overwritten) on resume.
+//! ignored (and left for the next atomic rename) on resume.
 //!
 //! `--resume FILE` replays the journal instead of the work: a
 //! digest-verified entry's payload (the rendered CSV, or a repro JSON)
@@ -35,7 +35,21 @@
 //! rejected instead of silently mixing incompatible runs. Entry order
 //! is completion order (nondeterministic under parallelism) — readers
 //! index by `(kind, id)` and re-emit in their own deterministic order.
+//!
+//! # Cross-process exclusivity
+//!
+//! Whole-file rewrites are atomic per append but not serialized across
+//! *processes*: two resumers of the same file would interleave rewrites
+//! and silently lose each other's completions. [`Journal::open`]
+//! therefore takes an advisory lock — a sibling `<journal>.lock`
+//! sentinel created with `create_new` and holding the owner's pid —
+//! released when the `Journal` drops. A sentinel naming a dead pid
+//! (the holder crashed or was SIGKILLed) is taken over; a live holder
+//! yields the typed [`JournalError::Held`].
 
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use mapg::fuzz::{parse_json, write_json, JsonValue};
@@ -44,6 +58,189 @@ use crate::manifest::TableSummary;
 
 /// Journal file schema version.
 pub const JOURNAL_SCHEMA: u32 = 1;
+
+/// Why a journal could not be opened, locked, read, or written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// The journal's advisory lock is held by a live process.
+    Held {
+        /// The journal path that is locked.
+        path: PathBuf,
+        /// Pid of the holder; 0 when the sentinel exists but its
+        /// holder could not be read.
+        pid: u32,
+    },
+    /// An underlying I/O failure (reading or writing the journal, or
+    /// creating its lock sentinel).
+    Io {
+        /// The journal path the operation targeted.
+        path: PathBuf,
+        /// What failed, including the OS error.
+        detail: String,
+    },
+    /// The file exists but is not a valid journal document.
+    Malformed {
+        /// The journal path that failed to parse.
+        path: PathBuf,
+        /// What is wrong with the document.
+        detail: String,
+    },
+    /// The journal was written under a different run configuration.
+    ContextMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// The context string stored in the journal.
+        journal: String,
+        /// The context string of the run trying to open it.
+        run: String,
+    },
+    /// The journal was written by a different schema version.
+    UnsupportedSchema {
+        /// The journal path.
+        path: PathBuf,
+        /// The schema version found in the file.
+        schema: u32,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Held { path, pid: 0 } => write!(
+                f,
+                "journal '{}' is locked by another process (holder unknown); \
+                 remove '{}' if no other run is active",
+                path.display(),
+                lock_path(path).display()
+            ),
+            JournalError::Held { path, pid } => write!(
+                f,
+                "journal '{}' is locked by another process (pid {pid}); \
+                 wait for it to finish or use a different --journal",
+                path.display()
+            ),
+            JournalError::Io { path, detail } | JournalError::Malformed { path, detail } => {
+                write!(f, "journal '{}': {detail}", path.display())
+            }
+            JournalError::ContextMismatch { path, journal, run } => write!(
+                f,
+                "journal '{}' was written by a different run configuration\n  journal: {journal}\n  this run: {run}",
+                path.display()
+            ),
+            JournalError::UnsupportedSchema { path, schema } => write!(
+                f,
+                "journal '{}': unsupported schema {schema} (this build reads {JOURNAL_SCHEMA})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Sibling lock-sentinel path for `journal`: `<journal>.lock`.
+fn lock_path(journal: &Path) -> PathBuf {
+    let mut name = journal
+        .file_name()
+        .map(|n| n.to_owned())
+        .unwrap_or_default();
+    name.push(".lock");
+    journal.with_file_name(name)
+}
+
+/// True when `pid` names a live process. Checked via `/proc`; on hosts
+/// without procfs the holder is conservatively assumed alive (no
+/// stale-lock takeover, only an explicit sentinel removal unblocks).
+/// A zombie (state `Z` in `/proc/<pid>/stat` — SIGKILLed but not yet
+/// reaped, e.g. a daemon whose launching shell already exited) counts
+/// as dead: it can never release the lock.
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc").is_dir() {
+        return true;
+    }
+    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+        // State is the field after the parenthesized comm (which may
+        // itself contain spaces and parens — scan from the *last* `)`).
+        Ok(stat) => !matches!(
+            stat[stat.rfind(')').map_or(0, |i| i + 1)..]
+                .split_whitespace()
+                .next(),
+            Some("Z") | Some("X")
+        ),
+        Err(_) => false,
+    }
+}
+
+/// RAII advisory lock on a journal path (see the module docs).
+#[derive(Debug)]
+struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    const ATTEMPTS: u32 = 5;
+
+    fn acquire(journal: &Path) -> Result<JournalLock, JournalError> {
+        let path = lock_path(journal);
+        // Each failed create either reports a live holder (typed
+        // error), removes a stale sentinel and retries, or grants an
+        // unreadable sentinel a grace period (its creator may be
+        // between create_new and the pid write).
+        for attempt in 1..=Self::ATTEMPTS {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let _ = file.write_all(format!("{}\n", std::process::id()).as_bytes());
+                    let _ = file.sync_all();
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
+                            // Holder is gone (crashed / SIGKILLed): take
+                            // over. Another contender may win the next
+                            // create_new — the loop just re-checks.
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        Some(pid) => {
+                            return Err(JournalError::Held {
+                                path: journal.to_owned(),
+                                pid,
+                            });
+                        }
+                        None if attempt < Self::ATTEMPTS => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        None => {
+                            return Err(JournalError::Held {
+                                path: journal.to_owned(),
+                                pid: 0,
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(JournalError::Io {
+                        path: journal.to_owned(),
+                        detail: format!("cannot create lock file '{}': {e}", path.display()),
+                    });
+                }
+            }
+        }
+        Err(JournalError::Held {
+            path: journal.to_owned(),
+            pid: 0,
+        })
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
 
 /// One completed job.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,48 +303,63 @@ impl JournalEntry {
 }
 
 /// A crash-safe completion journal bound to one file and one run
-/// configuration.
+/// configuration. Holds the advisory cross-process lock for its whole
+/// lifetime; dropping the journal releases it.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     context: String,
     entries: Vec<JournalEntry>,
+    _lock: JournalLock,
 }
 
 impl Journal {
-    /// Opens the journal at `path` for the run described by `context`.
+    /// Opens the journal at `path` for the run described by `context`,
+    /// taking the advisory `<path>.lock` sentinel.
     ///
     /// A missing file starts an empty journal. An existing file is
     /// parsed and validated: its context must equal `context` (a
     /// journal from a different configuration is an error, not a
     /// silent skip-list). A sibling `*.tmp` left by a crashed writer
-    /// is ignored.
+    /// is ignored, and that writer's stale lock sentinel is taken over.
     ///
     /// # Errors
     ///
-    /// Returns a message when the file exists but is unreadable,
-    /// malformed, a different schema, or from a different context.
-    pub fn open(path: impl Into<PathBuf>, context: impl Into<String>) -> Result<Journal, String> {
+    /// [`JournalError::Held`] when another live process holds the
+    /// journal; otherwise the typed read/parse/validation errors.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        context: impl Into<String>,
+    ) -> Result<Journal, JournalError> {
         let path = path.into();
         let context = context.into();
+        let lock = JournalLock::acquire(&path)?;
         if !path.exists() {
             return Ok(Journal {
                 path,
                 context,
                 entries: Vec::new(),
+                _lock: lock,
             });
         }
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read journal '{}': {e}", path.display()))?;
-        let journal = Journal::from_json_text(&path, &text)?;
-        if journal.context != context {
-            return Err(format!(
-                "journal '{}' was written by a different run configuration\n  journal: {}\n  this run: {context}",
-                path.display(),
-                journal.context
-            ));
+        let text = std::fs::read_to_string(&path).map_err(|e| JournalError::Io {
+            path: path.clone(),
+            detail: format!("cannot read: {e}"),
+        })?;
+        let (stored_context, entries) = Journal::parse_document(&path, &text)?;
+        if stored_context != context {
+            return Err(JournalError::ContextMismatch {
+                path,
+                journal: stored_context,
+                run: context,
+            });
         }
-        Ok(journal)
+        Ok(Journal {
+            path,
+            context,
+            entries,
+            _lock: lock,
+        })
     }
 
     /// The run-configuration string this journal is bound to.
@@ -173,13 +385,17 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Returns a message when the write fails; the in-memory entry is
-    /// kept either way (the caller decides whether a journal write
+    /// [`JournalError::Io`] when the write fails; the in-memory entry
+    /// is kept either way (the caller decides whether a journal write
     /// failure is fatal).
-    pub fn append(&mut self, entry: JournalEntry) -> Result<(), String> {
+    pub fn append(&mut self, entry: JournalEntry) -> Result<(), JournalError> {
         self.entries.push(entry);
-        mapg::write_atomic(&self.path, self.to_json_text().as_bytes())
-            .map_err(|e| format!("cannot write journal '{}': {e}", self.path.display()))
+        mapg::write_atomic(&self.path, self.to_json_text().as_bytes()).map_err(|e| {
+            JournalError::Io {
+                path: self.path.clone(),
+                detail: format!("cannot write: {e}"),
+            }
+        })
     }
 
     /// Renders the journal as JSON (trailing newline included).
@@ -227,32 +443,38 @@ impl Journal {
         text
     }
 
-    /// Parses a journal document.
-    fn from_json_text(path: &Path, text: &str) -> Result<Journal, String> {
-        let fail = |what: &str| format!("journal '{}': {what}", path.display());
-        let doc = parse_json(text).map_err(|e| fail(&format!("malformed JSON ({e})")))?;
+    /// Parses a journal document into its `(context, entries)`.
+    fn parse_document(
+        path: &Path,
+        text: &str,
+    ) -> Result<(String, Vec<JournalEntry>), JournalError> {
+        let fail = |what: String| JournalError::Malformed {
+            path: path.to_owned(),
+            detail: what,
+        };
+        let doc = parse_json(text).map_err(|e| fail(format!("malformed JSON ({e})")))?;
         let schema = doc
             .get("schema")
             .and_then(JsonValue::as_u32)
-            .ok_or_else(|| fail("missing schema"))?;
+            .ok_or_else(|| fail("missing schema".into()))?;
         if schema != JOURNAL_SCHEMA {
-            return Err(fail(&format!(
-                "unsupported schema {schema} (this build reads {JOURNAL_SCHEMA})"
-            )));
+            return Err(JournalError::UnsupportedSchema {
+                path: path.to_owned(),
+                schema,
+            });
         }
         let context = doc
             .get("context")
             .and_then(JsonValue::as_str)
-            .ok_or_else(|| fail("missing context"))?
+            .ok_or_else(|| fail("missing context".into()))?
             .to_owned();
         let entries = match doc.get("entries") {
             Some(JsonValue::Array(items)) => items,
-            _ => return Err(fail("missing entries array")),
+            _ => return Err(fail("missing entries array".into())),
         };
         let mut parsed = Vec::with_capacity(entries.len());
         for (i, item) in entries.iter().enumerate() {
-            let field =
-                |name: &str| fail(&format!("entry {i}: field '{name}' missing or mistyped"));
+            let field = |name: &str| fail(format!("entry {i}: field '{name}' missing or mistyped"));
             let get_str = |name: &str| {
                 item.get(name)
                     .and_then(JsonValue::as_str)
@@ -299,11 +521,7 @@ impl Journal {
                 tables,
             });
         }
-        Ok(Journal {
-            path: path.to_owned(),
-            context,
-            entries: parsed,
-        })
+        Ok((context, parsed))
     }
 }
 
@@ -324,7 +542,10 @@ mod tests {
     fn temp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("mapg-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(lock_path(&path)).ok();
+        path
     }
 
     fn entry(id: &str, payload: &str) -> JournalEntry {
@@ -345,13 +566,14 @@ mod tests {
     #[test]
     fn appends_persist_and_reload() {
         let path = temp_path("roundtrip.json");
-        std::fs::remove_file(&path).ok();
         let mut journal = Journal::open(&path, "test ctx").unwrap();
         journal.append(entry("R-T1", "a,b\n1,2\n")).unwrap();
         journal.append(entry("R-F5", "c\n3\n")).unwrap();
+        let written = journal.entries().to_vec();
+        drop(journal);
 
         let back = Journal::open(&path, "test ctx").unwrap();
-        assert_eq!(back.entries(), journal.entries());
+        assert_eq!(back.entries(), written.as_slice());
         assert_eq!(
             back.completed("experiment", "R-T1").unwrap().payload,
             "a,b\n1,2\n"
@@ -364,46 +586,58 @@ mod tests {
     #[test]
     fn mismatched_context_is_rejected() {
         let path = temp_path("context.json");
-        std::fs::remove_file(&path).ok();
         let mut journal = Journal::open(&path, "scale=smoke").unwrap();
         journal.append(entry("R-T1", "x")).unwrap();
+        drop(journal);
         let err = Journal::open(&path, "scale=paper").unwrap_err();
-        assert!(err.contains("different run configuration"), "{err}");
+        assert!(
+            matches!(err, JournalError::ContextMismatch { .. }),
+            "{err:?}"
+        );
+        assert!(
+            err.to_string().contains("different run configuration"),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
     /// A partial `*.tmp` left by a killed writer must not affect the
-    /// journal: the real file still loads, and the next append
-    /// replaces the temp.
+    /// journal: the real file still loads, appends still land, and the
+    /// stray is recognizable by name so directory scans can skip it.
     #[test]
     fn partial_tmp_file_is_ignored_on_resume() {
         let path = temp_path("partial.json");
-        std::fs::remove_file(&path).ok();
         let mut journal = Journal::open(&path, "ctx").unwrap();
         journal.append(entry("R-T1", "payload")).unwrap();
+        drop(journal);
         // Simulate a crash mid-write of the *next* append.
+        let stale = path.with_file_name(format!("partial.json.{}.999999.tmp", std::process::id()));
         std::fs::write(
-            mapg::fsutil::tmp_path(&path),
+            &stale,
             b"{\"schema\": 1, \"context\": \"ctx\", \"entries\": [{\"kind\": \"exp",
         )
         .unwrap();
 
-        let back = Journal::open(&path, "ctx").unwrap();
+        let mut back = Journal::open(&path, "ctx").unwrap();
         assert_eq!(back.entries().len(), 1, "tmp garbage must be invisible");
-        let mut back = back;
         back.append(entry("R-F5", "more")).unwrap();
-        assert!(!mapg::fsutil::tmp_path(&path).exists());
+        drop(back);
+        assert_eq!(Journal::open(&path, "ctx").unwrap().entries().len(), 2);
+        assert!(mapg::fsutil::is_tmp_name(
+            stale.file_name().unwrap().to_str().unwrap()
+        ));
+        std::fs::remove_file(&stale).ok();
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn corrupted_digest_reads_as_not_completed() {
         let path = temp_path("digest.json");
-        std::fs::remove_file(&path).ok();
         let mut journal = Journal::open(&path, "ctx").unwrap();
         let mut bad = entry("R-T1", "payload");
         bad.digest ^= 0xFF;
         journal.append(bad).unwrap();
+        drop(journal);
         let back = Journal::open(&path, "ctx").unwrap();
         assert!(
             back.completed("experiment", "R-T1").is_none(),
@@ -415,10 +649,9 @@ mod tests {
     #[test]
     fn missing_file_is_an_empty_journal() {
         let path = temp_path("never-written.json");
-        std::fs::remove_file(&path).ok();
         let journal = Journal::open(&path, "ctx").unwrap();
         assert!(journal.entries().is_empty());
-        assert!(!path.exists(), "open must not create the file");
+        assert!(!path.exists(), "open must not create the journal file");
     }
 
     #[test]
@@ -426,23 +659,114 @@ mod tests {
         let path = temp_path("truncated.json");
         std::fs::write(&path, "{\"schema\": 1, \"context\": \"ctx\", \"ent").unwrap();
         let err = Journal::open(&path, "ctx").unwrap_err();
-        assert!(err.contains("malformed JSON"), "{err}");
+        assert!(matches!(err, JournalError::Malformed { .. }), "{err:?}");
+        assert!(err.to_string().contains("malformed JSON"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsupported_schema_is_a_typed_error() {
+        let path = temp_path("schema.json");
+        std::fs::write(
+            &path,
+            "{\"schema\": 99, \"context\": \"ctx\", \"entries\": []}",
+        )
+        .unwrap();
+        let err = Journal::open(&path, "ctx").unwrap_err();
+        assert_eq!(
+            err,
+            JournalError::UnsupportedSchema {
+                path: path.clone(),
+                schema: 99
+            }
+        );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn payloads_with_newlines_and_quotes_round_trip() {
         let path = temp_path("escaping.json");
-        std::fs::remove_file(&path).ok();
         let payload = "id,\"quoted\"\nline2\r\n\ttabbed";
         let mut journal = Journal::open(&path, "ctx").unwrap();
         journal.append(entry("R-T1", payload)).unwrap();
+        drop(journal);
         let back = Journal::open(&path, "ctx").unwrap();
         assert_eq!(
             back.completed("experiment", "R-T1").unwrap().payload,
             payload
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The advisory lock makes a second open fail with the typed
+    /// `Held` error while the first journal is alive, and succeed once
+    /// it drops (sentinel removed with it).
+    #[test]
+    fn second_open_while_held_is_a_typed_error() {
+        let path = temp_path("held.json");
+        let journal = Journal::open(&path, "ctx").unwrap();
+        assert!(lock_path(&path).exists(), "open must create the sentinel");
+        let err = Journal::open(&path, "ctx").unwrap_err();
+        assert_eq!(
+            err,
+            JournalError::Held {
+                path: path.clone(),
+                pid: std::process::id()
+            },
+            "a live holder (this process) must be reported, not taken over"
+        );
+        assert!(err.to_string().contains("locked by another process"));
+        drop(journal);
+        assert!(
+            !lock_path(&path).exists(),
+            "drop must remove the lock sentinel"
+        );
+        let reopened = Journal::open(&path, "ctx");
+        assert!(reopened.is_ok(), "{reopened:?}");
+    }
+
+    /// A sentinel naming a dead pid — the holder crashed or was
+    /// SIGKILLed — must be taken over instead of blocking forever.
+    #[test]
+    fn stale_lock_from_dead_pid_is_taken_over() {
+        if !Path::new("/proc").is_dir() {
+            return; // liveness is unknowable without procfs — no takeover
+        }
+        let dead = (3_999_000..4_000_000)
+            .rev()
+            .find(|&pid| !pid_alive(pid))
+            .expect("some pid in range is dead");
+        let path = temp_path("stale-lock.json");
+        std::fs::write(lock_path(&path), format!("{dead}\n")).unwrap();
+        let mut journal = Journal::open(&path, "ctx").expect("stale lock must be taken over");
+        journal.append(entry("R-T1", "x")).unwrap();
+        let held = std::fs::read_to_string(lock_path(&path)).unwrap();
+        assert_eq!(
+            held.trim(),
+            std::process::id().to_string(),
+            "takeover must re-stamp the sentinel with the new holder"
+        );
+        drop(journal);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A sentinel with no readable pid cannot prove its holder is dead:
+    /// after a grace period it is reported as held (pid 0), never
+    /// silently stolen.
+    #[test]
+    fn unreadable_sentinel_is_reported_held() {
+        let path = temp_path("anon-lock.json");
+        std::fs::write(lock_path(&path), b"").unwrap();
+        let err = Journal::open(&path, "ctx").unwrap_err();
+        assert_eq!(
+            err,
+            JournalError::Held {
+                path: path.clone(),
+                pid: 0
+            }
+        );
+        assert!(err.to_string().contains(".lock"), "{err}");
+        std::fs::remove_file(lock_path(&path)).ok();
     }
 
     #[test]

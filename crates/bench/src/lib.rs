@@ -31,6 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod client;
+mod daemon;
+mod engine;
 pub mod experiments;
 mod fuzz;
 mod journal;
@@ -39,11 +42,14 @@ mod scale;
 mod table;
 mod throughput;
 
+pub use client::{Client, ClientError, JobResult, JobStatus, StreamEnd, StreamEvent};
+pub use daemon::{Daemon, DaemonConfig, PROTOCOL_VERSION};
+pub use engine::{render_tables, ExperimentJob, ExperimentOutput, OutputFormat};
 pub use fuzz::{
     run_campaign, run_campaign_supervised, CampaignConfig, CampaignFailure, CampaignFinding,
     CampaignReport,
 };
-pub use journal::{fnv1a64, Journal, JournalEntry, JOURNAL_SCHEMA};
+pub use journal::{fnv1a64, Journal, JournalEntry, JournalError, JOURNAL_SCHEMA};
 pub use manifest::{
     FuzzFindingSummary, FuzzProvenance, Manifest, ManifestEntry, TableSummary, MANIFEST_SCHEMA,
 };

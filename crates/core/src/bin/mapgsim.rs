@@ -275,14 +275,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     // Oversubscription is judged against the pool's *actual* worker count
-    // (which honours `with_default_jobs` overrides), not the host's raw
-    // available_parallelism — the pool is what the shard wheels run on.
+    // (which honours `with_default_jobs` overrides and the MAPG_JOBS
+    // budget), not the host's raw available_parallelism — the pool is
+    // what the shard wheels run on. A parent scheduler (mapgd) hands
+    // each child a slice of the host via MAPG_JOBS; naming the budget
+    // source here keeps a "why is this serializing?" hunt short.
     let workers = mapg_pool::default_jobs();
+    let budget = match mapg_pool::env_jobs() {
+        Some(n) if n == workers => " (MAPG_JOBS budget)",
+        _ => "",
+    };
     let effective_shards = shards.min(channels).min(cores);
     if effective_shards > 1 && workers < effective_shards {
         eprintln!(
             "warning: {effective_shards} effective shard wheel(s) share {workers} pool \
-             worker(s); shards beyond the worker count serialize (results stay bit-identical)"
+             worker(s){budget}; shards beyond the worker count serialize (results stay \
+             bit-identical)"
+        );
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if workers > host {
+        eprintln!(
+            "warning: worker budget {workers} exceeds the host's {host} hardware \
+             thread(s); concurrent runs under one scheduler will oversubscribe the host"
         );
     }
 

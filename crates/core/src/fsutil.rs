@@ -2,38 +2,77 @@
 //!
 //! Every artifact the harness persists (manifests, journals, repro
 //! files, traces, metrics, bench records) goes through
-//! [`write_atomic`]: the bytes land in a sibling `*.tmp` file which is
+//! [`write_atomic`]: the bytes land in a sibling temp file which is
 //! fsync'd and then renamed over the target. A crash — including
 //! SIGKILL — mid-write therefore never leaves a truncated JSON at the
-//! final path; at worst it leaves a stale `*.tmp` that the next writer
-//! overwrites and that readers (e.g. journal resume) ignore.
+//! final path; at worst it leaves a stale `*.tmp` that readers (e.g.
+//! journal resume) ignore.
+//!
+//! The temp name is unique per (process, write): `<file>.<pid>.<n>.tmp`
+//! with `n` drawn from a process-wide counter. Two concurrent writers
+//! targeting the same final path therefore never share a staging file —
+//! each rename installs one writer's *complete* payload, and the last
+//! rename wins whole. (The original fixed `<file>.tmp` name let one
+//! writer truncate another's staging file mid-sync, or rename a
+//! half-written file into place.) On any error the temp file is removed
+//! so failed writes leave no strays behind.
 
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The sibling temp path `write_atomic` stages into: `<file>.tmp` in
-/// the same directory (same filesystem, so the rename is atomic).
-pub fn tmp_path(path: &Path) -> PathBuf {
+/// Process-wide staging-file counter: distinguishes concurrent writers
+/// (threads) within one process; the pid distinguishes processes.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// True when `name` looks like a `write_atomic` staging file
+/// (`*.tmp`). Readers that scan directories (journal resume, golden
+/// stray-file checks) use this to ignore leftovers from writers that
+/// were killed mid-write.
+pub fn is_tmp_name(name: &str) -> bool {
+    name.ends_with(".tmp")
+}
+
+/// A unique sibling staging path for one atomic write of `path`:
+/// `<file>.<pid>.<counter>.tmp` in the same directory (same
+/// filesystem, so the rename is atomic).
+fn unique_tmp_path(path: &Path) -> PathBuf {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
     let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
-    name.push(".tmp");
+    name.push(format!(".{}.{n}.tmp", std::process::id()));
     path.with_file_name(name)
 }
 
-/// Writes `contents` to `path` atomically: write `<path>.tmp`, fsync,
-/// rename over `path`, then best-effort fsync the directory.
+/// Writes `contents` to `path` atomically: write a uniquely named
+/// sibling `*.tmp`, fsync, rename over `path`, then best-effort fsync
+/// the directory.
+///
+/// Concurrent writers to the same `path` are safe: each stages into its
+/// own temp file, so the final file is always exactly one writer's
+/// complete payload (whichever rename lands last).
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error when the temp file cannot be
-/// created, written, synced, or renamed into place.
+/// created, written, synced, or renamed into place. The temp file is
+/// removed on every error path.
 pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
-    let tmp = tmp_path(path);
-    let mut file = File::create(&tmp)?;
-    file.write_all(contents)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)?;
+    let tmp = unique_tmp_path(path);
+    let stage = || -> io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(error) = stage() {
+        // Failed writes must not leave staging strays behind (the
+        // golden suite's stray-file check would flag them, and a pile
+        // of orphaned temps is operator noise under a daemon).
+        let _ = std::fs::remove_file(&tmp);
+        return Err(error);
+    }
     // Durability of the rename itself needs the directory synced; not
     // all platforms/filesystems support opening a directory for sync,
     // so failures here are ignored (the rename is still atomic).
@@ -53,8 +92,19 @@ mod tests {
 
     fn temp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("mapg-fsutil-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// Files other than `path` itself left in `dir` (staging strays).
+    fn strays(dir: &Path, keep: &Path) -> Vec<String> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p != keep)
+            .map(|p| p.display().to_string())
+            .collect()
     }
 
     #[test]
@@ -63,10 +113,7 @@ mod tests {
         let path = dir.join("out.json");
         write_atomic(&path, b"{\"ok\": true}\n").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\": true}\n");
-        assert!(
-            !tmp_path(&path).exists(),
-            "temp file should be renamed away"
-        );
+        assert_eq!(strays(&dir, &path), Vec::<String>::new());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -80,16 +127,18 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    /// A stale `*.tmp` left by a crashed writer is simply overwritten
-    /// by the next atomic write and never shadows the real file.
+    /// A stale `*.tmp` left by a crashed writer never shadows the real
+    /// file and is recognizable by name so directory scans can skip it.
     #[test]
-    fn stale_tmp_files_are_overwritten() {
+    fn stale_tmp_files_do_not_shadow_the_target() {
         let dir = temp_dir("stale");
         let path = dir.join("out.json");
-        std::fs::write(tmp_path(&path), b"{\"truncat").unwrap();
+        let stale = dir.join(format!("out.json.{}.999999.tmp", std::process::id()));
+        std::fs::write(&stale, b"{\"truncat").unwrap();
         write_atomic(&path, b"clean").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"clean");
-        assert!(!tmp_path(&path).exists());
+        assert!(is_tmp_name(stale.file_name().unwrap().to_str().unwrap()));
+        assert!(!is_tmp_name("out.json"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -99,11 +148,102 @@ mod tests {
         assert!(write_atomic(path, b"x").is_err());
     }
 
+    /// Error paths must clean their staging file up: a failed write
+    /// into a read-only directory leaves nothing behind.
+    #[cfg(unix)]
     #[test]
-    fn tmp_path_is_a_sibling() {
+    fn failed_writes_leave_no_strays() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = temp_dir("errclean");
+        // The temp file is created, then the rename target is a
+        // directory — rename fails, temp must be removed.
+        let target = dir.join("occupied");
+        std::fs::create_dir(&target).unwrap();
+        assert!(write_atomic(&target, b"x").is_err());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "occupied")
+            .collect();
+        assert_eq!(leftovers, Vec::<String>::new(), "stray staging files");
+        // And a directory we cannot create the temp file in at all.
+        let sealed = dir.join("sealed");
+        std::fs::create_dir(&sealed).unwrap();
+        std::fs::set_permissions(&sealed, std::fs::Permissions::from_mode(0o555)).unwrap();
+        let denied = write_atomic(&sealed.join("out.json"), b"x");
+        std::fs::set_permissions(&sealed, std::fs::Permissions::from_mode(0o755)).unwrap();
+        if denied.is_err() {
+            // (Root containers may ignore the mode bits; only assert
+            // cleanliness when the write actually failed.)
+            assert_eq!(
+                std::fs::read_dir(&sealed).unwrap().count(),
+                0,
+                "stray staging files in sealed dir"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The concurrent-writer hammer: many threads, each repeatedly
+    /// writing its own distinctive payload to the *same* path. At every
+    /// instant — and at the end — the file must be exactly one writer's
+    /// complete payload, never a mix or a truncation, and no staging
+    /// strays may remain.
+    #[test]
+    fn concurrent_writers_never_interleave() {
+        const WRITERS: usize = 8;
+        const ROUNDS: usize = 40;
+        let dir = temp_dir("hammer");
+        let path = dir.join("contended.json");
+        let payloads: Vec<Vec<u8>> = (0..WRITERS)
+            .map(|w| {
+                // Distinctive, multi-KiB, single-byte-fillable payload:
+                // any mix of two writers or any truncation is detectable.
+                let byte = b'a' + w as u8;
+                let mut p = format!("writer-{w}:").into_bytes();
+                p.extend(std::iter::repeat_n(byte, 4096));
+                p.push(b'\n');
+                p
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        write_atomic(&path, payload).unwrap();
+                        // Every observable state must be one complete payload.
+                        let seen = std::fs::read(&path).unwrap();
+                        assert!(
+                            payloads.iter().any(|p| p == &seen),
+                            "file is not any single writer's payload (len {})",
+                            seen.len()
+                        );
+                    }
+                });
+            }
+        });
+
+        let final_bytes = std::fs::read(&path).unwrap();
+        assert!(payloads.iter().any(|p| p == &final_bytes));
         assert_eq!(
-            tmp_path(Path::new("/a/b/manifest.json")),
-            PathBuf::from("/a/b/manifest.json.tmp")
+            strays(&dir, &path),
+            Vec::<String>::new(),
+            "staging files left behind"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unique_tmp_paths_are_siblings_and_unique() {
+        let a = unique_tmp_path(Path::new("/a/b/manifest.json"));
+        let b = unique_tmp_path(Path::new("/a/b/manifest.json"));
+        assert_ne!(a, b, "two writes must never share a staging file");
+        for p in [&a, &b] {
+            assert_eq!(p.parent(), Some(Path::new("/a/b")));
+            let name = p.file_name().unwrap().to_str().unwrap();
+            assert!(name.starts_with("manifest.json."));
+            assert!(is_tmp_name(name));
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 use mapg_cpu::{Cluster, CoreConfig};
 use mapg_mem::HierarchyConfig;
-use mapg_obs::{MetricsHub, ObsHandle};
+use mapg_obs::{EventHub, MetricsHub, ObsHandle};
 use mapg_power::{
     DramEnergyModel, EnergyCategory, PgCircuitDesign, RetentionStyle, TechnologyParams,
 };
@@ -54,6 +54,7 @@ pub struct SimConfig {
     trace_capacity: Option<usize>,
     metrics: bool,
     metrics_hub: Option<MetricsHub>,
+    event_hub: Option<EventHub>,
     reference_scheduler: bool,
     compute_quantum: Option<u64>,
 }
@@ -382,6 +383,20 @@ impl SimConfig {
         self
     }
 
+    /// Additionally publishes this run's event trace into `hub` at the
+    /// end of the run (implies [`SimConfig::with_trace`] when no trace
+    /// capacity was set). Subscribers polling the hub see each run's
+    /// records as one in-order batch the moment the run completes —
+    /// the incremental unit a streaming consumer (the `mapgd` daemon)
+    /// observes while a multi-simulation job is still going.
+    pub fn with_event_hub(mut self, hub: EventHub) -> Self {
+        if self.trace_capacity.is_none() {
+            self.trace_capacity = Some(mapg_obs::DEFAULT_TRACE_CAPACITY);
+        }
+        self.event_hub = Some(hub);
+        self
+    }
+
     /// Disables nap chaining (re-gating after an early wake) — the
     /// mechanism ablation knob. Enabled by default.
     pub fn without_regate(mut self) -> Self {
@@ -615,6 +630,7 @@ impl Default for SimConfig {
             trace_capacity: None,
             metrics: false,
             metrics_hub: None,
+            event_hub: None,
             reference_scheduler: false,
             compute_quantum: None,
         }
@@ -840,6 +856,10 @@ impl Simulation {
         let (trace, metrics) = obs.collect();
         if let (Some(hub), Some(metrics)) = (&config.metrics_hub, &metrics) {
             hub.merge(metrics);
+        }
+        if let (Some(feed), Some(trace)) = (&config.event_hub, &trace) {
+            let records: Vec<_> = trace.iter().copied().collect();
+            feed.publish(&records);
         }
 
         let timeline = controller.take_timeline();

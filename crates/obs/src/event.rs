@@ -103,6 +103,26 @@ impl EventKind {
         }
     }
 
+    /// Stable per-variant name for record-at-a-time wire formats (the
+    /// `mapgd` event stream). Unlike [`EventKind::name`], which
+    /// collapses a begin/end pair to its span name, every variant gets
+    /// a distinct label so a consumer can re-pair spans itself.
+    pub fn record_name(self) -> &'static str {
+        match self {
+            EventKind::StallBegin => "stall-begin",
+            EventKind::StallEnd => "stall-end",
+            EventKind::SleepEnter => "sleep-enter",
+            EventKind::SleepExit => "sleep-exit",
+            EventKind::WakeStart => "wake-start",
+            EventKind::WakeDone => "wake-done",
+            EventKind::TokenGrant => "token-grant",
+            EventKind::TokenDeny => "token-deny",
+            EventKind::SafeModeEnter => "safe-mode-enter",
+            EventKind::SafeModeExit => "safe-mode-exit",
+            EventKind::FaultInjected(kind) => kind.name(),
+        }
+    }
+
     /// True for the opening half of a span pair.
     pub fn is_span_begin(self) -> bool {
         matches!(
@@ -173,6 +193,32 @@ mod tests {
             assert!(!instant.is_span_begin() && !instant.is_span_end());
             assert!(instant.matching_end().is_none());
         }
+    }
+
+    #[test]
+    fn record_names_are_distinct_per_variant() {
+        let kinds = [
+            EventKind::StallBegin,
+            EventKind::StallEnd,
+            EventKind::SleepEnter,
+            EventKind::SleepExit,
+            EventKind::WakeStart,
+            EventKind::WakeDone,
+            EventKind::TokenGrant,
+            EventKind::TokenDeny,
+            EventKind::SafeModeEnter,
+            EventKind::SafeModeExit,
+            EventKind::FaultInjected(FaultKind::DramSpike),
+        ];
+        let names: std::collections::BTreeSet<&str> =
+            kinds.iter().map(|k| k.record_name()).collect();
+        assert_eq!(
+            names.len(),
+            kinds.len(),
+            "wire labels must not collapse variants"
+        );
+        assert_eq!(EventKind::SleepEnter.record_name(), "sleep-enter");
+        assert_eq!(EventKind::SleepExit.record_name(), "sleep-exit");
     }
 
     #[test]

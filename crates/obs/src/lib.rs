@@ -52,11 +52,15 @@
 #![warn(missing_docs)]
 
 mod event;
+mod feed;
 mod handle;
 mod metrics;
 mod trace;
 
 pub use event::{EventKind, FaultKind, Scope, TraceRecord};
+pub use feed::{
+    ambient_event_hub, with_ambient_event_hub, EventHub, FeedBatch, DEFAULT_FEED_CAPACITY,
+};
 pub use handle::ObsHandle;
 pub use metrics::{
     ambient_hub, with_ambient_hub, Histogram, HistogramSummary, MetricsHub, MetricsRegistry,

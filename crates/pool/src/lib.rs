@@ -50,8 +50,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fair;
 mod supervise;
 
+pub use fair::{ClientStats, Dispatch, FairQueue, Priority};
 pub use supervise::{
     CancelToken, JobCtx, JobFailure, JobOutcome, JobReport, Supervisor, POLL_INTERVAL,
 };
@@ -66,15 +68,37 @@ thread_local! {
 }
 
 /// The job count [`Pool::with_default_jobs`] uses: the innermost active
-/// [`with_default_jobs`] override on this thread, else
+/// [`with_default_jobs`] override on this thread, else the
+/// `MAPG_JOBS` environment variable (see [`env_jobs`]), else
 /// [`std::thread::available_parallelism`] (1 if that is unavailable).
 pub fn default_jobs() -> usize {
     DEFAULT_JOBS.with(|cell| match cell.get() {
         Some(jobs) => jobs,
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        None => env_jobs().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
     })
+}
+
+/// The process-wide worker budget from the `MAPG_JOBS` environment
+/// variable, if set to a positive integer (read once, then cached).
+///
+/// This is how a scheduler that spawns worker *processes* (a CI runner,
+/// an operator wrapping `mapgsim`/`experiments` under a job manager)
+/// threads a worker budget into every pool in the child's process tree
+/// without touching each call site; `mapgd` grants the same per-job
+/// budget in-process via [`with_default_jobs`]. Unparseable or zero
+/// values are ignored.
+pub fn env_jobs() -> Option<usize> {
+    static ENV_JOBS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *ENV_JOBS.get_or_init(|| parse_jobs(std::env::var("MAPG_JOBS").ok().as_deref()))
+}
+
+/// Parses a worker-budget string: a positive integer, else `None`.
+fn parse_jobs(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// Runs `f` with [`default_jobs`] pinned to `jobs` on the current thread,
@@ -424,6 +448,24 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
+
+    #[test]
+    fn jobs_env_parser_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs(None), None);
+        assert_eq!(parse_jobs(Some("")), None);
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("-3")), None);
+        assert_eq!(parse_jobs(Some("many")), None);
+        assert_eq!(parse_jobs(Some("4")), Some(4));
+        assert_eq!(parse_jobs(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn thread_local_override_beats_env_budget() {
+        // Whatever MAPG_JOBS says (usually unset under `cargo test`),
+        // an explicit with_default_jobs pin must win.
+        assert_eq!(with_default_jobs(3, default_jobs), 3);
+    }
 
     #[test]
     fn map_preserves_submission_order() {

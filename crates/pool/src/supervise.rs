@@ -452,28 +452,48 @@ impl Supervisor {
             token: job_token.clone(),
             attempt,
         };
-        {
+        let spawned = {
             let items = Arc::clone(items);
             let f = Arc::clone(f);
-            let spawned = std::thread::Builder::new()
+            std::thread::Builder::new()
                 .name(format!("mapg-job-{index}"))
                 .spawn(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| f(&items[index], &ctx)));
                     // The receiver may be gone (job abandoned) — ignore.
                     let _ = tx.send(result.map_err(panic_message));
-                });
-            if let Err(error) = spawned {
+                })
+        };
+        let mut handle = match spawned {
+            Ok(handle) => Some(handle),
+            Err(error) => {
                 drop(guard);
                 return JobOutcome::Panicked {
                     message: format!("cannot spawn job thread: {error}"),
                 };
             }
-        }
+        };
+        // Join the job thread whenever it actually finished (result or
+        // panic received): its teardown releases the closure's shared
+        // resources (journal locks, observer handles), which callers
+        // may reuse immediately after `map_supervised` returns. Only
+        // abandoned attempts — timed out or cancelled, possibly stuck —
+        // stay detached.
+        let reap = |handle: &mut Option<std::thread::JoinHandle<()>>| {
+            if let Some(handle) = handle.take() {
+                let _ = handle.join();
+            }
+        };
 
         loop {
             match rx.recv_timeout(POLL_INTERVAL) {
-                Ok(Ok(value)) => return JobOutcome::Ok(value),
-                Ok(Err(message)) => return JobOutcome::Panicked { message },
+                Ok(Ok(value)) => {
+                    reap(&mut handle);
+                    return JobOutcome::Ok(value);
+                }
+                Ok(Err(message)) => {
+                    reap(&mut handle);
+                    return JobOutcome::Panicked { message };
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     // Deadline first: the monitor cancels the job token
                     // *after* setting the flag, so a timed-out job is
@@ -488,9 +508,10 @@ impl Supervisor {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    reap(&mut handle);
                     return JobOutcome::Panicked {
                         message: "job thread exited without reporting".to_owned(),
-                    }
+                    };
                 }
             }
         }
